@@ -1,0 +1,315 @@
+//! `extrap` — the ExtraP command-line tool.
+//!
+//! ```text
+//! extrap trace     <bench> <threads> [--scale S] -o trace.xtrp
+//! extrap translate trace.xtrp -o traces.xtps [--event-overhead US] [--switch-overhead US]
+//! extrap simulate  traces.xtps [--machine M | --params FILE] [--set KEY=VALUE]... [--predicted OUT]
+//! extrap report    traces.xtps            # trace statistics
+//! extrap params    [--machine M]          # print a parameter file
+//! extrap benches                          # list benchmarks
+//! ```
+
+use extrap_core::{machine, SimParams};
+use extrap_time::DurationNs;
+use extrap_trace::{TraceStats, TranslateOptions};
+use extrap_workloads::{Bench, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("extrap: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut it = args.into_iter();
+    let cmd = it.next().unwrap_or_else(|| "help".to_string());
+    let rest: Vec<String> = it.collect();
+    match cmd.as_str() {
+        "trace" => cmd_trace(rest),
+        "translate" => cmd_translate(rest),
+        "simulate" => cmd_simulate(rest),
+        "report" => cmd_report(rest),
+        "timeline" => cmd_timeline(rest),
+        "check" => cmd_check(rest),
+        "diff" => cmd_diff(rest),
+        "params" => cmd_params(rest),
+        "benches" => {
+            for b in Bench::all() {
+                println!("{:10} {}", b.name(), b.description());
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!(
+                "usage:\n  extrap trace <bench> <threads> [--scale tiny|small|paper] -o FILE\n  \
+                 extrap translate FILE -o FILE [--event-overhead US] [--switch-overhead US]\n  \
+                 extrap simulate FILE [--machine distributed|shared|ideal|cm5] [--params FILE] \
+                 [--set KEY=VALUE]... [--predicted FILE]\n  \
+                 extrap report FILE\n  extrap timeline FILE [--width N]\n  \
+                 extrap check FILE\n  extrap diff FILE <machineA> <machineB>\n  \
+                 extrap params [--machine M]\n  extrap benches"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `extrap help`")),
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_all_flags(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    while let Some(v) = take_flag(args, flag)? {
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn parse_scale(s: Option<String>) -> Result<Scale, String> {
+    match s.as_deref() {
+        None | Some("small") => Ok(Scale::Small),
+        Some("tiny") => Ok(Scale::Tiny),
+        Some("paper") => Ok(Scale::Paper),
+        Some(other) => Err(format!("unknown scale {other:?}")),
+    }
+}
+
+fn parse_machine(s: Option<String>) -> Result<SimParams, String> {
+    match s.as_deref() {
+        None | Some("distributed") => Ok(machine::default_distributed()),
+        Some("shared") => Ok(machine::shared_memory()),
+        Some("ideal") => Ok(machine::ideal()),
+        Some("cm5") => Ok(machine::cm5()),
+        Some(other) => Err(format!(
+            "unknown machine {other:?} (distributed|shared|ideal|cm5)"
+        )),
+    }
+}
+
+fn parse_us(s: Option<String>, what: &str) -> Result<DurationNs, String> {
+    match s {
+        None => Ok(DurationNs::ZERO),
+        Some(v) => v
+            .parse::<f64>()
+            .map(DurationNs::from_us)
+            .map_err(|e| format!("bad {what}: {e}")),
+    }
+}
+
+fn cmd_trace(mut args: Vec<String>) -> Result<(), String> {
+    let scale = parse_scale(take_flag(&mut args, "--scale")?)?;
+    let out: PathBuf = take_flag(&mut args, "-o")?
+        .ok_or("trace: -o FILE is required")?
+        .into();
+    let [bench_name, threads]: [String; 2] = args
+        .try_into()
+        .map_err(|_| "usage: extrap trace <bench> <threads> -o FILE".to_string())?;
+    let bench = Bench::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&bench_name))
+        .ok_or_else(|| format!("unknown benchmark {bench_name:?}; see `extrap benches`"))?;
+    let threads: usize = threads.parse().map_err(|e| format!("bad thread count: {e}"))?;
+    let trace = bench.trace(threads, scale);
+    extrap_trace::writer::write_program_file(&out, &trace).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} events for {} threads to {}",
+        trace.records.len(),
+        trace.n_threads,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_translate(mut args: Vec<String>) -> Result<(), String> {
+    let out: PathBuf = take_flag(&mut args, "-o")?
+        .ok_or("translate: -o FILE is required")?
+        .into();
+    let options = TranslateOptions {
+        event_overhead: parse_us(take_flag(&mut args, "--event-overhead")?, "event overhead")?,
+        switch_overhead: parse_us(take_flag(&mut args, "--switch-overhead")?, "switch overhead")?,
+    };
+    let [input]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "usage: extrap translate FILE -o FILE".to_string())?;
+    let trace = extrap_trace::reader::read_program_file(&input).map_err(|e| e.to_string())?;
+    let set = extrap_trace::translate(&trace, options).map_err(|e| e.to_string())?;
+    extrap_trace::writer::write_set_file(&out, &set).map_err(|e| e.to_string())?;
+    println!(
+        "translated {} threads; idealized parallel makespan {}",
+        set.n_threads(),
+        set.makespan()
+    );
+    Ok(())
+}
+
+fn load_params(args: &mut Vec<String>) -> Result<SimParams, String> {
+    let mut params = if let Some(file) = take_flag(args, "--params")? {
+        let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+        SimParams::from_config_text(&text)?
+    } else {
+        parse_machine(take_flag(args, "--machine")?)?
+    };
+    for kv in take_all_flags(args, "--set")? {
+        let (key, value) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("--set expects KEY=VALUE, got {kv:?}"))?;
+        // Apply the single key on top of the current parameters.
+        let mut text = params.to_config_text();
+        text.push_str(&format!("{} = {}\n", key.trim(), value.trim()));
+        params = SimParams::from_config_text(&text)?;
+    }
+    Ok(params)
+}
+
+fn cmd_simulate(mut args: Vec<String>) -> Result<(), String> {
+    let params = load_params(&mut args)?;
+    let predicted_out = take_flag(&mut args, "--predicted")?;
+    let [input]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "usage: extrap simulate FILE [--machine M]".to_string())?;
+    let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
+    let pred = extrap_core::extrapolate(&set, &params).map_err(|e| e.to_string())?;
+    println!("predicted execution time: {:.3} ms", pred.exec_time().as_ms());
+    println!("processors:               {}", pred.n_procs);
+    println!("barriers completed:       {}", pred.barriers);
+    println!(
+        "messages / bytes:         {} / {}",
+        pred.network.messages, pred.network.bytes
+    );
+    println!(
+        "mean contention factor:   {:.3}",
+        pred.network.mean_factor()
+    );
+    println!("utilization:              {:.1}%", pred.utilization() * 100.0);
+    println!("comp/comm ratio:          {:.2}", pred.comp_comm_ratio());
+    println!("-- per-thread breakdown (ms) --");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "thread", "compute", "send", "service", "rem-wait", "bar-wait", "end"
+    );
+    for (i, b) in pred.per_thread.iter().enumerate() {
+        println!(
+            "{:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            i,
+            b.compute.as_us() / 1_000.0,
+            b.send_overhead.as_us() / 1_000.0,
+            b.service.as_us() / 1_000.0,
+            b.remote_wait.as_us() / 1_000.0,
+            b.barrier_wait.as_us() / 1_000.0,
+            b.end_time.as_ms(),
+        );
+    }
+    if let Some(path) = predicted_out {
+        extrap_trace::writer::write_set_file(&path, &pred.predicted).map_err(|e| e.to_string())?;
+        println!("predicted trace written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_report(args: Vec<String>) -> Result<(), String> {
+    let [input]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "usage: extrap report FILE".to_string())?;
+    let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
+    let stats = TraceStats::from_set(&set);
+    println!("threads:           {}", set.n_threads());
+    println!("makespan:          {:.3} ms", stats.makespan().as_ms());
+    println!("barriers:          {}", stats.barriers());
+    println!("remote accesses:   {}", stats.total_remote_accesses());
+    println!("declared bytes:    {}", stats.total_declared_bytes());
+    println!("actual bytes:      {}", stats.total_actual_bytes());
+    println!(
+        "total compute:     {:.3} ms",
+        stats.total_compute().as_us() / 1_000.0
+    );
+    println!("utilization:       {:.1}%", stats.utilization() * 100.0);
+    Ok(())
+}
+
+fn cmd_timeline(mut args: Vec<String>) -> Result<(), String> {
+    let width = match take_flag(&mut args, "--width")? {
+        Some(w) => w.parse::<usize>().map_err(|e| format!("bad width: {e}"))?,
+        None => 100,
+    };
+    let [input]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "usage: extrap timeline FILE [--width N]".to_string())?;
+    let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
+    print!("{}", extrap_trace::timeline::render(&set, width));
+    Ok(())
+}
+
+fn cmd_check(args: Vec<String>) -> Result<(), String> {
+    let [input]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "usage: extrap check FILE".to_string())?;
+    let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
+    let report = extrap_trace::determinism_report(&set);
+    println!("remote writes: {}", report.remote_writes);
+    if report.is_deterministic() {
+        println!(
+            "no epoch-level write conflicts: the trace satisfies the paper's \
+             deterministic-execution assumption (SS5); extrapolation is sound."
+        );
+        Ok(())
+    } else {
+        println!(
+            "{} potential timing-dependent conflicts found:",
+            report.conflicts.len()
+        );
+        for c in report.conflicts.iter().take(20) {
+            println!(
+                "  epoch {:>4}  element {:>8}  writers {:?}  readers {:?}",
+                c.epoch, c.element, c.writers, c.readers
+            );
+        }
+        Err("trace may not transfer between environments (see SS5)".to_string())
+    }
+}
+
+fn cmd_diff(args: Vec<String>) -> Result<(), String> {
+    let [input, ma, mb]: [String; 3] = args
+        .try_into()
+        .map_err(|_| "usage: extrap diff FILE <machineA> <machineB>".to_string())?;
+    let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
+    let pa = parse_machine(Some(ma.clone()))?;
+    let pb = parse_machine(Some(mb.clone()))?;
+    let a = extrap_core::extrapolate(&set, &pa).map_err(|e| e.to_string())?;
+    let b = extrap_core::extrapolate(&set, &pb).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {:.3} ms    {}: {:.3} ms",
+        ma,
+        a.exec_time().as_ms(),
+        mb,
+        b.exec_time().as_ms()
+    );
+    print!("{}", extrap_core::diff(&a, &b).render(&ma, &mb));
+    Ok(())
+}
+
+fn cmd_params(mut args: Vec<String>) -> Result<(), String> {
+    let params = parse_machine(take_flag(&mut args, "--machine")?)?;
+    if !args.is_empty() {
+        return Err("usage: extrap params [--machine M]".to_string());
+    }
+    print!("{}", params.to_config_text());
+    Ok(())
+}

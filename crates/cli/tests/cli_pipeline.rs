@@ -1,0 +1,156 @@
+//! End-to-end tests of the `extrap` binary: trace → translate →
+//! report/simulate/timeline/check over real files.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn extrap(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_extrap"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("extrap-cli-test-{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let dir = tmpdir("pipeline");
+    let xtrp = dir.join("grid.xtrp");
+    let xtps = dir.join("grid.xtps");
+
+    let out = extrap(&[
+        "trace",
+        "grid",
+        "4",
+        "--scale",
+        "tiny",
+        "-o",
+        xtrp.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("4 threads"));
+
+    let out = extrap(&["translate", xtrp.to_str().unwrap(), "-o", xtps.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("translated 4 threads"));
+
+    let out = extrap(&["report", xtps.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("barriers:"));
+    assert!(text.contains("remote accesses:"));
+
+    let out = extrap(&["simulate", xtps.to_str().unwrap(), "--machine", "cm5"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("predicted execution time"));
+
+    let out = extrap(&["timeline", xtps.to_str().unwrap(), "--width", "60"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("T0"));
+
+    let out = extrap(&["check", xtps.to_str().unwrap()]);
+    assert!(out.status.success(), "grid is read-only: {out:?}");
+    assert!(stdout(&out).contains("no epoch-level write conflicts"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_honors_param_overrides() {
+    let dir = tmpdir("overrides");
+    let xtrp = dir.join("embar.xtrp");
+    let xtps = dir.join("embar.xtps");
+    extrap(&["trace", "embar", "2", "--scale", "tiny", "-o", xtrp.to_str().unwrap()]);
+    extrap(&["translate", xtrp.to_str().unwrap(), "-o", xtps.to_str().unwrap()]);
+
+    let base = stdout(&extrap(&["simulate", xtps.to_str().unwrap(), "--machine", "ideal"]));
+    let slowed = stdout(&extrap(&[
+        "simulate",
+        xtps.to_str().unwrap(),
+        "--machine",
+        "ideal",
+        "--set",
+        "MipsRatio=2.0",
+    ]));
+    let time = |s: &str| -> f64 {
+        s.lines()
+            .find(|l| l.contains("predicted execution time"))
+            .unwrap()
+            .split_whitespace()
+            .nth(3)
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let (t_base, t_slow) = (time(&base), time(&slowed));
+    assert!(
+        (t_slow / t_base - 2.0).abs() < 0.05,
+        "MipsRatio=2 should double the time: {t_base} vs {t_slow}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn params_round_trip_through_a_file() {
+    let dir = tmpdir("params");
+    let cfg = dir.join("machine.cfg");
+    let out = extrap(&["params", "--machine", "cm5"]);
+    assert!(out.status.success());
+    std::fs::write(&cfg, out.stdout).unwrap();
+
+    let xtrp = dir.join("t.xtrp");
+    let xtps = dir.join("t.xtps");
+    extrap(&["trace", "cyclic", "2", "--scale", "tiny", "-o", xtrp.to_str().unwrap()]);
+    extrap(&["translate", xtrp.to_str().unwrap(), "-o", xtps.to_str().unwrap()]);
+
+    let via_file = stdout(&extrap(&[
+        "simulate",
+        xtps.to_str().unwrap(),
+        "--params",
+        cfg.to_str().unwrap(),
+    ]));
+    let via_preset = stdout(&extrap(&["simulate", xtps.to_str().unwrap(), "--machine", "cm5"]));
+    assert_eq!(
+        via_file.lines().next(),
+        via_preset.lines().next(),
+        "config file must reproduce the preset"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_compares_two_machines() {
+    let dir = tmpdir("diff");
+    let xtrp = dir.join("m.xtrp");
+    let xtps = dir.join("m.xtps");
+    extrap(&["trace", "mgrid", "4", "--scale", "tiny", "-o", xtrp.to_str().unwrap()]);
+    extrap(&["translate", xtrp.to_str().unwrap(), "-o", xtps.to_str().unwrap()]);
+    let out = extrap(&["diff", xtps.to_str().unwrap(), "distributed", "cm5"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("prediction diff"));
+    assert!(text.contains("barrier wait"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let out = extrap(&["trace", "nope", "4", "-o", "/dev/null"]);
+    assert!(!out.status.success());
+    let out = extrap(&["simulate", "/nonexistent.xtps"]);
+    assert!(!out.status.success());
+    let out = extrap(&["frobnicate"]);
+    assert!(!out.status.success());
+    let out = extrap(&["benches"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("Embar"));
+}

@@ -1,0 +1,37 @@
+//! Hardware barrier: a dedicated synchronization network (e.g. the CM-5
+//! control network) lowers the barrier a fixed latency after the last
+//! arrival; every thread observes it simultaneously.
+
+use crate::params::BarrierParams;
+use extrap_time::TimeNs;
+
+/// Per-thread resume times.
+pub fn resume_times(p: &BarrierParams, entry_done: &[TimeNs]) -> Vec<TimeNs> {
+    let last = *entry_done.iter().max().expect("empty barrier");
+    let release = last + p.hardware_latency;
+    entry_done.iter().map(|_| release + p.exit).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BarrierAlgorithm;
+    use extrap_time::DurationNs;
+
+    #[test]
+    fn release_is_uniform() {
+        let p = BarrierParams {
+            entry: DurationNs::ZERO,
+            exit: DurationNs(3),
+            check: DurationNs(99),
+            exit_check: DurationNs(99),
+            model: DurationNs(99),
+            by_msgs: false,
+            msg_size: 0,
+            algorithm: BarrierAlgorithm::Hardware,
+            hardware_latency: DurationNs(11),
+        };
+        let r = resume_times(&p, &[TimeNs(5), TimeNs(70), TimeNs(40)]);
+        assert_eq!(r, vec![TimeNs(84); 3]);
+    }
+}

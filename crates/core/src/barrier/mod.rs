@@ -1,0 +1,456 @@
+//! The barrier model (§3.3.3, Table 1).
+//!
+//! The paper's model is a **linear master–slave** barrier: thread 0 is the
+//! master; every slave entering the barrier sends a message to the master
+//! and waits for a release message.  The master waits for all slaves
+//! (checking every `CheckTime`), waits `ModelTime`, then sends release
+//! messages to every slave.  With `BarrierByMsgs = 1` the messages are
+//! real network messages whose transfer time contributes to the barrier
+//! time.  Hardware barriers and logarithmic combining trees are provided
+//! as the "easily substituted" alternative algorithms.
+//!
+//! The coordinator is model logic only: it computes *when* things happen
+//! and hands the engine a list of [`BarrierAction`]s (messages to inject,
+//! threads to resume); the engine owns the event queue and the network.
+
+pub mod hardware;
+pub mod linear;
+pub mod tree;
+
+use crate::params::{BarrierAlgorithm, BarrierParams, CommParams};
+use extrap_time::{BarrierId, DurationNs, ThreadId, TimeNs};
+
+/// Barrier-protocol messages exchanged through the network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BarrierMsg {
+    /// Slave → master: "I have reached barrier `b`".
+    Arrive(BarrierId),
+    /// Master → slave: "barrier `b` is lowered".
+    Release(BarrierId),
+}
+
+/// What the engine must do on behalf of the barrier model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BarrierAction {
+    /// Inject a barrier message into the network at `depart`.
+    Send {
+        /// Network departure time (sender-side costs already included).
+        depart: TimeNs,
+        /// Sending thread.
+        from: ThreadId,
+        /// Receiving thread.
+        to: ThreadId,
+        /// Message size in bytes.
+        bytes: u32,
+        /// Protocol content.
+        msg: BarrierMsg,
+    },
+    /// Resume `thread` (its barrier-exit trace event timestamp) at `at`.
+    Resume {
+        /// The thread leaving the barrier.
+        thread: ThreadId,
+        /// Exit-event time (all barrier costs included).
+        at: TimeNs,
+    },
+}
+
+/// The master thread of the linear algorithm (thread 0, per the paper).
+pub const MASTER: ThreadId = ThreadId(0);
+
+/// Rounds `t` up to the polling grid anchored at `anchor` with period
+/// `q` (used for `CheckTime` / `ExitCheckTime` quantization).  With a
+/// zero period the state change is observed immediately.
+pub fn quantize(anchor: TimeNs, t: TimeNs, q: DurationNs) -> TimeNs {
+    if q.is_zero() || t <= anchor {
+        return t.max(anchor);
+    }
+    let gap = t.since(anchor).as_ns();
+    let period = q.as_ns();
+    let ticks = gap.div_ceil(period);
+    anchor + DurationNs(ticks * period)
+}
+
+/// Per-barrier bookkeeping.
+#[derive(Clone, Debug)]
+struct BarrierState {
+    /// Per-thread entry-complete times (trace event time + `EntryTime`).
+    entry_done: Vec<Option<TimeNs>>,
+    /// Arrival times of slave messages at the master (message mode).
+    arrivals: Vec<Option<TimeNs>>,
+    /// Count of entry_done entries.
+    entered: usize,
+    /// Count of arrivals recorded at the master.
+    arrived_msgs: usize,
+    /// Set once the master has computed the lowering time.
+    lowered: Option<TimeNs>,
+}
+
+impl BarrierState {
+    fn new(n: usize) -> BarrierState {
+        BarrierState {
+            entry_done: vec![None; n],
+            arrivals: vec![None; n],
+            entered: 0,
+            arrived_msgs: 0,
+            lowered: None,
+        }
+    }
+}
+
+/// The barrier model's coordinator.  One instance serves all barriers of
+/// a run (they are indexed by program-order [`BarrierId`]).
+#[derive(Clone, Debug)]
+pub struct BarrierCoordinator {
+    n_threads: usize,
+    params: BarrierParams,
+    comm: CommParams,
+    states: Vec<BarrierState>,
+    /// Total barrier synchronization episodes completed.
+    completed: usize,
+}
+
+impl BarrierCoordinator {
+    /// Creates a coordinator for `n_threads` threads.
+    pub fn new(n_threads: usize, params: BarrierParams, comm: CommParams) -> BarrierCoordinator {
+        assert!(n_threads > 0);
+        BarrierCoordinator {
+            n_threads,
+            params,
+            comm,
+            states: Vec::new(),
+            completed: 0,
+        }
+    }
+
+    /// Barriers fully released so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    fn state(&mut self, b: BarrierId) -> &mut BarrierState {
+        let idx = b.index();
+        while self.states.len() <= idx {
+            self.states.push(BarrierState::new(self.n_threads));
+        }
+        &mut self.states[idx]
+    }
+
+    /// Sender-side message overhead (construct + startup).
+    fn send_overhead(&self) -> DurationNs {
+        self.comm.construct + self.comm.startup
+    }
+
+    /// Called when `thread`'s barrier-enter trace event fires at `now`.
+    pub fn on_enter(&mut self, b: BarrierId, thread: ThreadId, now: TimeNs) -> Vec<BarrierAction> {
+        let entry = self.params.entry;
+        let n = self.n_threads;
+        let use_msgs = self.params.by_msgs && self.params.algorithm == BarrierAlgorithm::Linear;
+        let send_overhead = self.send_overhead();
+        let msg_size = self.params.msg_size;
+        let st = self.state(b);
+        let done = now + entry;
+        assert!(
+            st.entry_done[thread.index()].is_none(),
+            "{thread} entered {b} twice"
+        );
+        st.entry_done[thread.index()] = Some(done);
+        st.entered += 1;
+
+        let mut actions = Vec::new();
+        if use_msgs {
+            if thread != MASTER {
+                // Slave announces itself to the master with a real message.
+                actions.push(BarrierAction::Send {
+                    depart: done + send_overhead,
+                    from: thread,
+                    to: MASTER,
+                    bytes: msg_size,
+                    msg: BarrierMsg::Arrive(b),
+                });
+            } else {
+                // The master's own entry counts as an arrival at itself.
+                st.arrivals[MASTER.index()] = Some(done);
+                st.arrived_msgs += 1;
+                if st.arrived_msgs == n {
+                    return self.lower_with_msgs(b);
+                }
+            }
+            return actions;
+        }
+
+        // Non-message algorithms resolve once the last thread enters.
+        if st.entered == n {
+            return self.resolve_without_msgs(b);
+        }
+        actions
+    }
+
+    /// Called when a slave's `Arrive` message reaches the master at
+    /// `arrival` (message mode only).
+    pub fn on_arrive_msg(
+        &mut self,
+        b: BarrierId,
+        from: ThreadId,
+        arrival: TimeNs,
+    ) -> Vec<BarrierAction> {
+        let n = self.n_threads;
+        let st = self.state(b);
+        assert!(
+            st.arrivals[from.index()].is_none(),
+            "duplicate barrier arrival from {from}"
+        );
+        st.arrivals[from.index()] = Some(arrival);
+        st.arrived_msgs += 1;
+        if st.arrived_msgs == n {
+            self.lower_with_msgs(b)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Called when the master's `Release` message reaches slave `thread`
+    /// at `arrival` (message mode only).  Returns the resume action.
+    pub fn on_release_msg(
+        &mut self,
+        b: BarrierId,
+        thread: ThreadId,
+        arrival: TimeNs,
+    ) -> Vec<BarrierAction> {
+        let exit = self.params.exit;
+        let exit_check = self.params.exit_check;
+        let receive = self.comm.receive;
+        let st = self.state(b);
+        let waiting_since = st.entry_done[thread.index()]
+            .expect("release for a thread that never entered the barrier");
+        // The slave polls for the release every ExitCheckTime.
+        let observed = quantize(waiting_since, arrival + receive, exit_check);
+        vec![BarrierAction::Resume {
+            thread,
+            at: observed + exit,
+        }]
+    }
+
+    /// Master has all arrivals (message mode): compute lowering time,
+    /// resume the master, send release messages.
+    fn lower_with_msgs(&mut self, b: BarrierId) -> Vec<BarrierAction> {
+        let p = self.params;
+        let send_overhead = self.send_overhead();
+        let n = self.n_threads;
+        let st = self.state(b);
+        let master_ready = st.arrivals[MASTER.index()].expect("master not ready");
+        let last = st
+            .arrivals
+            .iter()
+            .map(|a| a.expect("missing arrival"))
+            .max()
+            .expect("no arrivals");
+        // The master checks the arrival count every CheckTime.
+        let observed = quantize(master_ready, last, p.check);
+        let lower = observed + p.model;
+        st.lowered = Some(lower);
+        self.completed += 1;
+
+        let mut actions = Vec::new();
+        // Release messages go out one after another (linear algorithm).
+        let mut depart = lower;
+        for t in extrap_time::threads(n) {
+            if t == MASTER {
+                continue;
+            }
+            depart += send_overhead;
+            actions.push(BarrierAction::Send {
+                depart,
+                from: MASTER,
+                to: t,
+                bytes: p.msg_size,
+                msg: BarrierMsg::Release(b),
+            });
+        }
+        // The master resumes after sending every release.
+        actions.push(BarrierAction::Resume {
+            thread: MASTER,
+            at: depart + p.exit,
+        });
+        actions
+    }
+
+    /// Non-message resolution: hardware, tree, or linear-without-messages.
+    fn resolve_without_msgs(&mut self, b: BarrierId) -> Vec<BarrierAction> {
+        let p = self.params;
+        let comm = self.comm;
+        let n = self.n_threads;
+        let st = self.state(b);
+        let entry_done: Vec<TimeNs> = st
+            .entry_done
+            .iter()
+            .map(|t| t.expect("missing entry"))
+            .collect();
+        let resumes = match p.algorithm {
+            BarrierAlgorithm::Hardware => hardware::resume_times(&p, &entry_done),
+            BarrierAlgorithm::Tree { arity } => tree::resume_times(&p, &comm, arity, &entry_done),
+            BarrierAlgorithm::Linear => linear::resume_times_no_msgs(&p, &entry_done),
+        };
+        st.lowered = resumes.iter().copied().max();
+        self.completed += 1;
+        (0..n)
+            .map(|i| BarrierAction::Resume {
+                thread: ThreadId::from_index(i),
+                at: resumes[i],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_grid() {
+        let q = DurationNs(100);
+        let anchor = TimeNs(1_000);
+        assert_eq!(quantize(anchor, TimeNs(1_000), q), TimeNs(1_000));
+        assert_eq!(quantize(anchor, TimeNs(1_001), q), TimeNs(1_100));
+        assert_eq!(quantize(anchor, TimeNs(1_100), q), TimeNs(1_100));
+        assert_eq!(quantize(anchor, TimeNs(1_101), q), TimeNs(1_200));
+        // Zero period observes immediately.
+        assert_eq!(quantize(anchor, TimeNs(1_101), DurationNs::ZERO), TimeNs(1_101));
+        // Times before the anchor clamp to the anchor.
+        assert_eq!(quantize(anchor, TimeNs(500), q), anchor);
+    }
+
+    fn zeroish_params(algorithm: BarrierAlgorithm, by_msgs: bool) -> BarrierParams {
+        BarrierParams {
+            entry: DurationNs(10),
+            exit: DurationNs(20),
+            check: DurationNs::ZERO,
+            exit_check: DurationNs::ZERO,
+            model: DurationNs(100),
+            by_msgs,
+            msg_size: 64,
+            algorithm,
+            hardware_latency: DurationNs(7),
+        }
+    }
+
+    #[test]
+    fn hardware_barrier_releases_at_last_entry_plus_latency() {
+        let mut c = BarrierCoordinator::new(
+            3,
+            zeroish_params(BarrierAlgorithm::Hardware, false),
+            CommParams::free(),
+        );
+        let b = BarrierId(0);
+        assert!(c.on_enter(b, ThreadId(0), TimeNs(100)).is_empty());
+        assert!(c.on_enter(b, ThreadId(2), TimeNs(500)).is_empty());
+        let actions = c.on_enter(b, ThreadId(1), TimeNs(300));
+        // Last entry completes at 510; release 510+7; resume +exit 20.
+        assert_eq!(actions.len(), 3);
+        for a in &actions {
+            match a {
+                BarrierAction::Resume { at, .. } => assert_eq!(*at, TimeNs(537)),
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(c.completed(), 1);
+    }
+
+    #[test]
+    fn linear_no_msgs_includes_model_and_check() {
+        let mut p = zeroish_params(BarrierAlgorithm::Linear, false);
+        p.check = DurationNs(30);
+        let mut c = BarrierCoordinator::new(2, p, CommParams::free());
+        let b = BarrierId(0);
+        c.on_enter(b, ThreadId(0), TimeNs(0)); // master ready at 10
+        let actions = c.on_enter(b, ThreadId(1), TimeNs(95)); // done at 105
+        // master observes on its 30ns grid from 10: 105 -> 130; lower at 230.
+        // resumes at 230 + exit(20) = 250 (exit_check = 0).
+        let resumes: Vec<TimeNs> = actions
+            .iter()
+            .map(|a| match a {
+                BarrierAction::Resume { at, .. } => *at,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(resumes, vec![TimeNs(250), TimeNs(250)]);
+    }
+
+    #[test]
+    fn message_mode_emits_arrive_and_release_sends() {
+        let p = zeroish_params(BarrierAlgorithm::Linear, true);
+        let comm = CommParams {
+            construct: DurationNs(5),
+            startup: DurationNs(15),
+            receive: DurationNs(2),
+            ..CommParams::free()
+        };
+        let mut c = BarrierCoordinator::new(2, p, comm);
+        let b = BarrierId(0);
+        // Slave enters first: emits an Arrive send at entry_done + 20.
+        let a1 = c.on_enter(b, ThreadId(1), TimeNs(0));
+        assert_eq!(
+            a1,
+            vec![BarrierAction::Send {
+                depart: TimeNs(30),
+                from: ThreadId(1),
+                to: MASTER,
+                bytes: 64,
+                msg: BarrierMsg::Arrive(b),
+            }]
+        );
+        // Master enters; still waiting for the slave's message.
+        assert!(c.on_enter(b, MASTER, TimeNs(50)).is_empty());
+        // Arrive message lands at 100: master lowers at 100+model(100)=200,
+        // sends release departing 200+20=220, resumes at 220+exit(20)=240.
+        let a2 = c.on_arrive_msg(b, ThreadId(1), TimeNs(100));
+        assert_eq!(
+            a2,
+            vec![
+                BarrierAction::Send {
+                    depart: TimeNs(220),
+                    from: MASTER,
+                    to: ThreadId(1),
+                    bytes: 64,
+                    msg: BarrierMsg::Release(b),
+                },
+                BarrierAction::Resume {
+                    thread: MASTER,
+                    at: TimeNs(240),
+                },
+            ]
+        );
+        // Release lands at slave at 300: + receive(2) + exit(20).
+        let a3 = c.on_release_msg(b, ThreadId(1), TimeNs(300));
+        assert_eq!(
+            a3,
+            vec![BarrierAction::Resume {
+                thread: ThreadId(1),
+                at: TimeNs(322),
+            }]
+        );
+    }
+
+    #[test]
+    fn single_thread_barrier_is_cheap_but_not_free() {
+        let p = zeroish_params(BarrierAlgorithm::Linear, true);
+        let mut c = BarrierCoordinator::new(1, p, CommParams::free());
+        let actions = c.on_enter(BarrierId(0), MASTER, TimeNs(0));
+        // entry 10 + model 100 + exit 20 = resume at 130, no sends.
+        assert_eq!(
+            actions,
+            vec![BarrierAction::Resume {
+                thread: MASTER,
+                at: TimeNs(130),
+            }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_entry_panics() {
+        let p = zeroish_params(BarrierAlgorithm::Hardware, false);
+        let mut c = BarrierCoordinator::new(2, p, CommParams::free());
+        c.on_enter(BarrierId(0), ThreadId(0), TimeNs(0));
+        c.on_enter(BarrierId(0), ThreadId(0), TimeNs(1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Logarithmic combining-tree barrier (analytic approximation).
+//!
+//! Arrivals combine up a `k`-ary tree and the release fans back down, so
+//! synchronization costs grow with `ceil(log_k n)` message rounds instead
+//! of the linear algorithm's `n` sends.  The model is analytic: each
+//! level costs one message construction + startup + wire time (one hop +
+//! message bytes); contention is not applied to barrier traffic in this
+//! variant (the combining pattern is designed to avoid hot spots).
+
+use super::quantize;
+use crate::params::{BarrierParams, CommParams};
+use extrap_time::{DurationNs, TimeNs};
+
+/// Number of combining levels for `n` participants with fan-in `arity`.
+pub fn levels(n: usize, arity: u32) -> u32 {
+    let arity = arity.max(2) as u64;
+    let mut levels = 0u32;
+    let mut span = 1u64;
+    while span < n as u64 {
+        span = span.saturating_mul(arity);
+        levels += 1;
+    }
+    levels
+}
+
+/// Per-thread resume times.
+pub fn resume_times(
+    p: &BarrierParams,
+    comm: &CommParams,
+    arity: u32,
+    entry_done: &[TimeNs],
+) -> Vec<TimeNs> {
+    let n = entry_done.len();
+    let last = *entry_done.iter().max().expect("empty barrier");
+    let depth = levels(n, arity);
+    let per_level: DurationNs = if p.by_msgs {
+        comm.construct + comm.startup + comm.byte_transfer * u64::from(p.msg_size)
+    } else {
+        // Flag-based combining still costs a check per level.
+        p.check
+    };
+    let up = per_level * u64::from(depth);
+    let root_ready = last + up;
+    let lower = quantize(entry_done[0], root_ready, p.check) + p.model;
+    let down = per_level * u64::from(depth);
+    entry_done
+        .iter()
+        .map(|&done| {
+            let seen = quantize(done, lower + down, p.exit_check);
+            seen + p.exit
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BarrierAlgorithm;
+
+    #[test]
+    fn level_counts() {
+        assert_eq!(levels(1, 2), 0);
+        assert_eq!(levels(2, 2), 1);
+        assert_eq!(levels(8, 2), 3);
+        assert_eq!(levels(9, 2), 4);
+        assert_eq!(levels(16, 4), 2);
+        assert_eq!(levels(17, 4), 3);
+    }
+
+    fn p(by_msgs: bool) -> BarrierParams {
+        BarrierParams {
+            entry: DurationNs::ZERO,
+            exit: DurationNs(1),
+            check: DurationNs::ZERO,
+            exit_check: DurationNs::ZERO,
+            model: DurationNs(10),
+            by_msgs,
+            msg_size: 100,
+            algorithm: BarrierAlgorithm::Tree { arity: 2 },
+            hardware_latency: DurationNs::ZERO,
+        }
+    }
+
+    fn comm() -> CommParams {
+        CommParams {
+            construct: DurationNs(2),
+            startup: DurationNs(3),
+            byte_transfer: DurationNs(1),
+            ..CommParams::free()
+        }
+    }
+
+    #[test]
+    fn tree_scales_logarithmically() {
+        // 4 threads, arity 2 -> 2 levels; per level = 2+3+100 = 105.
+        let entries = vec![TimeNs(0); 4];
+        let r = resume_times(&p(true), &comm(), 2, &entries);
+        // up 210, lower = 210+10 = 220, down 210, +exit 1 = 431.
+        assert_eq!(r, vec![TimeNs(431); 4]);
+    }
+
+    #[test]
+    fn tree_cost_grows_with_depth_not_thread_count() {
+        // 32 threads, arity 2 -> 5 levels; up 525 + model 10 + down 525
+        // + exit 1 = 1061.  Doubling the thread count adds one level
+        // (210ns), not 32 more sequential sends.
+        let r32 = resume_times(&p(true), &comm(), 2, &vec![TimeNs(0); 32]);
+        assert_eq!(r32[0], TimeNs(1_061));
+        let r64 = resume_times(&p(true), &comm(), 2, &vec![TimeNs(0); 64]);
+        assert_eq!(r64[0].since(r32[0]), DurationNs(210));
+    }
+}

@@ -1,0 +1,243 @@
+//! The end-to-end extrapolation pipeline (Figure 2 of the paper):
+//! measured 1-processor trace → translation → trace-driven simulation →
+//! predicted performance information and metrics.
+
+use crate::engine::{self, ExtrapError};
+use crate::metrics::Prediction;
+use crate::params::SimParams;
+use extrap_trace::{ProgramTrace, TraceSet, TranslateOptions};
+
+/// Extrapolates already-translated per-thread traces to the target
+/// machine described by `params`.
+pub fn extrapolate(traces: &TraceSet, params: &SimParams) -> Result<Prediction, ExtrapError> {
+    engine::run(traces, params)
+}
+
+/// Convenience wrapper: translates a raw 1-processor program trace and
+/// extrapolates it in one call.
+pub fn extrapolate_program(
+    trace: &ProgramTrace,
+    translate_options: TranslateOptions,
+    params: &SimParams,
+) -> Result<Prediction, ExtrapError> {
+    let set = extrap_trace::translate(trace, translate_options)?;
+    extrapolate(&set, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine;
+    use crate::params::{BarrierAlgorithm, ServicePolicy, SizeMode};
+    use extrap_time::{DurationNs, ElementId, ThreadId, TimeNs};
+    use extrap_trace::{PhaseAccess, PhaseProgram, PhaseWork};
+
+    /// n threads, `phases` uniform compute phases of `us` microseconds.
+    fn uniform(n: usize, phases: usize, us: f64) -> TraceSet {
+        let mut p = PhaseProgram::new(n);
+        for _ in 0..phases {
+            p.push_uniform_phase(DurationNs::from_us(us));
+        }
+        extrap_trace::translate(&p.record(), Default::default()).unwrap()
+    }
+
+    /// Neighbor exchange: every thread reads one element from its right
+    /// neighbor each phase.
+    fn ring(n: usize, phases: usize, us: f64, declared: u32, actual: u32) -> TraceSet {
+        let mut p = PhaseProgram::new(n);
+        for _ in 0..phases {
+            let work = (0..n)
+                .map(|t| PhaseWork {
+                    compute: DurationNs::from_us(us),
+                    accesses: vec![PhaseAccess {
+                        after: DurationNs::from_us(us / 2.0),
+                        owner: ThreadId::from_index((t + 1) % n),
+                        element: ElementId::from_index(t),
+                        declared_bytes: declared,
+                        actual_bytes: actual,
+                        write: false,
+                    }],
+                })
+                .collect();
+            p.push_phase(work);
+        }
+        extrap_trace::translate(&p.record(), Default::default()).unwrap()
+    }
+
+    #[test]
+    fn ideal_machine_reproduces_translated_makespan() {
+        let ts = uniform(4, 3, 100.0);
+        let pred = extrapolate(&ts, &machine::ideal()).unwrap();
+        assert_eq!(pred.exec_time(), ts.makespan());
+        assert_eq!(pred.barriers, 3);
+        assert_eq!(pred.n_procs, 4);
+    }
+
+    #[test]
+    fn mips_ratio_scales_pure_compute_exactly() {
+        let ts = uniform(2, 2, 100.0);
+        let mut params = machine::ideal();
+        params.mips_ratio = 2.0;
+        let slow = extrapolate(&ts, &params).unwrap();
+        params.mips_ratio = 0.5;
+        let fast = extrapolate(&ts, &params).unwrap();
+        assert_eq!(slow.exec_time(), TimeNs::from_us(400.0));
+        assert_eq!(fast.exec_time(), TimeNs::from_us(100.0));
+    }
+
+    #[test]
+    fn barrier_costs_accumulate_per_phase() {
+        let ts = uniform(2, 10, 10.0);
+        let mut params = machine::ideal();
+        params.barrier.algorithm = BarrierAlgorithm::Hardware;
+        params.barrier.hardware_latency = DurationNs::from_us(3.0);
+        let pred = extrapolate(&ts, &params).unwrap();
+        // 10 phases of 10us compute + 10 barriers of 3us latency.
+        assert_eq!(pred.exec_time(), TimeNs::from_us(130.0));
+        assert_eq!(pred.barriers, 10);
+    }
+
+    #[test]
+    fn remote_reads_cost_time_and_are_counted() {
+        let ts = ring(4, 2, 100.0, 1024, 1024);
+        let ideal = extrapolate(&ts, &machine::ideal()).unwrap();
+        let dist = extrapolate(&ts, &machine::default_distributed()).unwrap();
+        assert!(dist.exec_time() > ideal.exec_time());
+        let reads: u64 = dist.per_thread.iter().map(|t| t.remote_reads).sum();
+        assert_eq!(reads, 8);
+        assert!(dist.network.messages >= 16, "requests + replies at least");
+        assert!(dist.total_remote_wait() > DurationNs::ZERO);
+    }
+
+    #[test]
+    fn size_mode_changes_transfer_cost() {
+        // Declared size is 100x the actual size; with a slow network the
+        // declared-mode prediction must be slower.
+        let ts = ring(4, 2, 50.0, 100_000, 1_000);
+        let mut params = machine::default_distributed();
+        params.size_mode = SizeMode::Declared;
+        let declared = extrapolate(&ts, &params).unwrap();
+        params.size_mode = SizeMode::Actual;
+        let actual = extrapolate(&ts, &params).unwrap();
+        assert!(
+            declared.exec_time() > actual.exec_time(),
+            "declared {} vs actual {}",
+            declared.exec_time(),
+            actual.exec_time()
+        );
+    }
+
+    #[test]
+    fn more_bandwidth_is_never_slower() {
+        let ts = ring(8, 3, 20.0, 65_536, 65_536);
+        let mut slow_p = machine::default_distributed();
+        slow_p.comm = slow_p.comm.with_bandwidth_mbps(5.0);
+        let mut fast_p = machine::default_distributed();
+        fast_p.comm = fast_p.comm.with_bandwidth_mbps(200.0);
+        let slow = extrapolate(&ts, &slow_p).unwrap();
+        let fast = extrapolate(&ts, &fast_p).unwrap();
+        assert!(fast.exec_time() <= slow.exec_time());
+    }
+
+    #[test]
+    fn all_policies_complete_and_order_sanely() {
+        let ts = ring(4, 3, 100.0, 4_096, 4_096);
+        let mut params = machine::default_distributed();
+        let mut times = Vec::new();
+        for policy in [
+            ServicePolicy::NoInterrupt,
+            ServicePolicy::Interrupt,
+            ServicePolicy::poll_us(100.0),
+        ] {
+            params.policy = policy;
+            let pred = extrapolate(&ts, &params).unwrap();
+            times.push(pred.exec_time());
+        }
+        // No-interrupt can never beat interrupt on this communication-
+        // bound pattern: requests to busy threads wait longer.
+        assert!(times[1] <= times[0], "interrupt {} vs no-interrupt {}", times[1], times[0]);
+    }
+
+    #[test]
+    fn predicted_trace_is_valid_and_matches_exec_time() {
+        let ts = ring(4, 2, 100.0, 1024, 1024);
+        let pred = extrapolate(&ts, &machine::cm5()).unwrap();
+        pred.predicted.validate().unwrap();
+        assert_eq!(pred.predicted.makespan(), pred.exec_time());
+        // Same barrier structure as the input.
+        assert_eq!(
+            pred.predicted.threads[0].barrier_sequence(),
+            ts.threads[0].barrier_sequence()
+        );
+    }
+
+    #[test]
+    fn extrapolation_is_deterministic() {
+        let ts = ring(8, 4, 30.0, 8_192, 8_192);
+        let params = machine::default_distributed();
+        let a = extrapolate(&ts, &params).unwrap();
+        let b = extrapolate(&ts, &params).unwrap();
+        assert_eq!(a.exec_time(), b.exec_time());
+        assert_eq!(a.predicted, b.predicted);
+        assert_eq!(a.per_thread, b.per_thread);
+    }
+
+    #[test]
+    fn program_pipeline_matches_manual_pipeline() {
+        let mut p = PhaseProgram::new(3);
+        p.push_uniform_phase(DurationNs::from_us(10.0));
+        let pt = p.record();
+        let params = machine::cm5();
+        let a = extrapolate_program(&pt, Default::default(), &params).unwrap();
+        let set = extrap_trace::translate(&pt, Default::default()).unwrap();
+        let b = extrapolate(&set, &params).unwrap();
+        assert_eq!(a.exec_time(), b.exec_time());
+    }
+
+    #[test]
+    fn single_thread_run_works() {
+        let ts = uniform(1, 2, 10.0);
+        let pred = extrapolate(&ts, &machine::default_distributed()).unwrap();
+        assert!(pred.exec_time() >= TimeNs::from_us(20.0));
+        assert_eq!(pred.n_procs, 1);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let ts = uniform(1, 1, 1.0);
+        let mut params = SimParams::default();
+        params.mips_ratio = -1.0;
+        assert!(matches!(
+            extrapolate(&ts, &params),
+            Err(ExtrapError::Params(_))
+        ));
+    }
+
+    #[test]
+    fn remote_writes_are_nonblocking_but_cost_send_overhead() {
+        let mut p = PhaseProgram::new(2);
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs::from_us(100.0),
+                accesses: vec![PhaseAccess {
+                    after: DurationNs::from_us(50.0),
+                    owner: ThreadId(1),
+                    element: ElementId(0),
+                    declared_bytes: 4_096,
+                    actual_bytes: 4_096,
+                    write: true,
+                }],
+            },
+            PhaseWork {
+                compute: DurationNs::from_us(100.0),
+                accesses: vec![],
+            },
+        ]);
+        let ts = extrap_trace::translate(&p.record(), Default::default()).unwrap();
+        let pred = extrapolate(&ts, &machine::default_distributed()).unwrap();
+        let writes: u64 = pred.per_thread.iter().map(|t| t.remote_writes).sum();
+        assert_eq!(writes, 1);
+        assert!(pred.per_thread[0].send_overhead > DurationNs::ZERO);
+        assert_eq!(pred.per_thread[0].remote_wait, DurationNs::ZERO);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # extrap-core — the ExtraP performance-extrapolation models
+//!
+//! This crate is the paper's primary contribution (§3.3): a trace-driven
+//! simulation that takes the *translated* per-thread traces of an
+//! *n*-thread program (produced by `extrap-trace` from a 1-processor
+//! measurement) and predicts the program's execution on an *n*-processor
+//! target machine described by three composable models:
+//!
+//! * the **processor model** ([`processor`]) — computation-time scaling by
+//!   `MipsRatio` and the remote-request **service policy** (no-interrupt,
+//!   interrupt, or polling);
+//! * the **remote data access model** ([`network`]) — request/reply
+//!   messages with start-up, per-byte, and construction costs over a
+//!   parameterized interconnect topology with analytic contention;
+//! * the **barrier model** ([`barrier`]) — a linear master–slave barrier
+//!   with the Table 1 cost parameters (tree and hardware variants are
+//!   provided as the paper's "easily substituted" alternatives).
+//!
+//! The top-level entry point is [`extrapolate()`]; machine presets
+//! (including the paper's CM-5 parameter set, Table 3) live in
+//! [`machine`].
+
+// Parameter sets are built by mutating a preset/default — that is the
+// intended API style ("take the CM-5 and change MipsRatio").
+#![allow(clippy::field_reassign_with_default)]
+
+pub mod barrier;
+pub mod cluster;
+pub mod compare;
+pub mod engine;
+pub mod extrapolate;
+pub mod machine;
+pub mod metrics;
+pub mod multithread;
+pub mod network;
+pub mod params;
+pub mod processor;
+pub mod scalability;
+
+pub use cluster::{extrapolate_clustered, ClusterParams, ClusteredNetwork};
+pub use compare::{diff, DeltaNs, PredictionDiff};
+pub use engine::{run_with_network, ExtrapError};
+pub use extrapolate::{extrapolate, extrapolate_program};
+pub use metrics::{Prediction, ProcBreakdown};
+pub use multithread::{MultithreadParams, ThreadMapping};
+pub use network::state::NetModel;
+pub use scalability::{ScalePoint, Scalability};
+pub use network::topology::Topology;
+pub use params::{
+    BarrierAlgorithm, BarrierParams, CommParams, ContentionParams, NetworkParams, ServicePolicy,
+    SimParams, SizeMode,
+};

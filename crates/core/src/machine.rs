@@ -1,0 +1,184 @@
+//! Target machine presets.
+//!
+//! Each preset is a [`SimParams`] matching an execution environment the
+//! paper uses: the Fig. 4 distributed-memory machine, the shared-memory
+//! approximation, the ideal (zero-cost) environment, and the CM-5 of
+//! Table 3.
+
+use crate::params::{BarrierAlgorithm, BarrierParams, CommParams, ServicePolicy, SimParams, SizeMode};
+use crate::network::topology::Topology;
+use extrap_time::DurationNs;
+
+/// The Fig. 4 experimental environment: a distributed-memory platform
+/// with modest communication link bandwidth (20 MB/s) but relatively
+/// high communication overheads and synchronization costs (5× the CM-5
+/// start-up, message-based linear barriers).
+pub fn default_distributed() -> SimParams {
+    let mut p = SimParams::default();
+    p.comm = CommParams::default()
+        .with_bandwidth_mbps(20.0)
+        .with_startup_us(50.0);
+    p.network.topology = Topology::Mesh2D;
+    // The pC++ runtime's usual configuration services remote requests
+    // promptly (interrupts / active messages); Fig. 8 varies this.
+    p.policy = ServicePolicy::Interrupt;
+    p
+}
+
+/// An approximation of a shared-memory machine: remote data accesses run
+/// at 200 MB/s with low start-up cost; barriers go through shared flags
+/// rather than messages (the §3.3.2 "same protocol structure, different
+/// sub-model parameters" approach).
+pub fn shared_memory() -> SimParams {
+    let mut p = SimParams::default();
+    p.comm = CommParams {
+        startup: DurationNs::from_us(2.0),
+        construct: DurationNs::from_us(0.5),
+        service: DurationNs::from_us(1.0),
+        receive: DurationNs::from_us(0.5),
+        request_bytes: 8,
+        reply_header_bytes: 0,
+        ..CommParams::default().with_bandwidth_mbps(200.0)
+    };
+    p.network.topology = Topology::Crossbar;
+    p.network.hop = DurationNs::from_us(0.1);
+    p.barrier = BarrierParams {
+        by_msgs: false,
+        entry: DurationNs::from_us(1.0),
+        exit: DurationNs::from_us(1.0),
+        check: DurationNs::from_us(0.5),
+        exit_check: DurationNs::from_us(0.5),
+        model: DurationNs::from_us(2.0),
+        ..BarrierParams::default()
+    };
+    p.policy = ServicePolicy::Interrupt;
+    p
+}
+
+/// The ideal execution environment of §4.1: all synchronization and
+/// communication costs are null.  Extrapolation then reports the pure
+/// (scaled) computation schedule.
+pub fn ideal() -> SimParams {
+    let mut p = SimParams::default();
+    p.comm = CommParams::free();
+    p.barrier = BarrierParams::free();
+    p.network.hop = DurationNs::ZERO;
+    p.network.contention.enabled = false;
+    // Remote requests are serviced instantly even mid-computation —
+    // otherwise a zero-cost machine could still block a reader behind
+    // the owner's compute segment, which is not "all communication
+    // costs null".
+    p.policy = ServicePolicy::Interrupt;
+    p
+}
+
+/// The Thinking Machines CM-5 parameter set of Table 3, used for the
+/// Matmul validation (§4.2):
+///
+/// | Parameter          | Value                            |
+/// |--------------------|----------------------------------|
+/// | `BarrierModelTime` | 5.0 µs                           |
+/// | `CommStartupTime`  | 10.0 µs                          |
+/// | `ByteTransferTime` | 0.118 µs (8.5 MB/s)              |
+/// | `MipsRatio`        | 0.41 (Sun 4 1.1360 / CM-5 2.7645)|
+///
+/// The CM-5 data network is a 4-ary fat tree; its active-message layer
+/// supports interrupt-driven request servicing; its control network
+/// provides a dedicated hardware barrier, modelled as
+/// [`BarrierAlgorithm::Hardware`] with Table 3's `BarrierModelTime`
+/// (5 µs) as the latency.
+pub fn cm5() -> SimParams {
+    let mut p = SimParams::default();
+    p.mips_ratio = mips_ratio(SUN4_MFLOPS, CM5_SCALAR_MFLOPS);
+    p.policy = ServicePolicy::Interrupt;
+    p.size_mode = SizeMode::Actual;
+    p.comm = CommParams {
+        startup: DurationNs::from_us(10.0),
+        byte_transfer: DurationNs::from_us(0.118),
+        construct: DurationNs::from_us(1.0),
+        service: DurationNs::from_us(2.0),
+        receive: DurationNs::from_us(1.0),
+        request_bytes: 16,
+        reply_header_bytes: 8,
+    };
+    p.network.topology = Topology::FatTree { arity: 4 };
+    p.network.hop = DurationNs::from_us(0.2);
+    p.barrier = BarrierParams {
+        model: DurationNs::from_us(5.0),
+        entry: DurationNs::from_us(1.0),
+        exit: DurationNs::from_us(1.0),
+        check: DurationNs::from_us(0.5),
+        exit_check: DurationNs::from_us(0.5),
+        // The CM-5 control network provides a dedicated hardware
+        // barrier: Table 3's BarrierModelTime (5 µs) is its latency.
+        by_msgs: false,
+        msg_size: 16,
+        algorithm: BarrierAlgorithm::Hardware,
+        hardware_latency: DurationNs::from_us(5.0),
+    };
+    p
+}
+
+/// Measured scalar MFLOPS of the experiment host (Sun 4) in the paper.
+pub const SUN4_MFLOPS: f64 = 1.1360;
+/// Measured scalar MFLOPS of the CM-5 node in the paper.
+pub const CM5_SCALAR_MFLOPS: f64 = 2.7645;
+
+/// `MipsRatio` from host and target processor ratings: the measured
+/// compute times are multiplied by `host/target` (faster target ⇒ ratio
+/// < 1 ⇒ compute shrinks).
+pub fn mips_ratio(host_mflops: f64, target_mflops: f64) -> f64 {
+    assert!(host_mflops > 0.0 && target_mflops > 0.0);
+    host_mflops / target_mflops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm5_matches_table_3() {
+        let p = cm5();
+        assert_eq!(p.barrier.model, DurationNs::from_us(5.0));
+        assert_eq!(p.comm.startup, DurationNs::from_us(10.0));
+        assert_eq!(p.comm.byte_transfer, DurationNs::from_us(0.118));
+        assert!((p.mips_ratio - 0.41).abs() < 0.002);
+        assert_eq!(p.network.topology, Topology::FatTree { arity: 4 });
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_mips_ratio_reproduced() {
+        assert!((mips_ratio(SUN4_MFLOPS, CM5_SCALAR_MFLOPS) - 0.41).abs() < 0.002);
+    }
+
+    #[test]
+    fn presets_validate() {
+        for p in [default_distributed(), shared_memory(), ideal(), cm5()] {
+            assert!(p.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn default_distributed_is_20_mbps() {
+        let p = default_distributed();
+        assert_eq!(p.comm.byte_transfer, DurationNs::from_us(0.05));
+        assert_eq!(p.comm.startup, DurationNs::from_us(50.0));
+    }
+
+    #[test]
+    fn ideal_is_free() {
+        let p = ideal();
+        assert!(p.comm.startup.is_zero());
+        assert!(p.barrier.entry.is_zero());
+        assert!(!p.network.contention.enabled);
+    }
+
+    #[test]
+    fn shared_memory_is_faster_than_distributed() {
+        let s = shared_memory();
+        let d = default_distributed();
+        assert!(s.comm.byte_transfer < d.comm.byte_transfer);
+        assert!(s.comm.startup < d.comm.startup);
+    }
+}

@@ -1,0 +1,15 @@
+//! The remote data access model's network layer (§3.3.2).
+//!
+//! Remote accesses are represented as messages through a parameterized
+//! interconnect.  Wire time is analytic (hop latency + per-byte transfer)
+//! and the contention model multiplies it by a factor derived from the
+//! concurrent network load tracked in simulation state — exactly the
+//! "analytical expressions of remote access delay involving the contention
+//! factors calculated from the simulation state" of the paper.
+
+pub mod contention;
+pub mod state;
+pub mod topology;
+
+pub use state::{NetworkState, NetworkStats};
+pub use topology::Topology;

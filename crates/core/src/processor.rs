@@ -1,0 +1,238 @@
+//! The processor model (§3.3.1): computation-time scaling by `MipsRatio`
+//! and compilation of translated thread traces into the op scripts the
+//! simulation engine executes.
+//!
+//! A thread's translated trace is a sequence of timestamped events; the
+//! time *between* events is that thread's computation, which the target
+//! processor executes scaled by `MipsRatio`.  Compilation turns the
+//! event stream into an explicit op list:
+//!
+//! ```text
+//! [Compute(d0), RemoteRead{..}, Compute(d1), Barrier(b0), Compute(d2), End]
+//! ```
+//!
+//! Barrier-exit events are *resume points*: the enter→exit gap in the
+//! idealized trace is wait, not work, so it never becomes a `Compute` op.
+
+use crate::params::SimParams;
+use extrap_time::{BarrierId, DurationNs, ElementId, ThreadId, TimeNs};
+use extrap_trace::{EventKind, ThreadTrace};
+
+/// One step of a thread's script.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Compute for the given (already `MipsRatio`-scaled) duration.
+    Compute(DurationNs),
+    /// Issue a blocking remote element read owned by `owner`.  The engine
+    /// selects the modelled transfer size from the two recorded sizes per
+    /// its `SizeMode`.
+    RemoteRead {
+        /// Owning thread.
+        owner: ThreadId,
+        /// Accessed element (carried through to the predicted trace).
+        element: ElementId,
+        /// Compiler-declared (whole element) size.
+        declared_bytes: u32,
+        /// Actually required size.
+        actual_bytes: u32,
+    },
+    /// Issue a non-blocking remote element write.
+    RemoteWrite {
+        /// Owning thread.
+        owner: ThreadId,
+        /// Accessed element.
+        element: ElementId,
+        /// Compiler-declared size.
+        declared_bytes: u32,
+        /// Actual size.
+        actual_bytes: u32,
+    },
+    /// Enter the given global barrier (program-order id).
+    Barrier(BarrierId),
+    /// Thread completes.
+    End,
+}
+
+/// Compiles one thread's translated trace into an op script.
+pub fn compile_thread(trace: &ThreadTrace, params: &SimParams) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(trace.records.len());
+    let mut prev: Option<TimeNs> = None;
+    for rec in &trace.records {
+        // Time since the previous event is computation — except the gap
+        // ending in a barrier exit, which is barrier wait.
+        if let Some(p) = prev {
+            let is_exit = matches!(rec.kind, EventKind::BarrierExit { .. });
+            let delta = rec.time.since(p);
+            if !is_exit && !delta.is_zero() {
+                ops.push(Op::Compute(delta.scale(params.mips_ratio)));
+            }
+        }
+        prev = Some(rec.time);
+        match rec.kind {
+            EventKind::ThreadBegin | EventKind::Marker { .. } => {}
+            EventKind::BarrierEnter { barrier } => ops.push(Op::Barrier(barrier)),
+            EventKind::BarrierExit { .. } => {}
+            EventKind::RemoteRead {
+                owner,
+                element,
+                declared_bytes,
+                actual_bytes,
+            } => ops.push(Op::RemoteRead {
+                owner,
+                element,
+                declared_bytes,
+                actual_bytes,
+            }),
+            EventKind::RemoteWrite {
+                owner,
+                element,
+                declared_bytes,
+                actual_bytes,
+            } => ops.push(Op::RemoteWrite {
+                owner,
+                element,
+                declared_bytes,
+                actual_bytes,
+            }),
+            EventKind::ThreadEnd => ops.push(Op::End),
+        }
+    }
+    if !matches!(ops.last(), Some(Op::End)) {
+        ops.push(Op::End);
+    }
+    ops
+}
+
+/// Total scaled compute in a script (used by metrics and tests).
+pub fn total_compute(ops: &[Op]) -> DurationNs {
+    ops.iter()
+        .filter_map(|op| match op {
+            Op::Compute(d) => Some(*d),
+            _ => None,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extrap_trace::{PhaseAccess, PhaseProgram, PhaseWork, TraceRecord};
+    use extrap_time::ElementId;
+
+    fn compile_first(params: &SimParams) -> Vec<Op> {
+        let mut p = PhaseProgram::new(2);
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs(1_000),
+                accesses: vec![PhaseAccess {
+                    after: DurationNs(400),
+                    owner: ThreadId(1),
+                    element: ElementId(3),
+                    declared_bytes: 2048,
+                    actual_bytes: 16,
+                    write: false,
+                }],
+            },
+            PhaseWork {
+                compute: DurationNs(1_000),
+                accesses: vec![],
+            },
+        ]);
+        let ts = extrap_trace::translate(&p.record(), Default::default()).unwrap();
+        compile_thread(&ts.threads[0], params)
+    }
+
+    #[test]
+    fn script_shape() {
+        let ops = compile_first(&SimParams::default());
+        assert_eq!(
+            ops,
+            vec![
+                Op::Compute(DurationNs(400)),
+                Op::RemoteRead {
+                    owner: ThreadId(1),
+                    element: ElementId(3),
+                    declared_bytes: 2048,
+                    actual_bytes: 16,
+                },
+                Op::Compute(DurationNs(600)),
+                Op::Barrier(BarrierId(0)),
+                Op::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn mips_ratio_scales_compute() {
+        let mut params = SimParams::default();
+        params.mips_ratio = 0.5;
+        let ops = compile_first(&params);
+        assert_eq!(ops[0], Op::Compute(DurationNs(200)));
+        assert_eq!(total_compute(&ops), DurationNs(500));
+    }
+
+    #[test]
+    fn barrier_wait_gap_is_not_compute() {
+        // Thread 0 finishes early and waits 600ns at the barrier; that gap
+        // must not appear as compute.
+        let mut p = PhaseProgram::new(2);
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs(400),
+                accesses: vec![],
+            },
+            PhaseWork {
+                compute: DurationNs(1_000),
+                accesses: vec![],
+            },
+        ]);
+        p.push_uniform_phase(DurationNs(100));
+        let ts = extrap_trace::translate(&p.record(), Default::default()).unwrap();
+        let ops = compile_thread(&ts.threads[0], &SimParams::default());
+        assert_eq!(total_compute(&ops), DurationNs(500));
+    }
+
+    #[test]
+    fn markers_are_transparent() {
+        let trace = ThreadTrace {
+            thread: ThreadId(0),
+            records: vec![
+                TraceRecord {
+                    time: TimeNs(0),
+                    thread: ThreadId(0),
+                    kind: EventKind::ThreadBegin,
+                },
+                TraceRecord {
+                    time: TimeNs(100),
+                    thread: ThreadId(0),
+                    kind: EventKind::Marker { id: 1 },
+                },
+                TraceRecord {
+                    time: TimeNs(300),
+                    thread: ThreadId(0),
+                    kind: EventKind::ThreadEnd,
+                },
+            ],
+        };
+        let ops = compile_thread(&trace, &SimParams::default());
+        // Marker splits the compute but contributes no op.
+        assert_eq!(
+            ops,
+            vec![
+                Op::Compute(DurationNs(100)),
+                Op::Compute(DurationNs(200)),
+                Op::End
+            ]
+        );
+    }
+
+    #[test]
+    fn end_op_is_guaranteed() {
+        let trace = ThreadTrace {
+            thread: ThreadId(0),
+            records: vec![],
+        };
+        let ops = compile_thread(&trace, &SimParams::default());
+        assert_eq!(ops, vec![Op::End]);
+    }
+}

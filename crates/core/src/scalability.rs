@@ -1,0 +1,211 @@
+//! Scalability analysis over a family of predictions.
+//!
+//! The paper frames performance metrics as artifacts derived from
+//! performance information (§2) and cites automatic scalability analysis
+//! as a companion technique.  This module computes the standard
+//! scalability metrics from a processor-count sweep of extrapolations:
+//! speedup, parallel efficiency, the Karp–Flatt experimentally
+//! determined serial fraction, and the knee/saturation points a
+//! performance debugger looks for.
+
+use extrap_time::TimeNs;
+
+/// One point of a processor sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalePoint {
+    /// Processor count.
+    pub procs: usize,
+    /// Predicted execution time.
+    pub time: TimeNs,
+    /// Speedup vs the 1-processor point.
+    pub speedup: f64,
+    /// Parallel efficiency (`speedup / procs`).
+    pub efficiency: f64,
+    /// Karp–Flatt serial fraction `(1/S − 1/p) / (1 − 1/p)`; `None` at
+    /// `p = 1` where it is undefined.
+    pub karp_flatt: Option<f64>,
+}
+
+/// A full scalability analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scalability {
+    /// The sweep, ordered by processor count.
+    pub points: Vec<ScalePoint>,
+}
+
+impl Scalability {
+    /// Builds the analysis from `(procs, time)` pairs.  The baseline is
+    /// the smallest processor count in the input (normally 1).
+    ///
+    /// # Panics
+    /// Panics on an empty input or a zero baseline time.
+    pub fn from_times(mut samples: Vec<(usize, TimeNs)>) -> Scalability {
+        assert!(!samples.is_empty(), "need at least one sample");
+        samples.sort_by_key(|s| s.0);
+        let (base_procs, base_time) = samples[0];
+        assert!(base_time.as_ns() > 0, "zero baseline time");
+        let points = samples
+            .into_iter()
+            .map(|(procs, time)| {
+                let speedup = base_time.as_ns() as f64 / time.as_ns().max(1) as f64;
+                let p = procs as f64 / base_procs as f64;
+                let efficiency = speedup / p;
+                let karp_flatt = if p > 1.0 {
+                    Some(((1.0 / speedup) - (1.0 / p)) / (1.0 - 1.0 / p))
+                } else {
+                    None
+                };
+                ScalePoint {
+                    procs,
+                    time,
+                    speedup,
+                    efficiency,
+                    karp_flatt,
+                }
+            })
+            .collect();
+        Scalability { points }
+    }
+
+    /// The processor count with minimum execution time.
+    pub fn best_procs(&self) -> usize {
+        self.points
+            .iter()
+            .min_by_key(|p| p.time.as_ns())
+            .expect("non-empty")
+            .procs
+    }
+
+    /// The largest processor count that still keeps efficiency at or
+    /// above `threshold` (e.g. 0.5).
+    pub fn max_procs_at_efficiency(&self, threshold: f64) -> Option<usize> {
+        self.points
+            .iter()
+            .filter(|p| p.efficiency >= threshold)
+            .map(|p| p.procs)
+            .max()
+    }
+
+    /// True when execution time stops improving somewhere before the
+    /// largest measured processor count (a saturation knee exists).
+    pub fn saturates(&self) -> bool {
+        self.best_procs() < self.points.last().expect("non-empty").procs
+    }
+
+    /// Mean Karp–Flatt serial fraction across the sweep (a rising serial
+    /// fraction with `p` indicates overhead growth, not an inherently
+    /// serial program part).
+    pub fn mean_serial_fraction(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.points.iter().filter_map(|p| p.karp_flatt).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>9} {:>11} {:>11}",
+            "procs", "time [ms]", "speedup", "efficiency", "karp-flatt"
+        );
+        for p in &self.points {
+            let kf = p
+                .karp_flatt
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "{:>6} {:>12.3} {:>9.2} {:>10.1}% {:>11}",
+                p.procs,
+                p.time.as_ms(),
+                p.speedup,
+                p.efficiency * 100.0,
+                kf
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> TimeNs {
+        TimeNs::from_us(v * 1_000.0)
+    }
+
+    #[test]
+    fn perfect_scaling_has_unit_efficiency_and_zero_serial_fraction() {
+        let s = Scalability::from_times(vec![
+            (1, ms(100.0)),
+            (2, ms(50.0)),
+            (4, ms(25.0)),
+            (8, ms(12.5)),
+        ]);
+        for p in &s.points {
+            assert!((p.efficiency - 1.0).abs() < 1e-9, "{p:?}");
+            if let Some(kf) = p.karp_flatt {
+                assert!(kf.abs() < 1e-9, "{p:?}");
+            }
+        }
+        assert!(!s.saturates());
+        assert_eq!(s.best_procs(), 8);
+    }
+
+    #[test]
+    fn amdahl_program_recovers_its_serial_fraction() {
+        // T(p) = (0.2 + 0.8/p) * 100ms — 20% serial.
+        let t = |p: f64| ms((0.2 + 0.8 / p) * 100.0);
+        let s = Scalability::from_times(vec![
+            (1, t(1.0)),
+            (2, t(2.0)),
+            (4, t(4.0)),
+            (16, t(16.0)),
+        ]);
+        for p in s.points.iter().skip(1) {
+            let kf = p.karp_flatt.unwrap();
+            assert!((kf - 0.2).abs() < 0.01, "{p:?}");
+        }
+        assert_eq!(s.max_procs_at_efficiency(0.5), Some(4));
+    }
+
+    #[test]
+    fn saturation_knee_is_detected() {
+        let s = Scalability::from_times(vec![
+            (1, ms(100.0)),
+            (2, ms(60.0)),
+            (4, ms(45.0)),
+            (8, ms(50.0)),
+            (16, ms(70.0)),
+        ]);
+        assert!(s.saturates());
+        assert_eq!(s.best_procs(), 4);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let s = Scalability::from_times(vec![(4, ms(25.0)), (1, ms(100.0)), (2, ms(50.0))]);
+        let procs: Vec<usize> = s.points.iter().map(|p| p.procs).collect();
+        assert_eq!(procs, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = Scalability::from_times(vec![(1, ms(10.0)), (2, ms(6.0))]);
+        let text = s.render();
+        assert!(text.contains("speedup"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_input_panics() {
+        let _ = Scalability::from_times(vec![]);
+    }
+}

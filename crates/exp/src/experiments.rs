@@ -1,0 +1,567 @@
+//! The paper's experiments (§4), one function per table/figure.
+
+use crate::series::Series;
+use extrap_core::{extrapolate, machine, Prediction, ServicePolicy, SimParams, SizeMode};
+use extrap_trace::{translate, TraceSet};
+use extrap_workloads::{matmul, Bench, Scale};
+use std::collections::HashMap;
+
+/// The processor counts of every scaling experiment ("1, 2, 4, 8, 16,
+/// and 32 processors").
+pub const PROCS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Caches translated traces: the same 1-processor measurement feeds many
+/// parameter sets (the whole point of extrapolation).
+#[derive(Default)]
+pub struct TraceCache {
+    traces: HashMap<(&'static str, usize), TraceSet>,
+    scale: Scale,
+}
+
+impl TraceCache {
+    /// A cache for one problem scale.
+    pub fn new(scale: Scale) -> TraceCache {
+        TraceCache {
+            traces: HashMap::new(),
+            scale,
+        }
+    }
+
+    /// The translated trace of `bench` at `n` threads.
+    pub fn get(&mut self, bench: Bench, n: usize) -> &TraceSet {
+        let scale = self.scale;
+        self.traces.entry((bench.name(), n)).or_insert_with(|| {
+            translate(&bench.trace(n, scale), Default::default())
+                .expect("benchmark produced an untranslatable trace")
+        })
+    }
+}
+
+/// Extrapolates one benchmark at one processor count.
+pub fn predict(cache: &mut TraceCache, bench: Bench, n: usize, params: &SimParams) -> Prediction {
+    extrapolate(cache.get(bench, n), params).expect("extrapolation failed")
+}
+
+/// Execution-time series (milliseconds) across [`PROCS`].
+pub fn time_series(
+    cache: &mut TraceCache,
+    label: impl Into<String>,
+    bench: Bench,
+    params: &SimParams,
+) -> Series {
+    let mut s = Series::new(label);
+    for &n in &PROCS {
+        let pred = predict(cache, bench, n, params);
+        s.push(n, pred.exec_time().as_ms());
+    }
+    s
+}
+
+/// Speedup series (relative to the same parameter set at one processor).
+pub fn speedup_series(
+    cache: &mut TraceCache,
+    label: impl Into<String>,
+    bench: Bench,
+    params: &SimParams,
+) -> Series {
+    let base = predict(cache, bench, 1, params).exec_time();
+    let mut s = Series::new(label);
+    for &n in &PROCS {
+        let pred = predict(cache, bench, n, params);
+        s.push(n, pred.speedup_vs(base));
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------
+
+/// Table 1: the barrier model parameters with their defaults.
+pub fn table1() -> String {
+    let b = extrap_core::BarrierParams::default();
+    let mut out = String::from("## Table 1 — Barrier model parameters\n");
+    let rows = [
+        ("EntryTime", format!("{:.1} usec", b.entry.as_us()),
+         "Time for each thread to enter a barrier."),
+        ("ExitTime", format!("{:.1} usec", b.exit.as_us()),
+         "Time for each thread to come out of the barrier after it has been lowered."),
+        ("CheckTime", format!("{:.1} usec", b.check.as_us()),
+         "Delay incurred by the master thread every time it checks if all the threads have reached the barrier."),
+        ("ExitCheckTime", format!("{:.1} usec", b.exit_check.as_us()),
+         "Delay incurred by a slave thread every time it checks to see if the master has released the barrier."),
+        ("ModelTime", format!("{:.1} usec", b.model.as_us()),
+         "Time taken by the master thread to start lowering the barrier after all the slaves have reached the barrier."),
+        ("BarrierByMsgs", format!("{}", u8::from(b.by_msgs)),
+         "1 - use actual messages for barrier synchronization; 0 - do not."),
+        ("BarrierMsgSize", format!("{}", b.msg_size),
+         "Size of a message used for barrier synchronization."),
+    ];
+    for (name, value, desc) in rows {
+        out.push_str(&format!("{name:16} {value:>10}   {desc}\n"));
+    }
+    out
+}
+
+/// Table 2: the benchmark suite.
+pub fn table2() -> String {
+    let mut out = String::from("## Table 2 — pC++ benchmark codes\n");
+    for b in Bench::all() {
+        out.push_str(&format!("{:10} {}\n", b.name(), b.description()));
+    }
+    out
+}
+
+/// Table 3: the CM-5 parameter set.
+pub fn table3() -> String {
+    let p = machine::cm5();
+    let mut out = String::from("## Table 3 — Parameters used for matching CM-5 characteristics\n");
+    out.push_str(&format!(
+        "BarrierModelTime  {:>8.1} usec\n",
+        p.barrier.model.as_us()
+    ));
+    out.push_str(&format!(
+        "CommStartupTime   {:>8.1} usec\n",
+        p.comm.startup.as_us()
+    ));
+    out.push_str(&format!(
+        "ByteTransferTime  {:>8.3} usec ({:.1} Mbytes/second)\n",
+        p.comm.byte_transfer.as_us(),
+        extrap_time::us_per_byte_to_mbps(p.comm.byte_transfer.as_us())
+    ));
+    out.push_str(&format!("MipsRatio         {:>8.2}\n", p.mips_ratio));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------
+
+/// Figure 4: speedup curves for all benchmarks on the distributed-memory
+/// parameter set (20 MB/s links, high overheads).  Also returns the raw
+/// execution times.
+pub fn fig4(scale: Scale) -> (Vec<Series>, Vec<Series>) {
+    let mut cache = TraceCache::new(scale);
+    let params = machine::default_distributed();
+    let mut speedups = Vec::new();
+    let mut times = Vec::new();
+    for bench in Bench::all() {
+        speedups.push(speedup_series(&mut cache, bench.name(), bench, &params));
+        times.push(time_series(&mut cache, bench.name(), bench, &params));
+    }
+    (speedups, times)
+}
+
+/// Figure 5: Grid under different extrapolations — base, 200 MB/s
+/// bandwidth, ideal (zero-cost) environment, actual message sizes, and
+/// actual sizes with reduced start-up.  Returns (times, speedups).
+pub fn fig5(scale: Scale) -> (Vec<Series>, Vec<Series>) {
+    let mut cache = TraceCache::new(scale);
+    let base = machine::default_distributed();
+
+    let mut high_bw = base.clone();
+    high_bw.comm = high_bw.comm.with_bandwidth_mbps(200.0);
+
+    let mut actual = base.clone();
+    actual.size_mode = SizeMode::Actual;
+
+    let mut actual_low_startup = actual.clone();
+    actual_low_startup.comm = actual_low_startup.comm.with_startup_us(10.0);
+
+    let ideal = machine::ideal();
+
+    let variants: [(&str, &SimParams); 5] = [
+        ("base (declared size)", &base),
+        ("200 MB/s bandwidth", &high_bw),
+        ("actual msg size", &actual),
+        ("actual size + low startup", &actual_low_startup),
+        ("ideal (zero cost)", &ideal),
+    ];
+    let mut times = Vec::new();
+    let mut speedups = Vec::new();
+    for (label, params) in variants {
+        times.push(time_series(&mut cache, label, Bench::Grid, params));
+        speedups.push(speedup_series(&mut cache, label, Bench::Grid, params));
+    }
+    (times, speedups)
+}
+
+/// Figure 6's five panels: `(embar_times, cyclic_speedups,
+/// sort_speedups, mgrid_speedups, poisson_speedups)`.
+pub type Fig6Panels = (
+    Vec<Series>,
+    Vec<Series>,
+    Vec<Series>,
+    Vec<Series>,
+    Vec<Series>,
+);
+
+/// Figure 6: the effect of `MipsRatio` ∈ {2.0, 1.0, 0.5}.
+pub fn fig6(scale: Scale) -> Fig6Panels {
+    let mut cache = TraceCache::new(scale);
+    let ratios = [2.0, 1.0, 0.5];
+    let with_ratio = |r: f64| {
+        let mut p = machine::default_distributed();
+        p.mips_ratio = r;
+        p
+    };
+    let mut embar_times = Vec::new();
+    let mut cyclic = Vec::new();
+    let mut sort = Vec::new();
+    let mut mgrid = Vec::new();
+    let mut poisson = Vec::new();
+    for r in ratios {
+        let params = with_ratio(r);
+        let label = format!("MipsRatio={r}");
+        embar_times.push(time_series(&mut cache, label.clone(), Bench::Embar, &params));
+        cyclic.push(speedup_series(&mut cache, label.clone(), Bench::Cyclic, &params));
+        sort.push(speedup_series(&mut cache, label.clone(), Bench::Sort, &params));
+        mgrid.push(speedup_series(&mut cache, label.clone(), Bench::Mgrid, &params));
+        poisson.push(speedup_series(&mut cache, label, Bench::Poisson, &params));
+    }
+    (embar_times, cyclic, sort, mgrid, poisson)
+}
+
+/// Figure 7: Mgrid execution time for `MipsRatio` ∈ {1.0, 0.25} ×
+/// `CommStartupTime` ∈ {5, 100, 200} µs.
+pub fn fig7(scale: Scale) -> Vec<Series> {
+    let mut cache = TraceCache::new(scale);
+    let mut out = Vec::new();
+    for ratio in [1.0, 0.25] {
+        for startup in [5.0, 100.0, 200.0] {
+            let mut params = machine::default_distributed();
+            params.mips_ratio = ratio;
+            params.comm = params.comm.with_startup_us(startup);
+            let label = format!("ratio={ratio} startup={startup}us");
+            out.push(time_series(&mut cache, label, Bench::Mgrid, &params));
+        }
+    }
+    out
+}
+
+/// Figure 8: remote-data-request service policies on Cyclic and Grid
+/// with `CommStartupTime = 100 µs`.  Returns `(cyclic_times,
+/// grid_times)`.
+pub fn fig8(scale: Scale) -> (Vec<Series>, Vec<Series>) {
+    let mut cache = TraceCache::new(scale);
+    let policies: [(&str, ServicePolicy); 4] = [
+        ("no-interrupt/poll", ServicePolicy::NoInterrupt),
+        ("interrupt", ServicePolicy::Interrupt),
+        ("poll 100us", ServicePolicy::poll_us(100.0)),
+        ("poll 500us", ServicePolicy::poll_us(500.0)),
+    ];
+    let mut cyclic = Vec::new();
+    let mut grid = Vec::new();
+    for (label, policy) in policies {
+        let mut params = machine::default_distributed();
+        params.comm = params.comm.with_startup_us(100.0);
+        params.policy = policy;
+        cyclic.push(time_series(&mut cache, label, Bench::Cyclic, &params));
+        grid.push(time_series(&mut cache, label, Bench::Grid, &params));
+    }
+    (cyclic, grid)
+}
+
+/// Figure 9: Matmul with the nine distribution combinations —
+/// extrapolated (ExtraP, analytic model) vs "measured" (link-level
+/// reference machine), both on the Table 3 CM-5 parameters.  Returns
+/// `(predicted_times, measured_times)`.
+pub fn fig9(scale: Scale) -> (Vec<Series>, Vec<Series>) {
+    let n = match scale {
+        Scale::Tiny => 12,
+        Scale::Small => 32,
+        Scale::Paper => 48,
+    };
+    let params = machine::cm5();
+    let refmachine = extrap_refsim::RefMachine::new(params.clone());
+    let mut predicted = Vec::new();
+    let mut measured = Vec::new();
+    for dist in matmul::nine_distributions() {
+        let label = format!("({},{})", dist.0.letter(), dist.1.letter());
+        let mut pred_series = Series::new(label.clone());
+        let mut meas_series = Series::new(label);
+        for &procs in &PROCS {
+            let cfg = matmul::MatmulConfig { n, dist };
+            let (trace, _) = matmul::run(procs, &cfg);
+            let ts = translate(&trace, Default::default()).expect("matmul trace");
+            let pred = extrapolate(&ts, &params).expect("extrapolation failed");
+            let meas = refmachine.measure(&ts).expect("reference run failed");
+            pred_series.push(procs, pred.exec_time().as_ms());
+            meas_series.push(procs, meas.exec_time().as_ms());
+        }
+        predicted.push(pred_series);
+        measured.push(meas_series);
+    }
+    (predicted, measured)
+}
+
+/// Scalability analysis (speedup / efficiency / Karp–Flatt) of one
+/// benchmark on a machine preset, across [`PROCS`].
+pub fn scalability(bench: Bench, scale: Scale, params: &SimParams) -> extrap_core::Scalability {
+    let mut cache = TraceCache::new(scale);
+    let samples = PROCS
+        .iter()
+        .map(|&n| (n, predict(&mut cache, bench, n, params).exec_time()))
+        .collect();
+    extrap_core::Scalability::from_times(samples)
+}
+
+/// Extension report: barrier-algorithm ablation — every benchmark at 32
+/// processors under linear-with-messages, 4-ary tree, and hardware
+/// barriers (the §3.3.3 substitution study).
+pub fn ablation_barriers(scale: Scale) -> Vec<Series> {
+    let mut cache = TraceCache::new(scale);
+    let variants: [(&str, extrap_core::BarrierAlgorithm, bool); 3] = [
+        ("linear (messages)", extrap_core::BarrierAlgorithm::Linear, true),
+        ("tree arity 4", extrap_core::BarrierAlgorithm::Tree { arity: 4 }, false),
+        ("hardware 5us", extrap_core::BarrierAlgorithm::Hardware, false),
+    ];
+    let mut out = Vec::new();
+    for (label, algorithm, by_msgs) in variants {
+        let mut params = machine::default_distributed();
+        params.barrier.algorithm = algorithm;
+        params.barrier.by_msgs = by_msgs;
+        params.barrier.hardware_latency = extrap_time::DurationNs::from_us(5.0);
+        let mut series = Series::new(label);
+        for (i, bench) in Bench::all().into_iter().enumerate() {
+            // x-axis doubles as a benchmark index here.
+            let pred = predict(&mut cache, bench, 32, &params);
+            series.push(i + 1, pred.exec_time().as_ms());
+        }
+        out.push(series);
+    }
+    out
+}
+
+/// Extension report: analytic vs link-level contention on identical
+/// traces (the speed/accuracy trade-off of §3.3.2), per benchmark at 16
+/// processors on the CM-5 parameters.
+pub fn ablation_contention(scale: Scale) -> (Vec<(String, f64, f64)>, f64) {
+    let mut cache = TraceCache::new(scale);
+    let params = machine::cm5();
+    let reference = extrap_refsim::RefMachine::new(params.clone());
+    let mut rows = Vec::new();
+    let mut worst_ratio: f64 = 1.0;
+    for bench in Bench::all() {
+        let ts = cache.get(bench, 16).clone();
+        let analytic = extrapolate(&ts, &params).expect("extrapolation").exec_time();
+        let detailed = reference.measure(&ts).expect("reference run").exec_time();
+        let ratio = detailed.as_ns() as f64 / analytic.as_ns().max(1) as f64;
+        worst_ratio = worst_ratio.max(ratio);
+        rows.push((bench.name().to_string(), analytic.as_ms(), detailed.as_ms()));
+    }
+    (rows, worst_ratio)
+}
+
+/// Extension report (§6 future work): n-thread programs on m <= n
+/// processors, block placement.
+pub fn multithread_sweep(scale: Scale, bench: Bench) -> Vec<Series> {
+    let n_threads = 16usize;
+    let ts = translate(&bench.trace(n_threads, scale), Default::default())
+        .expect("trace translates");
+    let mut series = Series::new(format!("{} ({n_threads} threads)", bench.name()));
+    for m in [1usize, 2, 4, 8, 16] {
+        let mut params = machine::default_distributed();
+        params.multithread.mapping = extrap_core::ThreadMapping::Block { procs: m };
+        let pred = extrapolate(&ts, &params).expect("extrapolation");
+        series.push(m, pred.exec_time().as_ms());
+    }
+    vec![series]
+}
+
+/// For Fig. 9 analysis: at each processor count, does extrapolation pick
+/// the same best distribution as the reference machine?  Returns
+/// `(procs, predicted_best, measured_best, within)` where `within` is
+/// the relative gap of the predicted choice's *measured* time to the
+/// measured optimum.
+pub fn fig9_ranking(predicted: &[Series], measured: &[Series]) -> Vec<(usize, String, String, f64)> {
+    let mut out = Vec::new();
+    for &procs in &PROCS {
+        let best_pred = predicted
+            .iter()
+            .min_by(|a, b| {
+                a.at(procs)
+                    .unwrap()
+                    .partial_cmp(&b.at(procs).unwrap())
+                    .unwrap()
+            })
+            .unwrap();
+        let best_meas = measured
+            .iter()
+            .min_by(|a, b| {
+                a.at(procs)
+                    .unwrap()
+                    .partial_cmp(&b.at(procs).unwrap())
+                    .unwrap()
+            })
+            .unwrap();
+        // Measured time of the predicted choice vs the measured optimum.
+        let meas_of_pred = measured
+            .iter()
+            .find(|s| s.label == best_pred.label)
+            .unwrap()
+            .at(procs)
+            .unwrap();
+        let optimum = best_meas.at(procs).unwrap();
+        let within = (meas_of_pred - optimum) / optimum;
+        out.push((procs, best_pred.label.clone(), best_meas.label.clone(), within));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_cache_reuses_traces() {
+        let mut cache = TraceCache::new(Scale::Tiny);
+        let a = cache.get(Bench::Embar, 2).makespan();
+        let b = cache.get(Bench::Embar, 2).makespan();
+        assert_eq!(a, b);
+        assert_eq!(cache.traces.len(), 1);
+    }
+
+    #[test]
+    fn tables_render() {
+        assert!(table1().contains("EntryTime"));
+        assert!(table1().contains("10.0 usec"));
+        assert!(table2().contains("Bitonic sort module"));
+        assert!(table3().contains("MipsRatio"));
+        assert!(table3().contains("0.41"));
+    }
+
+    #[test]
+    fn embar_speedup_is_nearly_linear() {
+        let mut cache = TraceCache::new(Scale::Tiny);
+        let params = machine::default_distributed();
+        let s = speedup_series(&mut cache, "Embar", Bench::Embar, &params);
+        let s32 = s.at(32).unwrap();
+        assert!(s32 > 15.0, "Embar speedup at 32 procs: {s32}");
+        // Monotone growth.
+        for w in s.points.windows(2) {
+            assert!(w[1].1 >= w[0].1 * 0.95, "{:?}", s.points);
+        }
+    }
+
+    #[test]
+    fn grid_shows_no_gain_from_4_to_8() {
+        let mut cache = TraceCache::new(Scale::Tiny);
+        let params = machine::default_distributed();
+        let s = speedup_series(&mut cache, "Grid", Bench::Grid, &params);
+        let (s4, s8, s16) = (s.at(4).unwrap(), s.at(8).unwrap(), s.at(16).unwrap());
+        // The (BLOCK,BLOCK) idle-processor artifact: 8 procs uses the
+        // same 2x2 thread grid as 4 procs, so there is *no improvement*
+        // (the extra barrier traffic can even make it slightly worse);
+        // 16 procs (4x4 grid) recovers.
+        assert!(
+            s8 <= s4 * 1.02,
+            "no speedup gain expected from 4 to 8: {s4} vs {s8}"
+        );
+        assert!(s16 > s8, "16 procs should beat 8: {s8} vs {s16}");
+    }
+
+    #[test]
+    fn fig5_variant_ordering() {
+        let (times, _) = fig5(Scale::Tiny);
+        let at32 = |label: &str| {
+            times
+                .iter()
+                .find(|s| s.label.starts_with(label))
+                .unwrap()
+                .at(32)
+                .unwrap()
+        };
+        let base = at32("base");
+        let high_bw = at32("200 MB/s");
+        let actual = at32("actual msg size");
+        let ideal = at32("ideal");
+        assert!(high_bw < base, "more bandwidth helps: {high_bw} vs {base}");
+        assert!(actual < base, "actual sizes help: {actual} vs {base}");
+        assert!(ideal <= actual && ideal <= high_bw, "ideal is fastest");
+    }
+
+    #[test]
+    fn fig6_embar_times_scale_with_ratio() {
+        let (embar, _, _, _, _) = fig6(Scale::Tiny);
+        let t = |label: &str, p: usize| {
+            embar
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .at(p)
+                .unwrap()
+        };
+        // Pure compute: time scales proportionally to MipsRatio.
+        let slow = t("MipsRatio=2", 4);
+        let base = t("MipsRatio=1", 4);
+        let fast = t("MipsRatio=0.5", 4);
+        assert!((slow / base - 2.0).abs() < 0.1, "slow {slow} base {base}");
+        assert!((base / fast - 2.0).abs() < 0.2, "base {base} fast {fast}");
+    }
+
+    #[test]
+    fn fig7_series_cover_the_full_grid() {
+        let series = fig7(Scale::Tiny);
+        assert_eq!(series.len(), 6, "2 ratios x 3 startups");
+        for s in &series {
+            assert_eq!(s.points.len(), PROCS.len(), "{}", s.label);
+            assert!(s.points.iter().all(|p| p.1 > 0.0));
+        }
+        // Cheaper compute can only keep or lower the best processor
+        // count at matching startup.
+        let argmin = |label: &str| {
+            series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .argmin()
+                .unwrap()
+        };
+        assert!(argmin("ratio=0.25 startup=200us") <= argmin("ratio=1 startup=200us"));
+    }
+
+    #[test]
+    fn fig8_no_interrupt_is_never_the_best_policy() {
+        let (cyclic, grid) = fig8(Scale::Tiny);
+        for group in [&cyclic, &grid] {
+            assert_eq!(group.len(), 4);
+            let noint = group.iter().find(|s| s.label.contains("no-interrupt")).unwrap();
+            let interrupt = group.iter().find(|s| s.label == "interrupt").unwrap();
+            for &p in &PROCS {
+                assert!(
+                    noint.at(p).unwrap() >= interrupt.at(p).unwrap() * 0.999,
+                    "P={p}: {} vs {}",
+                    noint.at(p).unwrap(),
+                    interrupt.at(p).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalability_analysis_is_consistent_with_the_series() {
+        let params = machine::default_distributed();
+        let analysis = scalability(Bench::Embar, Scale::Tiny, &params);
+        assert_eq!(analysis.points.len(), PROCS.len());
+        // Embar at tiny scale still gets decent efficiency at 8 procs.
+        assert!(analysis.max_procs_at_efficiency(0.8).unwrap() >= 8);
+        assert!(analysis.mean_serial_fraction().unwrap() < 0.1);
+    }
+
+    #[test]
+    fn fig9_predictions_rank_distributions() {
+        let (pred, meas) = fig9(Scale::Tiny);
+        assert_eq!(pred.len(), 9);
+        assert_eq!(meas.len(), 9);
+        let ranking = fig9_ranking(&pred, &meas);
+        // The predicted best choice must be within 25% of the measured
+        // optimum at every processor count (paper: within 3% at 32).
+        for (procs, p, m, within) in &ranking {
+            assert!(
+                *within < 0.25,
+                "P={procs}: predicted {p}, measured {m}, within {within}"
+            );
+        }
+    }
+}

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! # extrap-exp — the experiment harness
+//!
+//! One function per table/figure of the paper; the `extrap-exp` binary
+//! prints the same rows/series the paper reports and writes CSV files.
+//! See EXPERIMENTS.md at the repository root for the paper-vs-measured
+//! comparison these functions feed.
+
+pub mod experiments;
+pub mod series;
+
+pub use experiments::{fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3, PROCS};
+pub use series::{render_csv, render_table, Series};

@@ -1,0 +1,237 @@
+//! `extrap-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! extrap-exp [--scale tiny|small|paper] [--out DIR] [table1|table2|table3|fig4|...|fig9|all]
+//! ```
+
+use extrap_exp::experiments::{self, fig9_ranking};
+use extrap_exp::series::{render_csv, render_table, Series};
+use extrap_workloads::Scale;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?} (tiny|small|paper)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                })));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: extrap-exp [--scale tiny|small|paper] [--out DIR] \
+                     [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|all]..."
+                );
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let want = |name: &str| all || targets.iter().any(|t| t == name);
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    if want("table1") {
+        println!("{}", experiments::table1());
+    }
+    if want("table2") {
+        println!("{}", experiments::table2());
+    }
+    if want("table3") {
+        println!("{}", experiments::table3());
+    }
+    if want("fig4") {
+        let (speedups, times) = experiments::fig4(scale);
+        println!(
+            "{}",
+            render_table("Figure 4 — speedup, all benchmarks (distributed memory)", "x", &speedups)
+        );
+        println!(
+            "{}",
+            render_table("Figure 4 — execution time, all benchmarks", "ms", &times)
+        );
+        dump(&out_dir, "fig4_speedup", &speedups);
+        dump(&out_dir, "fig4_time", &times);
+    }
+    if want("fig5") {
+        let (times, speedups) = experiments::fig5(scale);
+        println!(
+            "{}",
+            render_table("Figure 5 — Grid, comparison of different extrapolations", "ms", &times)
+        );
+        println!("{}", render_table("Figure 5 — Grid speedups", "x", &speedups));
+        dump(&out_dir, "fig5_time", &times);
+        dump(&out_dir, "fig5_speedup", &speedups);
+    }
+    if want("fig6") {
+        let (embar, cyclic, sort, mgrid, poisson) = experiments::fig6(scale);
+        println!(
+            "{}",
+            render_table("Figure 6(i) — Embar execution time vs MipsRatio", "ms", &embar)
+        );
+        println!(
+            "{}",
+            render_table("Figure 6(ii) — Cyclic speedup vs MipsRatio", "x", &cyclic)
+        );
+        println!(
+            "{}",
+            render_table("Figure 6(iii) — Sort speedup vs MipsRatio", "x", &sort)
+        );
+        println!(
+            "{}",
+            render_table("Figure 6(iv) — Mgrid speedup vs MipsRatio", "x", &mgrid)
+        );
+        println!(
+            "{}",
+            render_table("Figure 6(+) — Poisson speedup vs MipsRatio", "x", &poisson)
+        );
+        dump(&out_dir, "fig6_embar_time", &embar);
+        dump(&out_dir, "fig6_cyclic_speedup", &cyclic);
+        dump(&out_dir, "fig6_sort_speedup", &sort);
+        dump(&out_dir, "fig6_mgrid_speedup", &mgrid);
+        dump(&out_dir, "fig6_poisson_speedup", &poisson);
+    }
+    if want("fig7") {
+        let series = experiments::fig7(scale);
+        println!(
+            "{}",
+            render_table(
+                "Figure 7 — Mgrid time: MipsRatio x CommStartupTime",
+                "ms",
+                &series
+            )
+        );
+        for s in &series {
+            println!(
+                "  minimum execution time for {:28} at P={}",
+                s.label,
+                s.argmin().unwrap()
+            );
+        }
+        println!();
+        dump(&out_dir, "fig7_mgrid_time", &series);
+    }
+    if want("fig8") {
+        let (cyclic, grid) = experiments::fig8(scale);
+        println!(
+            "{}",
+            render_table("Figure 8 — Cyclic, remote-request service policies", "ms", &cyclic)
+        );
+        println!(
+            "{}",
+            render_table("Figure 8 — Grid, remote-request service policies", "ms", &grid)
+        );
+        dump(&out_dir, "fig8_cyclic", &cyclic);
+        dump(&out_dir, "fig8_grid", &grid);
+    }
+    if targets.iter().any(|t| t == "scalability") {
+        use extrap_workloads::Bench;
+        let params = extrap_core::machine::default_distributed();
+        for bench in Bench::all() {
+            let analysis = experiments::scalability(bench, scale, &params);
+            println!("## Scalability — {} (distributed memory)", bench.name());
+            print!("{}", analysis.render());
+            println!(
+                "  best P = {}; efficiency >= 50% up to P = {}; saturates: {}\n",
+                analysis.best_procs(),
+                analysis
+                    .max_procs_at_efficiency(0.5)
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                analysis.saturates()
+            );
+        }
+    }
+    if targets.iter().any(|t| t == "ablations") {
+        let barriers = experiments::ablation_barriers(scale);
+        println!(
+            "{}",
+            render_table(
+                "Ablation — barrier algorithms, all benchmarks at P=32 \
+                 (columns = Table 2 order)",
+                "ms",
+                &barriers
+            )
+        );
+        dump(&out_dir, "ablation_barriers", &barriers);
+        let (rows, worst) = experiments::ablation_contention(scale);
+        println!("## Ablation — analytic vs link-level contention (P=16, CM-5)");
+        println!("{:10} {:>14} {:>14} {:>8}", "benchmark", "analytic [ms]", "link [ms]", "ratio");
+        for (name, a, d) in &rows {
+            println!("{name:10} {a:>14.3} {d:>14.3} {:>8.2}", d / a);
+        }
+        println!("  worst link/analytic ratio: {worst:.2}\n");
+    }
+    if targets.iter().any(|t| t == "multithread") {
+        use extrap_workloads::Bench;
+        for bench in [Bench::Cyclic, Bench::Grid, Bench::Embar] {
+            let series = experiments::multithread_sweep(scale, bench);
+            println!(
+                "{}",
+                render_table(
+                    &format!("Multithreaded extrapolation — {} on m processors", bench.name()),
+                    "ms",
+                    &series
+                )
+            );
+        }
+    }
+    if want("fig9") {
+        let (pred, meas) = experiments::fig9(scale);
+        println!(
+            "{}",
+            render_table("Figure 9 — Matmul predicted times (ExtraP, CM-5 params)", "ms", &pred)
+        );
+        println!(
+            "{}",
+            render_table(
+                "Figure 9 — Matmul measured times (link-level reference machine)",
+                "ms",
+                &meas
+            )
+        );
+        println!("## Figure 9 — best-distribution agreement");
+        for (procs, p, m, within) in fig9_ranking(&pred, &meas) {
+            println!(
+                "  P={procs:2}: predicted best {p}, measured best {m} \
+                 (predicted choice within {:.1}% of optimum)",
+                within * 100.0
+            );
+        }
+        println!();
+        dump(&out_dir, "fig9_predicted", &pred);
+        dump(&out_dir, "fig9_measured", &meas);
+    }
+}
+
+fn dump(out_dir: &Option<PathBuf>, name: &str, series: &[Series]) {
+    if let Some(dir) = out_dir {
+        let path: &Path = dir.as_ref();
+        std::fs::write(path.join(format!("{name}.csv")), render_csv(series))
+            .expect("write CSV file");
+    }
+}

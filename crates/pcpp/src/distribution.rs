@@ -1,0 +1,324 @@
+//! HPF-style data distributions (§3.1): per-dimension `Block`, `Cyclic`,
+//! and `Whole` attributes over a 2-D (or degenerate 1-D) collection
+//! shape, mapped onto a grid of threads.
+//!
+//! The (BLOCK, BLOCK) mapping reproduces the pC++ behaviour the paper
+//! highlights in §4.1: a `P×P` grid on `N` threads uses an `s×s` thread
+//! grid with `s = ⌊√N⌋`, so when `N` is not a perfect square, `N − s²`
+//! threads own **no elements at all** — the reason Grid/Mgrid show no
+//! speedup from 4 to 8 processors.
+
+use extrap_time::ThreadId;
+
+/// A 2-D element index `(row, col)`.  1-D collections use `(i, 0)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Index2(pub usize, pub usize);
+
+/// Per-dimension distribution attribute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dist1 {
+    /// Contiguous blocks of `ceil(extent / threads)` indices per thread.
+    Block,
+    /// Round-robin assignment of indices to threads.
+    Cyclic,
+    /// The dimension is not distributed (every index maps to thread
+    /// coordinate 0).
+    Whole,
+}
+
+impl Dist1 {
+    /// Thread coordinate owning index `i` of a dimension of `extent`
+    /// split over `t` thread coordinates.
+    fn coord_of(&self, i: usize, extent: usize, t: usize) -> usize {
+        debug_assert!(i < extent);
+        match self {
+            Dist1::Block => {
+                let per = extent.div_ceil(t.max(1));
+                (i / per).min(t - 1)
+            }
+            Dist1::Cyclic => i % t.max(1),
+            Dist1::Whole => 0,
+        }
+    }
+
+    /// Short name for display (`B`, `C`, `W`).
+    pub fn letter(&self) -> char {
+        match self {
+            Dist1::Block => 'B',
+            Dist1::Cyclic => 'C',
+            Dist1::Whole => 'W',
+        }
+    }
+}
+
+/// A complete distribution: collection shape, per-dimension attributes,
+/// and the thread grid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Distribution {
+    /// Collection shape `(rows, cols)`.
+    pub shape: (usize, usize),
+    /// Distribution attributes `(rows, cols)`.
+    pub dist: (Dist1, Dist1),
+    /// Thread grid `(rows, cols)`; `tgrid.0 * tgrid.1 <= n_threads`.
+    pub tgrid: (usize, usize),
+    /// Total threads in the program (≥ grid size; extras own nothing).
+    pub n_threads: usize,
+}
+
+impl Distribution {
+    /// Builds a distribution, choosing the pC++ thread grid for the
+    /// attribute combination:
+    ///
+    /// * both dims distributed → `⌊√n⌋ × ⌊√n⌋`,
+    /// * only rows distributed → `n × 1`,
+    /// * only cols distributed → `1 × n`,
+    /// * nothing distributed → `1 × 1`.
+    pub fn new(shape: (usize, usize), dist: (Dist1, Dist1), n_threads: usize) -> Distribution {
+        assert!(shape.0 > 0 && shape.1 > 0, "empty collection shape");
+        assert!(n_threads > 0, "need at least one thread");
+        let tgrid = match (dist.0, dist.1) {
+            (Dist1::Whole, Dist1::Whole) => (1, 1),
+            (_, Dist1::Whole) => (n_threads, 1),
+            (Dist1::Whole, _) => (1, n_threads),
+            (_, _) => {
+                let s = isqrt(n_threads);
+                (s, s)
+            }
+        };
+        Distribution {
+            shape,
+            dist,
+            tgrid,
+            n_threads,
+        }
+    }
+
+    /// Builds a distribution with an explicit thread grid (for scratch
+    /// collections that must align with another collection's grid, e.g.
+    /// per-thread-column reduction buffers).
+    ///
+    /// # Panics
+    /// Panics if the grid needs more threads than the program has.
+    pub fn with_tgrid(
+        shape: (usize, usize),
+        dist: (Dist1, Dist1),
+        tgrid: (usize, usize),
+        n_threads: usize,
+    ) -> Distribution {
+        assert!(shape.0 > 0 && shape.1 > 0, "empty collection shape");
+        assert!(
+            tgrid.0 * tgrid.1 <= n_threads,
+            "thread grid {tgrid:?} exceeds {n_threads} threads"
+        );
+        Distribution {
+            shape,
+            dist,
+            tgrid,
+            n_threads,
+        }
+    }
+
+    /// A 1-D block distribution of `n_elems` elements.
+    pub fn block_1d(n_elems: usize, n_threads: usize) -> Distribution {
+        Distribution::new((n_elems, 1), (Dist1::Block, Dist1::Whole), n_threads)
+    }
+
+    /// A 1-D cyclic distribution of `n_elems` elements.
+    pub fn cyclic_1d(n_elems: usize, n_threads: usize) -> Distribution {
+        Distribution::new((n_elems, 1), (Dist1::Cyclic, Dist1::Whole), n_threads)
+    }
+
+    /// The paper's (BLOCK, BLOCK) 2-D grid distribution.
+    pub fn block_block(rows: usize, cols: usize, n_threads: usize) -> Distribution {
+        Distribution::new((rows, cols), (Dist1::Block, Dist1::Block), n_threads)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.shape.0 * self.shape.1
+    }
+
+    /// True when the collection has no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flattened (row-major) element id for an index.
+    pub fn flat(&self, idx: Index2) -> usize {
+        debug_assert!(idx.0 < self.shape.0 && idx.1 < self.shape.1);
+        idx.0 * self.shape.1 + idx.1
+    }
+
+    /// The owning thread of an element.
+    pub fn owner(&self, idx: Index2) -> ThreadId {
+        let tr = self.dist.0.coord_of(idx.0, self.shape.0, self.tgrid.0);
+        let tc = self.dist.1.coord_of(idx.1, self.shape.1, self.tgrid.1);
+        ThreadId::from_index(tr * self.tgrid.1 + tc)
+    }
+
+    /// Iterates over the indices owned by `thread`, in row-major order.
+    pub fn local_indices(&self, thread: ThreadId) -> impl Iterator<Item = Index2> + '_ {
+        let shape = self.shape;
+        (0..shape.0).flat_map(move |r| {
+            (0..shape.1)
+                .map(move |c| Index2(r, c))
+                .filter(move |&i| self.owner(i) == thread)
+        })
+    }
+
+    /// Number of elements owned by `thread`.
+    pub fn local_count(&self, thread: ThreadId) -> usize {
+        self.local_indices(thread).count()
+    }
+
+    /// Threads that own at least one element.
+    pub fn busy_threads(&self) -> usize {
+        (0..self.n_threads)
+            .filter(|&t| self.local_count(ThreadId::from_index(t)) > 0)
+            .count()
+    }
+
+    /// Display label like `(B,B)` used by the Matmul experiment.
+    pub fn label(&self) -> String {
+        format!("({},{})", self.dist.0.letter(), self.dist.1.letter())
+    }
+}
+
+/// Integer square root (floor).
+pub fn isqrt(n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut s = (n as f64).sqrt() as usize;
+    while (s + 1) * (s + 1) <= n {
+        s += 1;
+    }
+    while s * s > n {
+        s -= 1;
+    }
+    s.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_values() {
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(8), 2);
+        assert_eq!(isqrt(9), 3);
+        assert_eq!(isqrt(16), 4);
+        assert_eq!(isqrt(32), 5);
+        assert_eq!(isqrt(36), 6);
+    }
+
+    #[test]
+    fn block_1d_partitions_contiguously() {
+        let d = Distribution::block_1d(8, 4);
+        let owners: Vec<u32> = (0..8).map(|i| d.owner(Index2(i, 0)).0).collect();
+        assert_eq!(owners, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn cyclic_1d_round_robins() {
+        let d = Distribution::cyclic_1d(8, 3);
+        let owners: Vec<u32> = (0..8).map(|i| d.owner(Index2(i, 0)).0).collect();
+        assert_eq!(owners, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn ownership_is_a_partition() {
+        // Every element is owned by exactly one thread, for every
+        // distribution kind.
+        for dist in [
+            (Dist1::Block, Dist1::Block),
+            (Dist1::Block, Dist1::Cyclic),
+            (Dist1::Cyclic, Dist1::Block),
+            (Dist1::Cyclic, Dist1::Cyclic),
+            (Dist1::Whole, Dist1::Block),
+            (Dist1::Block, Dist1::Whole),
+            (Dist1::Whole, Dist1::Whole),
+        ] {
+            for n in [1, 2, 4, 7, 8, 16] {
+                let d = Distribution::new((6, 6), dist, n);
+                let total: usize = (0..n)
+                    .map(|t| d.local_count(ThreadId::from_index(t)))
+                    .sum();
+                assert_eq!(total, 36, "dist {dist:?} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_block_idles_threads_when_not_square() {
+        // The §4.1 artifact: with 8 threads the thread grid is 2x2, so
+        // only 4 threads own elements.
+        let d8 = Distribution::block_block(16, 16, 8);
+        assert_eq!(d8.tgrid, (2, 2));
+        assert_eq!(d8.busy_threads(), 4);
+        // With 4 threads everyone works; the per-thread share is the same
+        // as with 8 -> no speedup from 4 to 8.
+        let d4 = Distribution::block_block(16, 16, 4);
+        assert_eq!(
+            d4.local_count(ThreadId(0)),
+            d8.local_count(ThreadId(0))
+        );
+        // 16 threads: 4x4 grid, all busy.
+        let d16 = Distribution::block_block(16, 16, 16);
+        assert_eq!(d16.busy_threads(), 16);
+        // 32 threads: 5x5 grid, 25 busy.
+        let d32 = Distribution::block_block(20, 20, 32);
+        assert_eq!(d32.busy_threads(), 25);
+    }
+
+    #[test]
+    fn whole_dimension_collapses_thread_grid() {
+        let d = Distribution::new((8, 8), (Dist1::Block, Dist1::Whole), 4);
+        assert_eq!(d.tgrid, (4, 1));
+        // Rows 0..1 on thread 0, etc.
+        assert_eq!(d.owner(Index2(0, 5)), ThreadId(0));
+        assert_eq!(d.owner(Index2(7, 0)), ThreadId(3));
+
+        let d = Distribution::new((8, 8), (Dist1::Whole, Dist1::Cyclic), 4);
+        assert_eq!(d.tgrid, (1, 4));
+        assert_eq!(d.owner(Index2(3, 5)), ThreadId(1));
+    }
+
+    #[test]
+    fn whole_whole_is_thread_zero_only() {
+        let d = Distribution::new((4, 4), (Dist1::Whole, Dist1::Whole), 8);
+        assert_eq!(d.busy_threads(), 1);
+        assert_eq!(d.local_count(ThreadId(0)), 16);
+    }
+
+    #[test]
+    fn local_indices_match_owner() {
+        let d = Distribution::block_block(10, 10, 9);
+        for t in 0..9 {
+            let t = ThreadId::from_index(t);
+            for idx in d.local_indices(t) {
+                assert_eq!(d.owner(idx), t);
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Distribution::block_block(4, 4, 4).label(), "(B,B)");
+        assert_eq!(
+            Distribution::new((4, 4), (Dist1::Cyclic, Dist1::Whole), 4).label(),
+            "(C,W)"
+        );
+    }
+
+    #[test]
+    fn flat_is_row_major() {
+        let d = Distribution::block_block(4, 5, 4);
+        assert_eq!(d.flat(Index2(0, 0)), 0);
+        assert_eq!(d.flat(Index2(1, 0)), 5);
+        assert_eq!(d.flat(Index2(3, 4)), 19);
+    }
+}

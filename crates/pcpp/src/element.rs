@@ -1,0 +1,55 @@
+//! The `Element` trait: what can live in a distributed collection.
+//!
+//! `size_bytes` is the *declared* element size — what the pC++ compiler
+//! would report as the transfer size of a remote access to the whole
+//! element (the measurement abstraction behind the §4.1 Grid anomaly).
+
+/// A collection element.
+pub trait Element: Send + Sync + 'static {
+    /// Declared (whole-element) size in bytes, as the compiler's
+    /// high-level information would report it.
+    fn size_bytes(&self) -> u32;
+}
+
+macro_rules! scalar_element {
+    ($($t:ty),*) => {
+        $(impl Element for $t {
+            fn size_bytes(&self) -> u32 {
+                std::mem::size_of::<$t>() as u32
+            }
+        })*
+    };
+}
+
+scalar_element!(f32, f64, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: Element + Copy, const N: usize> Element for [T; N] {
+    fn size_bytes(&self) -> u32 {
+        (std::mem::size_of::<T>() * N) as u32
+    }
+}
+
+impl<T: Send + Sync + 'static> Element for Vec<T> {
+    fn size_bytes(&self) -> u32 {
+        (std::mem::size_of::<T>() * self.len()) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(1.0f64.size_bytes(), 8);
+        assert_eq!(1.0f32.size_bytes(), 4);
+        assert_eq!(7u32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn array_and_vec_sizes() {
+        assert_eq!([0f64; 16].size_bytes(), 128);
+        assert_eq!(vec![0u8; 231_456].size_bytes(), 231_456);
+        assert_eq!(vec![0f64; 4].size_bytes(), 32);
+    }
+}

@@ -1,0 +1,266 @@
+//! The link-level network: per-channel occupancy with store-and-forward
+//! transfers and packetization.
+
+use crate::route::{route, Link};
+use extrap_core::network::{NetworkStats, state::NetModel};
+use extrap_core::{NetworkParams, Topology};
+use extrap_time::{DurationNs, ProcId, TimeNs};
+use std::collections::BTreeMap;
+
+/// Link-level model parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkParams {
+    /// Payload bytes per packet; each packet adds `packet_header_bytes`.
+    pub packet_bytes: u32,
+    /// Header bytes added per packet.
+    pub packet_header_bytes: u32,
+    /// Parallel channels multiplier per fat-tree level above the leaves
+    /// (a fat tree's capacity growth; the CM-5 data network roughly
+    /// doubles per level).
+    pub fat_channel_growth: u32,
+    /// Channels on every non-tree link.
+    pub base_channels: u32,
+}
+
+impl Default for LinkParams {
+    fn default() -> LinkParams {
+        LinkParams {
+            packet_bytes: 20, // CM-5 data-network packets carry 20 bytes
+            packet_header_bytes: 4,
+            fat_channel_growth: 2,
+            base_channels: 1,
+        }
+    }
+}
+
+/// The link-occupancy network model.
+///
+/// Each link owns a set of channels with `free_at` times; a message
+/// reserves, hop by hop, the earliest-free channel: it starts crossing a
+/// link no earlier than it arrived at the switch and no earlier than the
+/// channel frees up (store-and-forward).  The returned arrival time thus
+/// reflects *direct* queuing contention rather than an analytic factor.
+#[derive(Clone, Debug)]
+pub struct LinkNetwork {
+    topology: Topology,
+    n_procs: usize,
+    hop: DurationNs,
+    byte_transfer: DurationNs,
+    link_params: LinkParams,
+    channels: BTreeMap<Link, Vec<TimeNs>>,
+    stats: NetworkStats,
+    in_flight: usize,
+    /// Total time messages spent queued behind busy links.
+    pub total_link_wait: DurationNs,
+}
+
+impl LinkNetwork {
+    /// Builds the network for `n_procs` processors.
+    pub fn new(
+        n_procs: usize,
+        network: NetworkParams,
+        byte_transfer: DurationNs,
+        link_params: LinkParams,
+    ) -> LinkNetwork {
+        LinkNetwork {
+            topology: network.topology,
+            n_procs,
+            hop: network.hop,
+            byte_transfer,
+            link_params,
+            channels: BTreeMap::new(),
+            stats: NetworkStats::default(),
+            in_flight: 0,
+            total_link_wait: DurationNs::ZERO,
+        }
+    }
+
+    fn channel_count(&self, link: &Link) -> usize {
+        let level = link.tree_level();
+        if level > 1 {
+            (self.link_params.base_channels
+                * self.link_params.fat_channel_growth.pow(u32::from(level) - 1))
+                as usize
+        } else {
+            self.link_params.base_channels.max(1) as usize
+        }
+    }
+
+    /// Wire bytes after packetization.
+    fn wire_bytes(&self, payload: u32) -> u64 {
+        let pb = self.link_params.packet_bytes.max(1);
+        let packets = payload.div_ceil(pb).max(1);
+        u64::from(payload) + u64::from(packets) * u64::from(self.link_params.packet_header_bytes)
+    }
+
+    /// Accumulated link-wait time (contention observed directly).
+    pub fn link_wait(&self) -> DurationNs {
+        self.total_link_wait
+    }
+}
+
+impl NetModel for LinkNetwork {
+    fn inject(&mut self, now: TimeNs, src: ProcId, dst: ProcId, bytes: u32) -> TimeNs {
+        self.stats.messages += 1;
+        self.stats.bytes += u64::from(bytes);
+        if src == dst {
+            self.stats.factor_sum += 1.0;
+            return now;
+        }
+        let path = route(self.topology, self.n_procs, src, dst);
+        let tx = self.hop + self.byte_transfer * self.wire_bytes(bytes);
+        let mut t = now;
+        let mut waited = DurationNs::ZERO;
+        for link in path {
+            let n_ch = self.channel_count(&link);
+            let slots = self
+                .channels
+                .entry(link)
+                .or_insert_with(|| vec![TimeNs::ZERO; n_ch]);
+            // Earliest-free channel.
+            let (best, _) = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &free)| free)
+                .expect("links have at least one channel");
+            let start = t.max(slots[best]);
+            waited += start.since(t);
+            let end = start + tx;
+            slots[best] = end;
+            t = end;
+        }
+        self.total_link_wait += waited;
+        // Report the effective slowdown as a factor for comparability
+        // with the analytic model's statistics.
+        let unloaded = self.hop.as_ns().max(1) + tx.as_ns();
+        let actual = t.since(now).as_ns();
+        self.stats.factor_sum += actual as f64 / unloaded.max(1) as f64;
+        self.in_flight += 1;
+        self.stats.max_in_flight = self.stats.max_in_flight.max(self.in_flight);
+        t
+    }
+
+    fn complete(&mut self, _src: ProcId, _dst: ProcId) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extrap_core::ContentionParams;
+
+    fn net(topology: Topology, n: usize) -> LinkNetwork {
+        LinkNetwork::new(
+            n,
+            NetworkParams {
+                topology,
+                hop: DurationNs(100),
+                contention: ContentionParams::default(),
+            },
+            DurationNs(10),
+            LinkParams {
+                packet_bytes: 16,
+                packet_header_bytes: 0,
+                fat_channel_growth: 2,
+                base_channels: 1,
+            },
+        )
+    }
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn unloaded_transfer_is_per_hop_serialized() {
+        let mut n = net(Topology::Crossbar, 4);
+        // Route: port + ingress = 2 links; each costs hop(100) + 32B*10.
+        let arrival = n.inject(TimeNs(0), p(0), p(1), 32);
+        assert_eq!(arrival, TimeNs(2 * (100 + 320)));
+        assert_eq!(n.link_wait(), DurationNs::ZERO);
+    }
+
+    #[test]
+    fn contention_queues_behind_busy_links() {
+        let mut n = net(Topology::Bus, 4);
+        let a1 = n.inject(TimeNs(0), p(0), p(1), 16);
+        // Second message to a different destination still shares the bus.
+        let a2 = n.inject(TimeNs(0), p(2), p(3), 16);
+        assert!(a2 > a1 - DurationNs(1), "bus serializes messages");
+        assert!(n.link_wait() > DurationNs::ZERO);
+    }
+
+    #[test]
+    fn ingress_port_serializes_fan_in() {
+        let mut n = net(Topology::Crossbar, 8);
+        // Many senders to one destination: ingress forces queuing even
+        // though crossbar ports differ... same dst port is shared too.
+        let mut last = TimeNs::ZERO;
+        for s in 1..5 {
+            let a = n.inject(TimeNs(0), p(s), p(0), 16);
+            assert!(a > last, "each arrival lands after the previous");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn fat_tree_upper_links_are_wider() {
+        let mut n = net(Topology::FatTree { arity: 2 }, 8);
+        // Two simultaneous messages crossing the root level in disjoint
+        // subtrees but sharing no physical channel: both should be
+        // unaffected by each other.
+        let a1 = n.inject(TimeNs(0), p(0), p(4), 16);
+        let a2 = n.inject(TimeNs(0), p(1), p(5), 16);
+        // They share the level-3 (root) links only if channels run out;
+        // growth 2 gives the root 4 channels, so no queuing there.
+        // p0 and p1 share the level-1 switch uplink though: some wait is
+        // expected but bounded by one transfer.
+        let tx = DurationNs(100 + 160);
+        assert!(a2 <= a1 + tx + tx, "a1 {a1} a2 {a2}");
+    }
+
+    #[test]
+    fn packetization_adds_header_bytes() {
+        let mut n = LinkNetwork::new(
+            4,
+            NetworkParams {
+                topology: Topology::Crossbar,
+                hop: DurationNs::ZERO,
+                contention: ContentionParams::default(),
+            },
+            DurationNs(1),
+            LinkParams {
+                packet_bytes: 10,
+                packet_header_bytes: 5,
+                fat_channel_growth: 2,
+                base_channels: 1,
+            },
+        );
+        // 25 payload bytes -> 3 packets -> 25 + 15 = 40 wire bytes per
+        // link, 2 links.
+        let arrival = n.inject(TimeNs(0), p(0), p(1), 25);
+        assert_eq!(arrival, TimeNs(80));
+    }
+
+    #[test]
+    fn local_messages_bypass_links() {
+        let mut n = net(Topology::Bus, 4);
+        assert_eq!(n.inject(TimeNs(7), p(2), p(2), 1_000), TimeNs(7));
+    }
+
+    #[test]
+    fn stats_track_messages() {
+        let mut n = net(Topology::Crossbar, 4);
+        n.inject(TimeNs(0), p(0), p(1), 16);
+        n.inject(TimeNs(0), p(1), p(2), 16);
+        assert_eq!(NetModel::stats(&n).messages, 2);
+        assert_eq!(NetModel::stats(&n).bytes, 32);
+        n.complete(p(0), p(1));
+        n.complete(p(1), p(2));
+    }
+}

@@ -1,0 +1,151 @@
+//! The reference machine: the trace-driven engine with the link-level
+//! network substituted.
+
+use crate::link::{LinkNetwork, LinkParams};
+use extrap_core::{ExtrapError, Prediction, SimParams};
+use extrap_trace::TraceSet;
+
+/// A target machine simulated at link level — the "measured" side of the
+/// validation experiments.
+#[derive(Clone, Debug)]
+pub struct RefMachine {
+    /// The machine's model parameters (same structure as extrapolation
+    /// parameters, so an identical machine description drives both
+    /// simulators).
+    pub params: SimParams,
+    /// Link-level detail parameters.
+    pub link: LinkParams,
+}
+
+impl RefMachine {
+    /// Builds a reference machine from extrapolation parameters with
+    /// default link detail.
+    pub fn new(params: SimParams) -> RefMachine {
+        RefMachine {
+            params,
+            link: LinkParams::default(),
+        }
+    }
+
+    /// Overrides the link detail parameters.
+    pub fn with_link(mut self, link: LinkParams) -> RefMachine {
+        self.link = link;
+        self
+    }
+
+    /// "Measures" the program on this machine (runs the detailed
+    /// simulation over the translated traces).
+    pub fn measure(&self, traces: &TraceSet) -> Result<Prediction, ExtrapError> {
+        let n_procs = self
+            .params
+            .multithread
+            .mapping
+            .n_procs(traces.n_threads().max(1));
+        let net = LinkNetwork::new(
+            n_procs,
+            self.params.network,
+            self.params.comm.byte_transfer,
+            self.link,
+        );
+        extrap_core::run_with_network(traces, &self.params, net)
+    }
+}
+
+/// Convenience: measure `traces` on a machine described by `params` with
+/// default link detail.
+pub fn measure(traces: &TraceSet, params: &SimParams) -> Result<Prediction, ExtrapError> {
+    RefMachine::new(params.clone()).measure(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extrap_core::{extrapolate, machine};
+    use extrap_time::{DurationNs, ElementId, ThreadId};
+    use extrap_trace::{PhaseAccess, PhaseProgram, PhaseWork};
+
+    fn ring(n: usize, phases: usize, us: f64, bytes: u32) -> TraceSet {
+        let mut p = PhaseProgram::new(n);
+        for _ in 0..phases {
+            let work = (0..n)
+                .map(|t| PhaseWork {
+                    compute: DurationNs::from_us(us),
+                    accesses: vec![PhaseAccess {
+                        after: DurationNs::from_us(us / 2.0),
+                        owner: ThreadId::from_index((t + 1) % n),
+                        element: ElementId::from_index(t),
+                        declared_bytes: bytes,
+                        actual_bytes: bytes,
+                        write: false,
+                    }],
+                })
+                .collect();
+            p.push_phase(work);
+        }
+        extrap_trace::translate(&p.record(), Default::default()).unwrap()
+    }
+
+    #[test]
+    fn reference_measurement_completes_and_is_deterministic() {
+        let ts = ring(8, 3, 50.0, 4_096);
+        let m = RefMachine::new(machine::cm5());
+        let a = m.measure(&ts).unwrap();
+        let b = m.measure(&ts).unwrap();
+        assert_eq!(a.exec_time(), b.exec_time());
+        assert!(a.exec_time().as_ns() > 0);
+        a.predicted.validate().unwrap();
+    }
+
+    #[test]
+    fn link_level_and_analytic_agree_on_order_of_magnitude() {
+        // The two simulators model the same machine; on a lightly loaded
+        // pattern their predictions should be close (within 2x), since
+        // contention is mild.
+        let ts = ring(4, 3, 200.0, 1_024);
+        let params = machine::cm5();
+        let high = extrapolate(&ts, &params).unwrap().exec_time();
+        let refm = measure(&ts, &params).unwrap().exec_time();
+        let ratio = refm.as_ns() as f64 / high.as_ns() as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "analytic {high} vs link-level {refm} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn link_level_penalizes_hot_spots_harder() {
+        // All-to-one fan-in: every thread reads from thread 0 each phase.
+        let n = 8;
+        let mut p = PhaseProgram::new(n);
+        for _ in 0..2 {
+            let work = (0..n)
+                .map(|t| PhaseWork {
+                    compute: DurationNs::from_us(20.0),
+                    accesses: if t == 0 {
+                        vec![]
+                    } else {
+                        vec![PhaseAccess {
+                            after: DurationNs::from_us(10.0),
+                            owner: ThreadId(0),
+                            element: ElementId(0),
+                            declared_bytes: 16_384,
+                            actual_bytes: 16_384,
+                            write: false,
+                        }]
+                    },
+                })
+                .collect();
+            p.push_phase(work);
+        }
+        let ts = extrap_trace::translate(&p.record(), Default::default()).unwrap();
+        let params = machine::cm5();
+        let analytic = extrapolate(&ts, &params).unwrap().exec_time();
+        let linklevel = measure(&ts, &params).unwrap().exec_time();
+        // Fan-in serializes at thread 0's ingress; the detailed model
+        // must not be faster than the analytic one here.
+        assert!(
+            linklevel.as_ns() >= analytic.as_ns() * 9 / 10,
+            "analytic {analytic} link {linklevel}"
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Deterministic routes through each topology as sequences of link ids.
+//!
+//! A link id identifies one contention resource (a directed physical
+//! channel or a switch port).  Fat-tree links carry a `level` so the
+//! network can widen them (a fat tree's defining property).
+
+use extrap_core::Topology;
+use extrap_time::ProcId;
+
+/// One contention resource on a route.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Link {
+    /// The single shared bus.
+    Bus,
+    /// A crossbar output port toward a processor.
+    Port(u32),
+    /// A directed mesh channel from grid node `from` in direction `dir`
+    /// (0 = +x, 1 = −x, 2 = +y, 3 = −y).
+    Mesh {
+        /// Source grid node (flat index).
+        from: u32,
+        /// Direction code.
+        dir: u8,
+    },
+    /// A directed hypercube channel from `from` across dimension `dim`.
+    Cube {
+        /// Source node.
+        from: u32,
+        /// Flipped dimension.
+        dim: u8,
+    },
+    /// A fat-tree edge between a level-`level−1` node and its parent
+    /// switch, identified by the child subtree index, going up or down.
+    Tree {
+        /// Level of the parent switch (1 = leaf switches).
+        level: u8,
+        /// Index of the child node within level `level−1`.
+        child: u32,
+        /// Direction (true = toward the root).
+        up: bool,
+    },
+    /// The destination node's ingress port (receive-queue serialization).
+    Ingress(u32),
+}
+
+impl Link {
+    /// Fat-tree level of this link (0 for non-tree links); used to widen
+    /// high links.
+    pub fn tree_level(&self) -> u8 {
+        match self {
+            Link::Tree { level, .. } => *level,
+            _ => 0,
+        }
+    }
+}
+
+/// Computes the route for a message, ending with the destination ingress
+/// port.  `src == dst` yields an empty route (no wire involved).
+pub fn route(topology: Topology, n_procs: usize, src: ProcId, dst: ProcId) -> Vec<Link> {
+    if src == dst {
+        return Vec::new();
+    }
+    let mut links = match topology {
+        Topology::Bus => vec![Link::Bus],
+        Topology::Crossbar => vec![Link::Port(dst.0)],
+        Topology::Mesh2D => mesh_route(n_procs, src, dst),
+        Topology::Hypercube => cube_route(src, dst),
+        Topology::FatTree { arity } => tree_route(arity.max(2), src, dst),
+    };
+    links.push(Link::Ingress(dst.0));
+    links
+}
+
+fn mesh_route(n_procs: usize, src: ProcId, dst: ProcId) -> Vec<Link> {
+    let cols = extrap_core::network::topology::mesh_cols(n_procs);
+    let (mut x, mut y) = (src.index() % cols, src.index() / cols);
+    let (dx, dy) = (dst.index() % cols, dst.index() / cols);
+    let mut links = Vec::new();
+    // Dimension-ordered (XY) routing.
+    while x != dx {
+        let from = (y * cols + x) as u32;
+        if dx > x {
+            links.push(Link::Mesh { from, dir: 0 });
+            x += 1;
+        } else {
+            links.push(Link::Mesh { from, dir: 1 });
+            x -= 1;
+        }
+    }
+    while y != dy {
+        let from = (y * cols + x) as u32;
+        if dy > y {
+            links.push(Link::Mesh { from, dir: 2 });
+            y += 1;
+        } else {
+            links.push(Link::Mesh { from, dir: 3 });
+            y -= 1;
+        }
+    }
+    links
+}
+
+fn cube_route(src: ProcId, dst: ProcId) -> Vec<Link> {
+    // E-cube routing: correct differing bits from lowest to highest.
+    let mut cur = src.0;
+    let mut links = Vec::new();
+    let mut diff = cur ^ dst.0;
+    while diff != 0 {
+        let dim = diff.trailing_zeros() as u8;
+        links.push(Link::Cube { from: cur, dim });
+        cur ^= 1 << dim;
+        diff = cur ^ dst.0;
+    }
+    links
+}
+
+fn tree_route(arity: u32, src: ProcId, dst: ProcId) -> Vec<Link> {
+    let arity = arity as usize;
+    let mut links = Vec::new();
+    // Climb both leaves to the least common ancestor, collecting the up
+    // path eagerly and the down path in reverse.
+    let (mut s, mut d) = (src.index(), dst.index());
+    let mut level = 1u8;
+    let mut down = Vec::new();
+    while s / arity != d / arity {
+        links.push(Link::Tree {
+            level,
+            child: s as u32,
+            up: true,
+        });
+        down.push(Link::Tree {
+            level,
+            child: d as u32,
+            up: false,
+        });
+        s /= arity;
+        d /= arity;
+        level += 1;
+    }
+    // Cross the common switch at `level`.
+    links.push(Link::Tree {
+        level,
+        child: s as u32,
+        up: true,
+    });
+    down.push(Link::Tree {
+        level,
+        child: d as u32,
+        up: false,
+    });
+    links.extend(down.into_iter().rev());
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        for t in [
+            Topology::Bus,
+            Topology::Mesh2D,
+            Topology::Hypercube,
+            Topology::FatTree { arity: 4 },
+        ] {
+            assert!(route(t, 16, p(3), p(3)).is_empty());
+        }
+    }
+
+    #[test]
+    fn every_route_ends_at_ingress() {
+        for t in [
+            Topology::Bus,
+            Topology::Crossbar,
+            Topology::Mesh2D,
+            Topology::Hypercube,
+            Topology::FatTree { arity: 2 },
+        ] {
+            for a in 0..8u32 {
+                for b in 0..8u32 {
+                    if a == b {
+                        continue;
+                    }
+                    let r = route(t, 8, p(a), p(b));
+                    assert_eq!(*r.last().unwrap(), Link::Ingress(b), "{t:?} {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_route_length_matches_manhattan() {
+        // 16 procs = 4x4 grid.
+        let r = route(Topology::Mesh2D, 16, p(0), p(15));
+        assert_eq!(r.len(), 6 + 1); // manhattan 6 + ingress
+        let r = route(Topology::Mesh2D, 16, p(5), p(6));
+        assert_eq!(r.len(), 1 + 1);
+    }
+
+    #[test]
+    fn cube_route_flips_each_bit_once() {
+        let r = route(Topology::Hypercube, 8, p(0), p(7));
+        assert_eq!(r.len(), 3 + 1);
+        assert_eq!(
+            r[0],
+            Link::Cube { from: 0, dim: 0 }
+        );
+        assert_eq!(
+            r[1],
+            Link::Cube { from: 1, dim: 1 }
+        );
+        assert_eq!(
+            r[2],
+            Link::Cube { from: 3, dim: 2 }
+        );
+    }
+
+    #[test]
+    fn tree_route_goes_up_then_down() {
+        // Arity 4: procs 0 and 5 share a level-2 switch.
+        let r = route(Topology::FatTree { arity: 4 }, 16, p(0), p(5));
+        let ups: Vec<bool> = r
+            .iter()
+            .filter_map(|l| match l {
+                Link::Tree { up, .. } => Some(*up),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ups, vec![true, true, false, false]);
+        // Siblings: one hop up, one down.
+        let r = route(Topology::FatTree { arity: 4 }, 16, p(0), p(1));
+        assert_eq!(r.len(), 2 + 1);
+    }
+
+    #[test]
+    fn tree_levels_increase_toward_root() {
+        let r = route(Topology::FatTree { arity: 2 }, 8, p(0), p(7));
+        let levels: Vec<u8> = r
+            .iter()
+            .filter_map(|l| match l {
+                Link::Tree { level, up: true, .. } => Some(*level),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(levels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        let a = route(Topology::Mesh2D, 16, p(2), p(13));
+        let b = route(Topology::Mesh2D, 16, p(2), p(13));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests of the link-level network model.
+
+use extrap_core::network::state::NetModel;
+use extrap_core::{ContentionParams, NetworkParams, Topology};
+use extrap_refsim::link::{LinkNetwork, LinkParams};
+use extrap_refsim::route::{route, Link};
+use extrap_time::{DurationNs, ProcId, TimeNs};
+use proptest::prelude::*;
+
+fn topologies() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Bus),
+        Just(Topology::Crossbar),
+        Just(Topology::Mesh2D),
+        Just(Topology::Hypercube),
+        (2u32..5).prop_map(|arity| Topology::FatTree { arity }),
+    ]
+}
+
+fn network(topology: Topology, n: usize) -> LinkNetwork {
+    LinkNetwork::new(
+        n,
+        NetworkParams {
+            topology,
+            hop: DurationNs(200),
+            contention: ContentionParams::default(),
+        },
+        DurationNs(5),
+        LinkParams::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn routes_are_finite_and_terminate_at_ingress(
+        topology in topologies(),
+        n in 2usize..33,
+        a in 0u32..33,
+        b in 0u32..33,
+    ) {
+        let a = ProcId(a % n as u32);
+        let b = ProcId(b % n as u32);
+        let r = route(topology, n, a, b);
+        if a == b {
+            prop_assert!(r.is_empty());
+        } else {
+            prop_assert!(!r.is_empty());
+            prop_assert!(r.len() <= 2 * n + 2, "{topology:?}: route {r:?}");
+            prop_assert_eq!(*r.last().unwrap(), Link::Ingress(b.0));
+        }
+    }
+
+    #[test]
+    fn route_length_is_symmetric(
+        topology in topologies(),
+        n in 2usize..33,
+        a in 0u32..33,
+        b in 0u32..33,
+    ) {
+        let a = ProcId(a % n as u32);
+        let b = ProcId(b % n as u32);
+        prop_assert_eq!(
+            route(topology, n, a, b).len(),
+            route(topology, n, b, a).len()
+        );
+    }
+
+    #[test]
+    fn arrivals_are_never_earlier_than_injection(
+        topology in topologies(),
+        n in 2usize..17,
+        msgs in proptest::collection::vec((0u32..17, 0u32..17, 1u32..10_000, 0u64..50_000), 1..40),
+    ) {
+        let mut net = network(topology, n);
+        let mut injected = 0u64;
+        for (src, dst, bytes, at) in msgs {
+            let src = ProcId(src % n as u32);
+            let dst = ProcId(dst % n as u32);
+            let now = TimeNs(at);
+            let arrival = net.inject(now, src, dst, bytes);
+            prop_assert!(arrival >= now, "arrival {arrival} before injection {now}");
+            injected += 1;
+        }
+        prop_assert_eq!(NetModel::stats(&net).messages, injected);
+    }
+
+    #[test]
+    fn sequential_messages_on_one_path_do_not_contend(
+        topology in topologies(),
+        n in 2usize..17,
+    ) {
+        // Messages spaced far apart in time find every link free: each
+        // transfer takes exactly the unloaded time of the first.
+        let mut net = network(topology, n);
+        let src = ProcId(0);
+        let dst = ProcId((n - 1) as u32);
+        let first = net.inject(TimeNs(0), src, dst, 100).since(TimeNs(0));
+        for i in 1..5u64 {
+            let start = TimeNs(i * 10_000_000);
+            let took = net.inject(start, src, dst, 100).since(start);
+            prop_assert_eq!(took, first);
+        }
+        prop_assert_eq!(net.link_wait(), DurationNs::ZERO);
+    }
+
+    #[test]
+    fn simultaneous_messages_through_one_bus_serialize(
+        count in 2usize..10,
+    ) {
+        let mut net = network(Topology::Bus, 16);
+        let mut arrivals = Vec::new();
+        for i in 0..count {
+            let src = ProcId((i % 8) as u32);
+            let dst = ProcId((8 + i % 8) as u32);
+            arrivals.push(net.inject(TimeNs(0), src, dst, 64));
+        }
+        // All distinct: the single bus admits one transfer at a time.
+        let mut sorted = arrivals.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), arrivals.len());
+        prop_assert!(net.link_wait() > DurationNs::ZERO);
+    }
+}

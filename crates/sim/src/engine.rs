@@ -1,0 +1,264 @@
+//! The event queue and simulation clock.
+
+use extrap_time::{DurationNs, TimeNs};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventToken(u64);
+
+#[derive(PartialEq, Eq)]
+struct Scheduled<E> {
+    time: TimeNs,
+    seq: u64,
+    payload: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Order by (time, seq) only; payload never participates, so equal
+        // timestamps pop strictly in schedule order.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event engine over payloads of type `E`.
+///
+/// The driver loop is owned by the caller:
+///
+/// ```
+/// use extrap_sim::Engine;
+/// use extrap_time::{DurationNs, TimeNs};
+///
+/// let mut eng: Engine<&str> = Engine::new();
+/// eng.schedule(TimeNs(30), "c");
+/// eng.schedule(TimeNs(10), "a");
+/// eng.schedule_after(DurationNs(10), "b"); // now = 0, so fires at 10 too
+/// let mut order = Vec::new();
+/// while let Some((t, e)) = eng.next() {
+///     order.push((t.as_ns(), e));
+/// }
+/// assert_eq!(order, vec![(10, "a"), (10, "b"), (30, "c")]);
+/// ```
+pub struct Engine<E> {
+    now: TimeNs,
+    next_seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    cancelled: HashSet<u64>,
+    dispatched: u64,
+}
+
+impl<E: Eq> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> Engine<E> {
+    /// Creates an engine with the clock at zero.
+    pub fn new() -> Engine<E> {
+        Engine {
+            now: TimeNs::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the last dispatched
+    /// event).
+    #[inline]
+    pub fn now(&self) -> TimeNs {
+        self.now
+    }
+
+    /// Number of events dispatched so far (simulator work metric).
+    #[inline]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past — schedules must never
+    /// rewind the clock.
+    pub fn schedule(&mut self, at: TimeNs, payload: E) -> EventToken {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < now {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            payload,
+        }));
+        EventToken(seq)
+    }
+
+    /// Schedules `payload` after `delay` from now.
+    pub fn schedule_after(&mut self, delay: DurationNs, payload: E) -> EventToken {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Cancels a scheduled event.  Returns `true` if the event had not yet
+    /// fired (or been cancelled).
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(token.0)
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    #[allow(clippy::should_implement_trait)] // the driver loop reads naturally as `while eng.next()`
+    pub fn next(&mut self) -> Option<(TimeNs, E)> {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now);
+            self.now = ev.time;
+            self.dispatched += 1;
+            return Some((ev.time, ev.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the next live event, without dispatching it.
+    pub fn peek_time(&mut self) -> Option<TimeNs> {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if self.cancelled.contains(&ev.seq) {
+                let seq = ev.seq;
+                self.queue.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(ev.time);
+        }
+        None
+    }
+
+    /// Count of pending (live) events.
+    pub fn len(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_at_equal_times() {
+        let mut eng: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            eng.schedule(TimeNs(5), i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| eng.next().map(|(_, e)| e)).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_ordering_wins_over_insertion() {
+        let mut eng: Engine<&str> = Engine::new();
+        eng.schedule(TimeNs(100), "late");
+        eng.schedule(TimeNs(1), "early");
+        assert_eq!(eng.next().unwrap().1, "early");
+        assert_eq!(eng.next().unwrap().1, "late");
+        assert_eq!(eng.now(), TimeNs(100));
+    }
+
+    #[test]
+    fn cancel_prevents_dispatch() {
+        let mut eng: Engine<&str> = Engine::new();
+        let t1 = eng.schedule(TimeNs(10), "a");
+        eng.schedule(TimeNs(20), "b");
+        assert!(eng.cancel(t1));
+        assert!(!eng.cancel(t1), "double cancel reports false");
+        assert_eq!(eng.next().unwrap().1, "b");
+        assert!(eng.next().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_false() {
+        let mut eng: Engine<u8> = Engine::new();
+        assert!(!eng.cancel(EventToken(42)));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut eng: Engine<u8> = Engine::new();
+        eng.schedule(TimeNs(10), 1);
+        eng.next();
+        eng.schedule(TimeNs(5), 2);
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut eng: Engine<u8> = Engine::new();
+        let t = eng.schedule(TimeNs(1), 1);
+        eng.schedule(TimeNs(2), 2);
+        eng.cancel(t);
+        assert_eq!(eng.peek_time(), Some(TimeNs(2)));
+        assert_eq!(eng.len(), 1);
+        assert_eq!(eng.next(), Some((TimeNs(2), 2)));
+        assert_eq!(eng.peek_time(), None);
+    }
+
+    #[test]
+    fn dispatched_counts_only_live_events() {
+        let mut eng: Engine<u8> = Engine::new();
+        let t = eng.schedule(TimeNs(1), 1);
+        eng.schedule(TimeNs(2), 2);
+        eng.cancel(t);
+        while eng.next().is_some() {}
+        assert_eq!(eng.dispatched(), 1);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_clock() {
+        let mut eng: Engine<u8> = Engine::new();
+        eng.schedule(TimeNs(100), 1);
+        eng.next();
+        eng.schedule_after(DurationNs(50), 2);
+        assert_eq!(eng.next(), Some((TimeNs(150), 2)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_dispatch_is_deterministic() {
+        // Two identical runs produce identical dispatch sequences.
+        let run = || {
+            let mut eng: Engine<u64> = Engine::new();
+            let mut out = Vec::new();
+            for i in 0..50u64 {
+                eng.schedule(TimeNs(i % 7), i);
+            }
+            while let Some((t, e)) = eng.next() {
+                out.push((t, e));
+                if e % 5 == 0 && out.len() < 100 {
+                    eng.schedule_after(DurationNs(3), e + 1000);
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,117 @@
+//! Identifier newtypes for threads, processors, barriers, and collection
+//! elements.
+//!
+//! Threads are the unit of data-parallel execution in the pC++ model; in
+//! the extrapolated target each thread maps to a processor (or, in the
+//! multithreaded extension, several threads share one processor).  Using
+//! distinct newtypes keeps thread/processor confusion out of the simulator.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if the index does not fit in `u32`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id index overflow"))
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A pC++ runtime thread (one per collection-distribution slot).
+    ThreadId,
+    "T"
+);
+id_newtype!(
+    /// A physical processor of the (simulated) target machine.
+    ProcId,
+    "P"
+);
+id_newtype!(
+    /// A global barrier instance; barriers are numbered in program order.
+    BarrierId,
+    "B"
+);
+id_newtype!(
+    /// An element of a distributed collection (global element index).
+    ElementId,
+    "E"
+);
+
+/// Iterates over `ThreadId`s `0..n`.
+pub fn threads(n: usize) -> impl Iterator<Item = ThreadId> + Clone {
+    (0..u32::try_from(n).expect("thread count overflow")).map(ThreadId)
+}
+
+/// Iterates over `ProcId`s `0..n`.
+pub fn procs(n: usize) -> impl Iterator<Item = ProcId> + Clone {
+    (0..u32::try_from(n).expect("proc count overflow")).map(ProcId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", ThreadId(3)), "T3");
+        assert_eq!(format!("{:?}", ProcId(7)), "P7");
+        assert_eq!(format!("{}", BarrierId(0)), "B0");
+        assert_eq!(format!("{}", ElementId(12)), "E12");
+    }
+
+    #[test]
+    fn ids_round_trip_indices() {
+        let t = ThreadId::from_index(42);
+        assert_eq!(t.index(), 42);
+        assert_eq!(t, ThreadId(42));
+    }
+
+    #[test]
+    fn id_iterators_cover_range() {
+        let ts: Vec<ThreadId> = threads(4).collect();
+        assert_eq!(ts, vec![ThreadId(0), ThreadId(1), ThreadId(2), ThreadId(3)]);
+        assert_eq!(procs(2).count(), 2);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ThreadId(1) < ThreadId(2));
+        assert!(ProcId(0) < ProcId(31));
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! Fixed-point simulation time and identifier types shared by every
+//! ExtraP-rs crate.
+//!
+//! All simulation state advances on a single integer nanosecond clock
+//! ([`TimeNs`]); model parameters are expressed in microseconds (as in the
+//! paper) and converted once at configuration time.  Using integer
+//! nanoseconds keeps every experiment bit-reproducible — there is no
+//! floating-point accumulation anywhere on the simulation path.
+
+pub mod ids;
+pub mod rate;
+pub mod time;
+
+pub use ids::{procs, threads, BarrierId, ElementId, ProcId, ThreadId};
+pub use rate::{mbps_to_us_per_byte, us_per_byte_to_mbps};
+pub use time::{DurationNs, TimeNs};

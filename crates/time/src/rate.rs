@@ -1,0 +1,63 @@
+//! Bandwidth/rate conversions.
+//!
+//! The paper specifies network bandwidth as `ByteTransferTime` in
+//! microseconds per byte, but quotes it in MB/s (e.g. "0.118 µsec
+//! (8.5 Mbytes/second)" for the CM-5).  These helpers convert between the
+//! two so parameter sets can be written either way.
+
+/// Converts a bandwidth in megabytes per second to a per-byte transfer
+/// time in microseconds (the paper's `ByteTransferTime` unit).
+///
+/// Uses the paper's convention of 1 MB = 10^6 bytes: 8.5 MB/s ↔ 0.118 µs/B.
+///
+/// # Panics
+/// Panics on non-positive or non-finite bandwidth.
+#[inline]
+pub fn mbps_to_us_per_byte(mbps: f64) -> f64 {
+    assert!(
+        mbps.is_finite() && mbps > 0.0,
+        "bandwidth must be positive and finite, got {mbps} MB/s"
+    );
+    1.0 / mbps
+}
+
+/// Converts a per-byte transfer time in microseconds back to MB/s.
+///
+/// # Panics
+/// Panics on non-positive or non-finite transfer time.
+#[inline]
+pub fn us_per_byte_to_mbps(us_per_byte: f64) -> f64 {
+    assert!(
+        us_per_byte.is_finite() && us_per_byte > 0.0,
+        "transfer time must be positive and finite, got {us_per_byte} us/B"
+    );
+    1.0 / us_per_byte
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bandwidth_figures_round_trip() {
+        // §4.1: 0.2 us/B = 5 MB/s and 0.005 us/B = 200 MB/s.
+        assert!((mbps_to_us_per_byte(5.0) - 0.2).abs() < 1e-12);
+        assert!((mbps_to_us_per_byte(200.0) - 0.005).abs() < 1e-12);
+        // Table 3: 0.118 us/B is quoted as 8.5 MB/s (the paper rounds).
+        assert!((us_per_byte_to_mbps(0.118) - 8.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn conversions_are_inverses() {
+        for mbps in [1.0, 8.5, 20.0, 200.0, 1234.5] {
+            let back = us_per_byte_to_mbps(mbps_to_us_per_byte(mbps));
+            assert!((back - mbps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = mbps_to_us_per_byte(0.0);
+    }
+}

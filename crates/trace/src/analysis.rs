@@ -1,0 +1,222 @@
+//! Applicability analysis (§5 of the paper).
+//!
+//! Trace reuse is sound when "the order of a thread's measured events
+//! \[is\] unaffected by the remote data actions of other threads".  pC++'s
+//! owner-computes reads guarantee this; remote *writes* can break it: if
+//! an element is remote-written and also accessed by another thread in
+//! the same barrier epoch, the value observed — and potentially the
+//! subsequent control flow — depends on execution timing, and the trace
+//! may not transfer to a different environment.
+//!
+//! [`determinism_report`] flags exactly those element/epoch conflicts so
+//! a user can tell whether extrapolation is trustworthy for their
+//! program (or whether they are in the paper's "controlled execution"
+//! middle ground).
+
+use crate::event::{EventKind, TraceSet};
+use extrap_time::{ElementId, ThreadId};
+use std::collections::BTreeMap;
+
+/// One potential timing-dependence: an element written remotely while
+/// also accessed by other threads in the same barrier epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochConflict {
+    /// Barrier epoch (number of barriers entered before the accesses).
+    pub epoch: usize,
+    /// The contested element.
+    pub element: ElementId,
+    /// Threads that remote-wrote the element in this epoch.
+    pub writers: Vec<ThreadId>,
+    /// Threads that remote-read the element in this epoch.
+    pub readers: Vec<ThreadId>,
+}
+
+/// Summary of the §5 determinism analysis.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeterminismReport {
+    /// Conflicts found, ordered by (epoch, element).
+    pub conflicts: Vec<EpochConflict>,
+    /// Total remote writes seen (even conflict-free ones are worth
+    /// knowing about: the trivially-extendable case of §5).
+    pub remote_writes: usize,
+}
+
+impl DeterminismReport {
+    /// True when the trace satisfies the strongest assumption (read-only
+    /// remote accesses, or writes that never conflict within an epoch).
+    pub fn is_deterministic(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+}
+
+/// Analyses a translated trace set for epoch-level write conflicts.
+///
+/// Conservative by construction: a conflict is reported whenever a
+/// remote write to an element shares a barrier epoch with any other
+/// thread's access to the same element (reads by the owner itself are
+/// not traced and therefore cannot be checked — the paper's measurement
+/// has the same blind spot).
+pub fn determinism_report(set: &TraceSet) -> DeterminismReport {
+    #[derive(Default)]
+    struct Access {
+        writers: Vec<ThreadId>,
+        readers: Vec<ThreadId>,
+    }
+    let mut accesses: BTreeMap<(usize, ElementId), Access> = BTreeMap::new();
+    let mut remote_writes = 0usize;
+
+    for thread in &set.threads {
+        let mut epoch = 0usize;
+        for rec in &thread.records {
+            match rec.kind {
+                EventKind::BarrierEnter { .. } => epoch += 1,
+                EventKind::RemoteRead { element, .. } => {
+                    accesses
+                        .entry((epoch, element))
+                        .or_default()
+                        .readers
+                        .push(rec.thread);
+                }
+                EventKind::RemoteWrite { element, .. } => {
+                    remote_writes += 1;
+                    accesses
+                        .entry((epoch, element))
+                        .or_default()
+                        .writers
+                        .push(rec.thread);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let conflicts = accesses
+        .into_iter()
+        .filter_map(|((epoch, element), acc)| {
+            if acc.writers.is_empty() {
+                return None;
+            }
+            // Conflict: more than one distinct thread touches a written
+            // element within the epoch.
+            let mut participants: Vec<ThreadId> = acc
+                .writers
+                .iter()
+                .chain(acc.readers.iter())
+                .copied()
+                .collect();
+            participants.sort_unstable();
+            participants.dedup();
+            if participants.len() <= 1 {
+                return None;
+            }
+            Some(EpochConflict {
+                epoch,
+                element,
+                writers: acc.writers,
+                readers: acc.readers,
+            })
+        })
+        .collect();
+
+    DeterminismReport {
+        conflicts,
+        remote_writes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{PhaseAccess, PhaseProgram, PhaseWork};
+    use crate::translate::translate;
+    use extrap_time::DurationNs;
+
+    fn access(owner: u32, element: u32, write: bool) -> PhaseAccess {
+        PhaseAccess {
+            after: DurationNs(10),
+            owner: ThreadId(owner),
+            element: ElementId(element),
+            declared_bytes: 8,
+            actual_bytes: 8,
+            write,
+        }
+    }
+
+    fn work(accesses: Vec<PhaseAccess>) -> PhaseWork {
+        PhaseWork {
+            compute: DurationNs(100),
+            accesses,
+        }
+    }
+
+    #[test]
+    fn read_only_programs_are_deterministic() {
+        let mut p = PhaseProgram::new(3);
+        p.push_phase(vec![
+            work(vec![access(1, 5, false)]),
+            work(vec![access(2, 6, false)]),
+            work(vec![access(0, 7, false)]),
+        ]);
+        let ts = translate(&p.record(), Default::default()).unwrap();
+        let report = determinism_report(&ts);
+        assert!(report.is_deterministic());
+        assert_eq!(report.remote_writes, 0);
+    }
+
+    #[test]
+    fn conflict_free_writes_are_accepted() {
+        // Thread 0 writes element 5 (owned by thread 1); nobody else
+        // touches it this epoch.
+        let mut p = PhaseProgram::new(2);
+        p.push_phase(vec![work(vec![access(1, 5, true)]), work(vec![])]);
+        let ts = translate(&p.record(), Default::default()).unwrap();
+        let report = determinism_report(&ts);
+        assert!(report.is_deterministic());
+        assert_eq!(report.remote_writes, 1);
+    }
+
+    #[test]
+    fn write_read_conflict_in_same_epoch_is_flagged() {
+        let mut p = PhaseProgram::new(3);
+        p.push_phase(vec![
+            work(vec![access(2, 9, true)]),  // thread 0 writes e9
+            work(vec![access(2, 9, false)]), // thread 1 reads e9
+            work(vec![]),
+        ]);
+        let ts = translate(&p.record(), Default::default()).unwrap();
+        let report = determinism_report(&ts);
+        assert!(!report.is_deterministic());
+        assert_eq!(report.conflicts.len(), 1);
+        let c = &report.conflicts[0];
+        assert_eq!(c.epoch, 0);
+        assert_eq!(c.element, ElementId(9));
+        assert_eq!(c.writers, vec![ThreadId(0)]);
+        assert_eq!(c.readers, vec![ThreadId(1)]);
+    }
+
+    #[test]
+    fn barrier_separated_accesses_do_not_conflict() {
+        let mut p = PhaseProgram::new(2);
+        // Epoch 0: thread 0 writes e3.  Epoch 1: thread 1 reads e3.
+        p.push_phase(vec![work(vec![access(1, 3, true)]), work(vec![])]);
+        p.push_phase(vec![work(vec![]), work(vec![access(1, 3, false)])]);
+        let ts = translate(&p.record(), Default::default()).unwrap();
+        let report = determinism_report(&ts);
+        assert!(report.is_deterministic(), "{:?}", report.conflicts);
+        assert_eq!(report.remote_writes, 1);
+    }
+
+    #[test]
+    fn write_write_conflict_is_flagged() {
+        let mut p = PhaseProgram::new(3);
+        p.push_phase(vec![
+            work(vec![access(2, 4, true)]),
+            work(vec![access(2, 4, true)]),
+            work(vec![]),
+        ]);
+        let ts = translate(&p.record(), Default::default()).unwrap();
+        let report = determinism_report(&ts);
+        assert_eq!(report.conflicts.len(), 1);
+        assert_eq!(report.conflicts[0].writers.len(), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Builders for program traces.
+//!
+//! [`ProgramTraceBuilder`] is a low-level append-only builder with a global
+//! clock.  [`PhaseProgram`] builds the exact trace shape the non-preemptive
+//! 1-processor runtime produces for a phase-structured data-parallel
+//! program (threads run one after another within a phase, then all enter a
+//! barrier) — handy for tests and synthetic workloads that don't want to
+//! pull in the full `pcpp-rt` runtime.
+
+use crate::event::{EventKind, ProgramTrace, TraceRecord};
+use extrap_time::{BarrierId, DurationNs, ElementId, ThreadId, TimeNs};
+
+/// Append-only builder over a global virtual clock, mimicking the
+/// instrumented uniprocessor runtime's trace buffer.
+#[derive(Debug)]
+pub struct ProgramTraceBuilder {
+    n_threads: usize,
+    now: TimeNs,
+    records: Vec<TraceRecord>,
+}
+
+impl ProgramTraceBuilder {
+    /// Starts a trace for `n_threads` threads at time zero.
+    pub fn new(n_threads: usize) -> ProgramTraceBuilder {
+        assert!(n_threads > 0, "need at least one thread");
+        ProgramTraceBuilder {
+            n_threads,
+            now: TimeNs::ZERO,
+            records: Vec::new(),
+        }
+    }
+
+    /// The current global clock.
+    pub fn now(&self) -> TimeNs {
+        self.now
+    }
+
+    /// Advances the global clock (computation happening between events).
+    pub fn advance(&mut self, d: DurationNs) -> &mut Self {
+        self.now += d;
+        self
+    }
+
+    /// Emits an event for `thread` at the current clock.
+    pub fn emit(&mut self, thread: ThreadId, kind: EventKind) -> &mut Self {
+        assert!(
+            thread.index() < self.n_threads,
+            "thread {thread} out of range"
+        );
+        self.records.push(TraceRecord {
+            time: self.now,
+            thread,
+            kind,
+        });
+        self
+    }
+
+    /// Finishes and returns the validated trace.
+    pub fn finish(self) -> ProgramTrace {
+        let pt = ProgramTrace {
+            n_threads: self.n_threads,
+            records: self.records,
+        };
+        pt.validate().expect("builder produced an invalid trace");
+        pt
+    }
+}
+
+/// A remote access performed by a thread within a phase.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseAccess {
+    /// Offset into the phase's compute time at which the access occurs.
+    pub after: DurationNs,
+    /// Owning thread of the accessed element.
+    pub owner: ThreadId,
+    /// Accessed element.
+    pub element: ElementId,
+    /// Declared (whole-element) size in bytes.
+    pub declared_bytes: u32,
+    /// Actually required size in bytes.
+    pub actual_bytes: u32,
+    /// True for a remote write, false for a read.
+    pub write: bool,
+}
+
+/// Per-thread work inside one data-parallel phase.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseWork {
+    /// Total computation time of the thread in this phase.
+    pub compute: DurationNs,
+    /// Remote accesses issued during the phase, ordered by `after`.
+    pub accesses: Vec<PhaseAccess>,
+}
+
+/// A phase-structured synthetic program: a sequence of phases, each ending
+/// in a global barrier, exactly matching the pC++ execution model
+/// (parallel method invocation followed by a barrier).
+#[derive(Clone, Debug)]
+pub struct PhaseProgram {
+    n_threads: usize,
+    phases: Vec<Vec<PhaseWork>>,
+}
+
+impl PhaseProgram {
+    /// Creates an empty program for `n_threads` threads.
+    pub fn new(n_threads: usize) -> PhaseProgram {
+        assert!(n_threads > 0);
+        PhaseProgram {
+            n_threads,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Number of threads.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Appends a phase described by one [`PhaseWork`] per thread.
+    ///
+    /// # Panics
+    /// Panics if `work.len() != n_threads`.
+    pub fn push_phase(&mut self, work: Vec<PhaseWork>) -> &mut Self {
+        assert_eq!(work.len(), self.n_threads, "one PhaseWork per thread");
+        self.phases.push(work);
+        self
+    }
+
+    /// Appends a phase where every thread computes for `compute` with no
+    /// communication (an "embarrassingly parallel" phase).
+    pub fn push_uniform_phase(&mut self, compute: DurationNs) -> &mut Self {
+        let work = (0..self.n_threads)
+            .map(|_| PhaseWork {
+                compute,
+                accesses: Vec::new(),
+            })
+            .collect();
+        self.push_phase(work)
+    }
+
+    /// Generates the 1-processor trace exactly as the non-preemptive
+    /// runtime would: within each phase, threads run to completion one
+    /// after another (thread switches happen only at barrier boundaries).
+    ///
+    /// Crucially, a thread's `BarrierExit` event is recorded at the moment
+    /// the thread is *rescheduled* after the barrier — not when the
+    /// barrier logically lowers — so the measured delta between a thread's
+    /// barrier exit and its next event covers only that thread's own
+    /// computation.  This is the property the translation algorithm of
+    /// §3.2 relies on.
+    pub fn record(&self) -> ProgramTrace {
+        let mut b = ProgramTraceBuilder::new(self.n_threads);
+        for (phase_idx, phase) in self.phases.iter().enumerate() {
+            let barrier = BarrierId::from_index(phase_idx);
+            for (ti, work) in phase.iter().enumerate() {
+                let thread = ThreadId::from_index(ti);
+                // The thread is (re)scheduled here.
+                if phase_idx == 0 {
+                    b.emit(thread, EventKind::ThreadBegin);
+                } else {
+                    b.emit(
+                        thread,
+                        EventKind::BarrierExit {
+                            barrier: BarrierId::from_index(phase_idx - 1),
+                        },
+                    );
+                }
+                // The thread runs its whole phase, recording remote
+                // accesses inline (they cost nothing on the uniprocessor —
+                // the element lives in the shared global space).
+                let mut consumed = DurationNs::ZERO;
+                for acc in &work.accesses {
+                    assert!(
+                        acc.after >= consumed && acc.after <= work.compute,
+                        "accesses must be ordered and within the phase"
+                    );
+                    b.advance(acc.after - consumed);
+                    consumed = acc.after;
+                    let kind = if acc.write {
+                        EventKind::RemoteWrite {
+                            owner: acc.owner,
+                            element: acc.element,
+                            declared_bytes: acc.declared_bytes,
+                            actual_bytes: acc.actual_bytes,
+                        }
+                    } else {
+                        EventKind::RemoteRead {
+                            owner: acc.owner,
+                            element: acc.element,
+                            declared_bytes: acc.declared_bytes,
+                            actual_bytes: acc.actual_bytes,
+                        }
+                    };
+                    b.emit(thread, kind);
+                }
+                b.advance(work.compute - consumed);
+                b.emit(thread, EventKind::BarrierEnter { barrier });
+            }
+        }
+        // Final rescheduling round: each thread exits the last barrier and
+        // terminates.  (A program with no phases still begins and ends.)
+        match self.phases.len().checked_sub(1) {
+            Some(last) => {
+                for t in extrap_time::threads(self.n_threads) {
+                    b.emit(
+                        t,
+                        EventKind::BarrierExit {
+                            barrier: BarrierId::from_index(last),
+                        },
+                    );
+                    b.emit(t, EventKind::ThreadEnd);
+                }
+            }
+            None => {
+                for t in extrap_time::threads(self.n_threads) {
+                    b.emit(t, EventKind::ThreadBegin);
+                    b.emit(t, EventKind::ThreadEnd);
+                }
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_clock() {
+        let mut b = ProgramTraceBuilder::new(1);
+        b.emit(ThreadId(0), EventKind::ThreadBegin);
+        b.advance(DurationNs(100));
+        b.emit(ThreadId(0), EventKind::ThreadEnd);
+        let pt = b.finish();
+        assert_eq!(pt.records[0].time, TimeNs(0));
+        assert_eq!(pt.records[1].time, TimeNs(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_foreign_thread() {
+        let mut b = ProgramTraceBuilder::new(1);
+        b.emit(ThreadId(5), EventKind::ThreadBegin);
+    }
+
+    #[test]
+    fn phase_program_serializes_threads() {
+        let mut p = PhaseProgram::new(2);
+        p.push_uniform_phase(DurationNs(1_000));
+        let pt = p.record();
+        pt.validate().unwrap();
+        // begin(2) + [enter(2) + exit(2)] + end(2)
+        assert_eq!(pt.records.len(), 8);
+        // Thread 1's barrier entry is 2000ns in: it ran *after* thread 0 on
+        // the single processor.
+        let enters: Vec<_> = pt
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, EventKind::BarrierEnter { .. }))
+            .collect();
+        assert_eq!(enters[0].time, TimeNs(1_000));
+        assert_eq!(enters[1].time, TimeNs(2_000));
+    }
+
+    #[test]
+    fn phase_program_embeds_accesses() {
+        let mut p = PhaseProgram::new(2);
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs(500),
+                accesses: vec![PhaseAccess {
+                    after: DurationNs(200),
+                    owner: ThreadId(1),
+                    element: ElementId(7),
+                    declared_bytes: 1024,
+                    actual_bytes: 8,
+                    write: false,
+                }],
+            },
+            PhaseWork {
+                compute: DurationNs(500),
+                accesses: vec![],
+            },
+        ]);
+        let pt = p.record();
+        let remote: Vec<_> = pt.records.iter().filter(|r| r.kind.is_remote()).collect();
+        assert_eq!(remote.len(), 1);
+        assert_eq!(remote[0].time, TimeNs(200));
+        assert_eq!(remote[0].thread, ThreadId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one PhaseWork per thread")]
+    fn phase_program_checks_arity() {
+        let mut p = PhaseProgram::new(3);
+        p.push_phase(vec![PhaseWork::default()]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Error type shared by the trace containers, formats, and translation.
+
+use extrap_time::ThreadId;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong while building, validating, serializing,
+/// or translating traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A record references a thread id outside `0..n_threads`.
+    BadThread {
+        /// Index of the offending record in the global stream.
+        record: usize,
+        /// The referenced thread.
+        thread: ThreadId,
+        /// The trace's declared thread count.
+        n_threads: usize,
+    },
+    /// Global timestamps went backwards.
+    TimeRegression {
+        /// Index of the offending record.
+        record: usize,
+    },
+    /// A per-thread timestamp went backwards.
+    ThreadTimeRegression {
+        /// The thread whose clock regressed.
+        thread: ThreadId,
+        /// Index of the offending record within the thread trace.
+        record: usize,
+    },
+    /// A thread trace is stored at the wrong position, or contains records
+    /// of another thread.
+    MisplacedThread {
+        /// Position in the trace set.
+        position: usize,
+        /// Thread id actually found.
+        thread: ThreadId,
+    },
+    /// Threads disagree on the barrier sequence — the program violates the
+    /// data-parallel determinism assumption (§5).
+    BarrierMismatch {
+        /// First thread whose barrier sequence deviates from thread 0's.
+        thread: ThreadId,
+    },
+    /// A barrier was exited before every thread entered it, or entered
+    /// twice without an exit.
+    BarrierProtocol {
+        /// The offending thread.
+        thread: ThreadId,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// Binary or text format corruption.
+    Format {
+        /// Description of the corruption.
+        detail: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadThread {
+                record,
+                thread,
+                n_threads,
+            } => write!(
+                f,
+                "record {record} references {thread} but the trace has {n_threads} threads"
+            ),
+            TraceError::TimeRegression { record } => {
+                write!(f, "global timestamp regression at record {record}")
+            }
+            TraceError::ThreadTimeRegression { thread, record } => {
+                write!(f, "timestamp regression in {thread} at record {record}")
+            }
+            TraceError::MisplacedThread { position, thread } => {
+                write!(f, "trace at position {position} contains records of {thread}")
+            }
+            TraceError::BarrierMismatch { thread } => write!(
+                f,
+                "{thread} passes a different barrier sequence than thread 0 \
+                 (program is not deterministically data-parallel)"
+            ),
+            TraceError::BarrierProtocol { thread, detail } => {
+                write!(f, "barrier protocol violation in {thread}: {detail}")
+            }
+            TraceError::Format { detail } => write!(f, "malformed trace: {detail}"),
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceError::BarrierMismatch { thread: ThreadId(3) };
+        assert!(e.to_string().contains("T3"));
+        let e = TraceError::Format {
+            detail: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: TraceError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, TraceError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,49 @@
+//! Reading traces from streams and files.
+
+use crate::error::TraceError;
+use crate::event::{ProgramTrace, TraceSet};
+use crate::format;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+/// Reads a program trace from any `Read` source.
+pub fn read_program(r: &mut impl Read) -> Result<ProgramTrace, TraceError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    format::decode_program(&data)
+}
+
+/// Reads a program trace from a file.
+pub fn read_program_file(path: impl AsRef<Path>) -> Result<ProgramTrace, TraceError> {
+    read_program(&mut BufReader::new(File::open(path)?))
+}
+
+/// Reads a translated trace set from any `Read` source.
+pub fn read_set(r: &mut impl Read) -> Result<TraceSet, TraceError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    format::decode_set(&data)
+}
+
+/// Reads a translated trace set from a file.
+pub fn read_set_file(path: impl AsRef<Path>) -> Result<TraceSet, TraceError> {
+    read_set(&mut BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_program_file("/nonexistent/path/trace.xtrp").unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+    }
+
+    #[test]
+    fn empty_stream_is_format_error() {
+        let err = read_program(&mut &b""[..]).unwrap_err();
+        assert!(matches!(err, TraceError::Format { .. }));
+    }
+}

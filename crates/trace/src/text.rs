@@ -1,0 +1,257 @@
+//! Human-readable text form of traces (one event per line), parseable back.
+//!
+//! Example:
+//!
+//! ```text
+//! # extrap program trace v1 threads=2
+//! 0 T0 begin
+//! 1000 T0 barrier-enter B0
+//! 1200 T0 remote-read owner=T1 elem=E7 declared=1024 actual=8
+//! ```
+
+use crate::error::TraceError;
+use crate::event::{EventKind, ProgramTrace, TraceRecord};
+use extrap_time::{BarrierId, ElementId, ThreadId, TimeNs};
+use std::fmt::Write as _;
+
+/// Renders a program trace as text.
+pub fn program_to_text(trace: &ProgramTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# extrap program trace v1 threads={}",
+        trace.n_threads
+    );
+    for r in &trace.records {
+        let _ = writeln!(out, "{}", record_to_line(r));
+    }
+    out
+}
+
+/// Renders one record as a line (no trailing newline).
+pub fn record_to_line(r: &TraceRecord) -> String {
+    let head = format!("{} {}", r.time.as_ns(), r.thread);
+    match r.kind {
+        EventKind::ThreadBegin => format!("{head} begin"),
+        EventKind::ThreadEnd => format!("{head} end"),
+        EventKind::BarrierEnter { barrier } => format!("{head} barrier-enter {barrier}"),
+        EventKind::BarrierExit { barrier } => format!("{head} barrier-exit {barrier}"),
+        EventKind::RemoteRead {
+            owner,
+            element,
+            declared_bytes,
+            actual_bytes,
+        } => format!(
+            "{head} remote-read owner={owner} elem={element} declared={declared_bytes} actual={actual_bytes}"
+        ),
+        EventKind::RemoteWrite {
+            owner,
+            element,
+            declared_bytes,
+            actual_bytes,
+        } => format!(
+            "{head} remote-write owner={owner} elem={element} declared={declared_bytes} actual={actual_bytes}"
+        ),
+        EventKind::Marker { id } => format!("{head} marker {id}"),
+    }
+}
+
+/// Parses the text form back into a program trace.
+///
+/// # Errors
+/// Returns a format error for any malformed line.
+pub fn program_from_text(text: &str) -> Result<ProgramTrace, TraceError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| malformed("empty input"))?;
+    let n_threads = header
+        .strip_prefix("# extrap program trace v1 threads=")
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .ok_or_else(|| malformed(&format!("bad header: {header:?}")))?;
+    let mut records = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        records.push(
+            parse_line(line)
+                .map_err(|e| malformed(&format!("line {}: {e}", lineno + 2)))?,
+        );
+    }
+    let pt = ProgramTrace { n_threads, records };
+    pt.validate()?;
+    Ok(pt)
+}
+
+fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let mut parts = line.split_whitespace();
+    let time = parts
+        .next()
+        .ok_or("missing timestamp")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad timestamp: {e}"))?;
+    let thread = parse_id(parts.next().ok_or("missing thread")?, 'T')?;
+    let tag = parts.next().ok_or("missing event tag")?;
+    let kind = match tag {
+        "begin" => EventKind::ThreadBegin,
+        "end" => EventKind::ThreadEnd,
+        "barrier-enter" | "barrier-exit" => {
+            let b = parse_id(parts.next().ok_or("missing barrier id")?, 'B')?;
+            if tag == "barrier-enter" {
+                EventKind::BarrierEnter {
+                    barrier: BarrierId(b),
+                }
+            } else {
+                EventKind::BarrierExit {
+                    barrier: BarrierId(b),
+                }
+            }
+        }
+        "remote-read" | "remote-write" => {
+            let owner = ThreadId(parse_kv(parts.next(), "owner", |v| parse_id(v, 'T'))?);
+            let element = ElementId(parse_kv(parts.next(), "elem", |v| parse_id(v, 'E'))?);
+            let declared_bytes = parse_kv(parts.next(), "declared", parse_u32)?;
+            let actual_bytes = parse_kv(parts.next(), "actual", parse_u32)?;
+            if tag == "remote-read" {
+                EventKind::RemoteRead {
+                    owner,
+                    element,
+                    declared_bytes,
+                    actual_bytes,
+                }
+            } else {
+                EventKind::RemoteWrite {
+                    owner,
+                    element,
+                    declared_bytes,
+                    actual_bytes,
+                }
+            }
+        }
+        "marker" => EventKind::Marker {
+            id: parse_u32(parts.next().ok_or("missing marker id")?)?,
+        },
+        other => return Err(format!("unknown event tag {other:?}")),
+    };
+    if parts.next().is_some() {
+        return Err("trailing tokens".into());
+    }
+    Ok(TraceRecord {
+        time: TimeNs(time),
+        thread: ThreadId(thread),
+        kind,
+    })
+}
+
+fn parse_id(token: &str, prefix: char) -> Result<u32, String> {
+    token
+        .strip_prefix(prefix)
+        .and_then(|s| s.parse::<u32>().ok())
+        .ok_or_else(|| format!("expected {prefix}<n>, got {token:?}"))
+}
+
+fn parse_u32(token: &str) -> Result<u32, String> {
+    token
+        .parse::<u32>()
+        .map_err(|e| format!("bad integer {token:?}: {e}"))
+}
+
+fn parse_kv<T>(
+    token: Option<&str>,
+    key: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<T, String> {
+    let token = token.ok_or_else(|| format!("missing {key}="))?;
+    let value = token
+        .strip_prefix(key)
+        .and_then(|s| s.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=<v>, got {token:?}"))?;
+    parse(value)
+}
+
+fn malformed(detail: &str) -> TraceError {
+    TraceError::Format {
+        detail: detail.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{PhaseAccess, PhaseProgram, PhaseWork};
+    use extrap_time::DurationNs;
+
+    fn sample() -> ProgramTrace {
+        let mut p = PhaseProgram::new(2);
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs(400),
+                accesses: vec![PhaseAccess {
+                    after: DurationNs(100),
+                    owner: ThreadId(1),
+                    element: ElementId(7),
+                    declared_bytes: 1024,
+                    actual_bytes: 8,
+                    write: false,
+                }],
+            },
+            PhaseWork {
+                compute: DurationNs(300),
+                accesses: vec![PhaseAccess {
+                    after: DurationNs(50),
+                    owner: ThreadId(0),
+                    element: ElementId(2),
+                    declared_bytes: 64,
+                    actual_bytes: 64,
+                    write: true,
+                }],
+            },
+        ]);
+        p.record()
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let pt = sample();
+        let text = program_to_text(&pt);
+        let back = program_from_text(&text).unwrap();
+        assert_eq!(pt, back);
+    }
+
+    #[test]
+    fn text_is_line_per_event() {
+        let pt = sample();
+        let text = program_to_text(&pt);
+        assert_eq!(text.lines().count(), 1 + pt.records.len());
+        assert!(text.contains("remote-read owner=T1 elem=E7 declared=1024 actual=8"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# extrap program trace v1 threads=1\n\n# comment\n0 T0 begin\n5 T0 end\n";
+        let pt = program_from_text(text).unwrap();
+        assert_eq!(pt.records.len(), 2);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(program_from_text("nope\n").is_err());
+        assert!(program_from_text("").is_err());
+    }
+
+    #[test]
+    fn bad_lines_rejected() {
+        let cases = [
+            "0 T0 frobnicate",
+            "x T0 begin",
+            "0 Q0 begin",
+            "0 T0 barrier-enter",
+            "0 T0 remote-read owner=T1 elem=E2 declared=4",
+            "0 T0 begin extra",
+        ];
+        for case in cases {
+            let text = format!("# extrap program trace v1 threads=1\n{case}\n");
+            assert!(program_from_text(&text).is_err(), "accepted {case:?}");
+        }
+    }
+}

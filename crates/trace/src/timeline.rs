@@ -1,0 +1,178 @@
+//! ASCII timeline (Gantt) rendering of per-thread traces — a quick-look
+//! performance-debugging view of where each thread's time goes.
+//!
+//! Legend: `=` computing, `.` waiting inside a barrier, `|` barrier
+//! entry, `r`/`w` remote read/write issue points, space after the
+//! thread finished.
+
+use crate::event::{EventKind, TraceSet};
+use extrap_time::TimeNs;
+use std::fmt::Write as _;
+
+/// Per-bucket cell classification, in increasing display priority.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Cell {
+    Done,
+    Busy,
+    BarrierWait,
+    BarrierEdge,
+    RemoteRead,
+    RemoteWrite,
+}
+
+impl Cell {
+    fn ch(self) -> char {
+        match self {
+            Cell::Done => ' ',
+            Cell::Busy => '=',
+            Cell::BarrierWait => '.',
+            Cell::BarrierEdge => '|',
+            Cell::RemoteRead => 'r',
+            Cell::RemoteWrite => 'w',
+        }
+    }
+}
+
+/// Renders a trace set as a `width`-column timeline, one row per thread.
+pub fn render(set: &TraceSet, width: usize) -> String {
+    let width = width.clamp(10, 500);
+    let span = set.makespan().as_ns().max(1);
+    let bucket_of = |t: TimeNs| ((t.as_ns() as u128 * width as u128) / (span as u128 + 1)) as usize;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline: {} threads over {:.3} ms ({} columns, {:.1} us/col)",
+        set.n_threads(),
+        set.makespan().as_ms(),
+        width,
+        span as f64 / 1_000.0 / width as f64
+    );
+    fn mark(cells: &mut [Cell], a: usize, b: usize, cell: Cell) {
+        let hi = b.min(cells.len() - 1);
+        for c in cells[a..=hi].iter_mut() {
+            *c = (*c).max(cell);
+        }
+    }
+
+    for thread in &set.threads {
+        let mut cells = vec![Cell::Done; width];
+        let mut cursor = TimeNs::ZERO;
+        let mut barrier_entry: Option<TimeNs> = None;
+        for rec in &thread.records {
+            match rec.kind {
+                EventKind::ThreadBegin => cursor = rec.time,
+                EventKind::BarrierEnter { .. } => {
+                    mark(&mut cells, bucket_of(cursor), bucket_of(rec.time), Cell::Busy);
+                    barrier_entry = Some(rec.time);
+                }
+                EventKind::BarrierExit { .. } => {
+                    if let Some(entry) = barrier_entry.take() {
+                        mark(
+                            &mut cells,
+                            bucket_of(entry),
+                            bucket_of(rec.time),
+                            Cell::BarrierWait,
+                        );
+                        let eb = bucket_of(entry);
+                        cells[eb] = cells[eb].max(Cell::BarrierEdge);
+                    }
+                    cursor = rec.time;
+                }
+                EventKind::RemoteRead { .. } => {
+                    mark(&mut cells, bucket_of(cursor), bucket_of(rec.time), Cell::Busy);
+                    let b = bucket_of(rec.time);
+                    cells[b] = cells[b].max(Cell::RemoteRead);
+                    cursor = rec.time;
+                }
+                EventKind::RemoteWrite { .. } => {
+                    mark(&mut cells, bucket_of(cursor), bucket_of(rec.time), Cell::Busy);
+                    let b = bucket_of(rec.time);
+                    cells[b] = cells[b].max(Cell::RemoteWrite);
+                    cursor = rec.time;
+                }
+                EventKind::ThreadEnd => {
+                    mark(&mut cells, bucket_of(cursor), bucket_of(rec.time), Cell::Busy);
+                    cursor = rec.time;
+                }
+                EventKind::Marker { .. } => {}
+            }
+        }
+        let _ = write!(out, "{:>4} ", thread.thread.to_string());
+        for c in cells {
+            out.push(c.ch());
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "legend: '=' compute  '.' barrier wait  '|' barrier entry  'r'/'w' remote access");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{PhaseAccess, PhaseProgram, PhaseWork};
+    use crate::translate::translate;
+    use extrap_time::{DurationNs, ElementId, ThreadId};
+
+    fn sample() -> TraceSet {
+        let mut p = PhaseProgram::new(2);
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs(100),
+                accesses: vec![PhaseAccess {
+                    after: DurationNs(50),
+                    owner: ThreadId(1),
+                    element: ElementId(0),
+                    declared_bytes: 8,
+                    actual_bytes: 8,
+                    write: false,
+                }],
+            },
+            PhaseWork {
+                compute: DurationNs(400),
+                accesses: vec![],
+            },
+        ]);
+        translate(&p.record(), Default::default()).unwrap()
+    }
+
+    #[test]
+    fn renders_one_row_per_thread() {
+        let text = render(&sample(), 40);
+        let rows: Vec<&str> = text.lines().collect();
+        // header + 2 threads + legend
+        assert_eq!(rows.len(), 4);
+        assert!(rows[1].starts_with("  T0"));
+        assert!(rows[2].starts_with("  T1"));
+    }
+
+    #[test]
+    fn fast_thread_shows_barrier_wait() {
+        let text = render(&sample(), 40);
+        let t0 = text.lines().nth(1).unwrap();
+        let t1 = text.lines().nth(2).unwrap();
+        // Thread 0 finishes its 100ns and waits ~300ns at the barrier.
+        assert!(t0.contains('.'), "t0 waits: {t0}");
+        assert!(t0.contains('r'), "t0 issued a remote read: {t0}");
+        // Thread 1 computes the whole time.
+        assert!(!t1.contains('.'), "t1 never waits: {t1}");
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let text = render(&sample(), 3);
+        let row = text.lines().nth(1).unwrap();
+        assert!(row.len() >= 10, "clamped to at least 10 columns");
+        let text = render(&sample(), 100_000);
+        let row = text.lines().nth(1).unwrap();
+        assert!(row.len() <= 510);
+    }
+
+    #[test]
+    fn empty_set_renders_header_only() {
+        let set = TraceSet { threads: vec![] };
+        let text = render(&set, 40);
+        assert!(text.contains("0 threads"));
+    }
+}

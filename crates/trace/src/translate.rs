@@ -1,0 +1,444 @@
+//! The trace translation algorithm of §3.2.
+//!
+//! Input: the single, globally time-stamped event stream of an *n*-thread
+//! program measured on **one** processor under non-preemptive scheduling.
+//! Output: *n* per-thread traces whose timestamps reflect the *ideal*
+//! concurrent execution on *n* processors, under the paper's idealizing
+//! assumptions: instant remote accesses, instant barrier synchronization
+//! (threads exit a barrier the moment the last thread enters it), and
+//! unperturbed thread computation.
+//!
+//! The rules, verbatim from the paper:
+//!
+//! * **Non-synchronization events** keep their per-thread inter-event
+//!   deltas: if `e1`, `e2` are consecutive events of one thread with
+//!   measured times `t1`, `t2`, and `e1` was adjusted to `t1'`, then `e2`
+//!   is adjusted to `t2 - t1 + t1'`.
+//! * **Barrier exits** are snapped to the adjusted barrier-entry timestamp
+//!   of the *last* thread to enter that barrier.
+//!
+//! The algorithm also optionally compensates for measurement intrusion:
+//! a fixed per-event recording overhead and a per-reschedule thread-switch
+//! overhead are subtracted from the measured deltas ("the trace
+//! translation algorithm is easily modified to handle the overhead for
+//! recording the events ... and switching the threads").
+
+use crate::error::TraceError;
+use crate::event::{EventKind, ProgramTrace, ThreadTrace, TraceRecord, TraceSet};
+use extrap_time::{BarrierId, DurationNs, ThreadId, TimeNs};
+
+/// Intrusion-compensation knobs for translation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TranslateOptions {
+    /// Cost of recording one event in the measured run; subtracted from
+    /// every per-thread inter-event delta (saturating at zero).
+    pub event_overhead: DurationNs,
+    /// Cost of a thread switch in the measured run; additionally
+    /// subtracted from the delta following each rescheduling point (thread
+    /// begin and barrier exit).
+    pub switch_overhead: DurationNs,
+}
+
+/// Translates a 1-processor program trace into idealized per-thread traces.
+///
+/// Every thread's first event is re-based to time zero (all threads start
+/// simultaneously on the target machine).
+///
+/// # Errors
+/// Returns an error if the trace is malformed, if threads disagree on the
+/// barrier sequence, or if barrier entry/exit events do not alternate
+/// properly.
+pub fn translate(
+    trace: &ProgramTrace,
+    options: TranslateOptions,
+) -> Result<TraceSet, TraceError> {
+    trace.validate()?;
+    let per_thread = trace.split_by_thread();
+
+    // Verify the data-parallel determinism assumption up front: identical
+    // barrier sequences, and exit-follows-enter per thread.
+    let barrier_seq = barrier_sequence_of(&per_thread[0]);
+    for (i, stream) in per_thread.iter().enumerate() {
+        let seq = barrier_sequence_of(stream);
+        if seq != barrier_seq {
+            return Err(TraceError::BarrierMismatch {
+                thread: ThreadId::from_index(i),
+            });
+        }
+        check_barrier_protocol(ThreadId::from_index(i), stream)?;
+    }
+
+    // Per-thread translation state.
+    struct State {
+        cursor: usize,
+        orig_prev: TimeNs,
+        adj_prev: TimeNs,
+        started: bool,
+        /// True when the previous translated event was a rescheduling
+        /// point (thread begin or barrier exit).
+        after_reschedule: bool,
+        out: Vec<TraceRecord>,
+    }
+    let mut states: Vec<State> = per_thread
+        .iter()
+        .map(|_| State {
+            cursor: 0,
+            orig_prev: TimeNs::ZERO,
+            adj_prev: TimeNs::ZERO,
+            started: false,
+            after_reschedule: false,
+            out: Vec::new(),
+        })
+        .collect();
+
+    // Delta-adjusts one event for a thread.
+    let adjust = |st: &mut State, rec: &TraceRecord| {
+        let adj_time = if !st.started {
+            st.started = true;
+            TimeNs::ZERO
+        } else {
+            let mut delta = rec.time.since(st.orig_prev);
+            delta = delta.saturating_sub(options.event_overhead);
+            if st.after_reschedule {
+                delta = delta.saturating_sub(options.switch_overhead);
+            }
+            st.adj_prev + delta
+        };
+        st.orig_prev = rec.time;
+        st.adj_prev = adj_time;
+        st.after_reschedule = matches!(
+            rec.kind,
+            EventKind::ThreadBegin | EventKind::BarrierExit { .. }
+        );
+        st.out.push(TraceRecord {
+            time: adj_time,
+            thread: rec.thread,
+            kind: rec.kind,
+        });
+    };
+
+    // Process barrier by barrier (every thread passes the same sequence).
+    for &barrier in &barrier_seq {
+        // Phase 1: delta-adjust all events up to and including this
+        // barrier's entry, collecting the adjusted entry times.
+        let mut release = TimeNs::ZERO;
+        for st_idx in 0..states.len() {
+            let st = &mut states[st_idx];
+            let stream = &per_thread[st_idx];
+            loop {
+                let rec = &stream[st.cursor];
+                st.cursor += 1;
+                adjust(st, rec);
+                if let EventKind::BarrierEnter { barrier: b } = rec.kind {
+                    debug_assert_eq!(b, barrier);
+                    release = release.max(st.adj_prev);
+                    break;
+                }
+            }
+        }
+        // Phase 2: every thread's next event is the exit of this barrier;
+        // snap it to the release time (the last thread's entry time).
+        for st_idx in 0..states.len() {
+            let st = &mut states[st_idx];
+            let stream = &per_thread[st_idx];
+            let rec = &stream[st.cursor];
+            st.cursor += 1;
+            debug_assert!(matches!(
+                rec.kind,
+                EventKind::BarrierExit { barrier: b } if b == barrier
+            ));
+            st.orig_prev = rec.time;
+            st.adj_prev = release;
+            st.started = true;
+            st.after_reschedule = true;
+            st.out.push(TraceRecord {
+                time: release,
+                thread: rec.thread,
+                kind: rec.kind,
+            });
+        }
+    }
+
+    // Tail: events after the last barrier (at minimum ThreadEnd).
+    for st_idx in 0..states.len() {
+        let st = &mut states[st_idx];
+        let stream = &per_thread[st_idx];
+        while st.cursor < stream.len() {
+            let rec = &stream[st.cursor];
+            st.cursor += 1;
+            adjust(st, rec);
+        }
+    }
+
+    let set = TraceSet {
+        threads: states
+            .into_iter()
+            .enumerate()
+            .map(|(i, st)| ThreadTrace {
+                thread: ThreadId::from_index(i),
+                records: st.out,
+            })
+            .collect(),
+    };
+    set.validate()?;
+    Ok(set)
+}
+
+fn barrier_sequence_of(stream: &[TraceRecord]) -> Vec<BarrierId> {
+    stream
+        .iter()
+        .filter_map(|r| match r.kind {
+            EventKind::BarrierEnter { barrier } => Some(barrier),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Checks that, per thread, every `BarrierEnter(b)` is immediately followed
+/// (in that thread's stream) by `BarrierExit(b)` before any other barrier
+/// event, and exits never appear without a matching entry.
+fn check_barrier_protocol(thread: ThreadId, stream: &[TraceRecord]) -> Result<(), TraceError> {
+    let mut pending: Option<BarrierId> = None;
+    for r in stream {
+        match r.kind {
+            EventKind::BarrierEnter { barrier } => {
+                if let Some(p) = pending {
+                    return Err(TraceError::BarrierProtocol {
+                        thread,
+                        detail: format!("entered {barrier} while still inside {p}"),
+                    });
+                }
+                pending = Some(barrier);
+            }
+            EventKind::BarrierExit { barrier } => match pending.take() {
+                Some(p) if p == barrier => {}
+                Some(p) => {
+                    return Err(TraceError::BarrierProtocol {
+                        thread,
+                        detail: format!("exited {barrier} while inside {p}"),
+                    })
+                }
+                None => {
+                    return Err(TraceError::BarrierProtocol {
+                        thread,
+                        detail: format!("exited {barrier} without entering it"),
+                    })
+                }
+            },
+            _ => {}
+        }
+    }
+    if let Some(p) = pending {
+        return Err(TraceError::BarrierProtocol {
+            thread,
+            detail: format!("never exited {p}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{PhaseProgram, PhaseWork};
+
+    fn uniform(n: usize, phases: &[u64]) -> ProgramTrace {
+        let mut p = PhaseProgram::new(n);
+        for &c in phases {
+            p.push_uniform_phase(DurationNs(c));
+        }
+        p.record()
+    }
+
+    #[test]
+    fn uniform_phases_collapse_to_parallel_time() {
+        // 4 threads, two phases of 1000ns each: on 1 processor the run
+        // takes 8000ns of compute; translated, the makespan is 2000ns.
+        let pt = uniform(4, &[1_000, 1_000]);
+        let ts = translate(&pt, TranslateOptions::default()).unwrap();
+        assert_eq!(ts.makespan(), TimeNs(2_000));
+        for t in &ts.threads {
+            assert_eq!(t.end_time(), TimeNs(2_000));
+        }
+    }
+
+    #[test]
+    fn skewed_phase_waits_for_slowest() {
+        // Thread 1 computes 3x longer; the barrier releases at the slowest
+        // thread's entry.
+        let mut p = PhaseProgram::new(2);
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs(100),
+                accesses: vec![],
+            },
+            PhaseWork {
+                compute: DurationNs(300),
+                accesses: vec![],
+            },
+        ]);
+        p.push_uniform_phase(DurationNs(50));
+        let ts = translate(&p.record(), TranslateOptions::default()).unwrap();
+        // Barrier 0 releases at 300; both threads then compute 50 more.
+        assert_eq!(ts.makespan(), TimeNs(350));
+        let exits: Vec<_> = ts.threads[0]
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, EventKind::BarrierExit { .. }))
+            .map(|r| r.time)
+            .collect();
+        assert_eq!(exits[0], TimeNs(300));
+        assert_eq!(exits[1], TimeNs(350));
+    }
+
+    #[test]
+    fn deltas_are_preserved_for_non_sync_events() {
+        let pt = uniform(3, &[500, 700, 900]);
+        let ts = translate(&pt, TranslateOptions::default()).unwrap();
+        // Every thread's compute deltas (exit -> next enter) must equal the
+        // original phase lengths.
+        for t in &ts.threads {
+            let mut compute = Vec::new();
+            let mut last_resume = TimeNs::ZERO;
+            for r in &t.records {
+                match r.kind {
+                    EventKind::BarrierEnter { .. } => {
+                        compute.push(r.time.since(last_resume).as_ns())
+                    }
+                    EventKind::BarrierExit { .. } | EventKind::ThreadBegin => {
+                        last_resume = r.time
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(compute, vec![500, 700, 900]);
+        }
+    }
+
+    #[test]
+    fn event_overhead_is_subtracted() {
+        // One phase of 1000ns; with 100ns/event overhead the compute delta
+        // between begin and barrier-enter shrinks to 900ns.
+        let pt = uniform(1, &[1_000]);
+        let ts = translate(
+            &pt,
+            TranslateOptions {
+                event_overhead: DurationNs(100),
+                switch_overhead: DurationNs::ZERO,
+            },
+        )
+        .unwrap();
+        let enter = ts.threads[0]
+            .records
+            .iter()
+            .find(|r| matches!(r.kind, EventKind::BarrierEnter { .. }))
+            .unwrap();
+        assert_eq!(enter.time, TimeNs(900));
+    }
+
+    #[test]
+    fn switch_overhead_applies_after_reschedule() {
+        let pt = uniform(1, &[1_000, 1_000]);
+        let ts = translate(
+            &pt,
+            TranslateOptions {
+                event_overhead: DurationNs::ZERO,
+                switch_overhead: DurationNs(200),
+            },
+        )
+        .unwrap();
+        // Phase 0 delta (after ThreadBegin, a reschedule point): 800.
+        // Barrier exits instantly; phase 1 delta (after exit): 800.
+        assert_eq!(ts.makespan(), TimeNs(1_600));
+    }
+
+    #[test]
+    fn single_thread_translation_is_identity_shift() {
+        let pt = uniform(1, &[123, 456]);
+        let ts = translate(&pt, TranslateOptions::default()).unwrap();
+        assert_eq!(ts.makespan(), TimeNs(579));
+    }
+
+    #[test]
+    fn remote_events_keep_relative_position() {
+        use extrap_time::{ElementId, ThreadId};
+        let mut p = PhaseProgram::new(2);
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs(400),
+                accesses: vec![crate::builder::PhaseAccess {
+                    after: DurationNs(150),
+                    owner: ThreadId(1),
+                    element: ElementId(3),
+                    declared_bytes: 64,
+                    actual_bytes: 8,
+                    write: false,
+                }],
+            },
+            PhaseWork {
+                compute: DurationNs(400),
+                accesses: vec![],
+            },
+        ]);
+        let ts = translate(&p.record(), TranslateOptions::default()).unwrap();
+        let remote = ts.threads[0]
+            .records
+            .iter()
+            .find(|r| r.kind.is_remote())
+            .unwrap();
+        assert_eq!(remote.time, TimeNs(150));
+    }
+
+    #[test]
+    fn mismatched_barrier_sequences_rejected() {
+        use crate::builder::ProgramTraceBuilder;
+        let mut b = ProgramTraceBuilder::new(2);
+        for (t, barrier) in [(0u32, 0u32), (1, 1)] {
+            b.emit(ThreadId(t), EventKind::ThreadBegin);
+            b.emit(
+                ThreadId(t),
+                EventKind::BarrierEnter {
+                    barrier: BarrierId(barrier),
+                },
+            );
+            b.emit(
+                ThreadId(t),
+                EventKind::BarrierExit {
+                    barrier: BarrierId(barrier),
+                },
+            );
+            b.emit(ThreadId(t), EventKind::ThreadEnd);
+        }
+        let pt = b.finish();
+        assert!(matches!(
+            translate(&pt, TranslateOptions::default()),
+            Err(TraceError::BarrierMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unmatched_barrier_exit_rejected() {
+        use crate::builder::ProgramTraceBuilder;
+        let mut b = ProgramTraceBuilder::new(1);
+        b.emit(ThreadId(0), EventKind::ThreadBegin);
+        b.emit(
+            ThreadId(0),
+            EventKind::BarrierExit {
+                barrier: BarrierId(0),
+            },
+        );
+        let pt = b.finish();
+        assert!(matches!(
+            translate(&pt, TranslateOptions::default()),
+            Err(TraceError::BarrierProtocol { .. })
+        ));
+    }
+
+    #[test]
+    fn no_phase_program_translates() {
+        let pt = uniform(3, &[]);
+        let ts = translate(&pt, TranslateOptions::default()).unwrap();
+        assert_eq!(ts.n_threads(), 3);
+        assert_eq!(ts.makespan(), TimeNs::ZERO);
+    }
+}

@@ -1,0 +1,60 @@
+//! Robustness of the binary trace codec: arbitrary and corrupted inputs
+//! must produce errors, never panics or bogus successes.
+
+use extrap_time::DurationNs;
+use extrap_trace::{format, PhaseProgram};
+use proptest::prelude::*;
+
+fn sample_bytes() -> Vec<u8> {
+    let mut p = PhaseProgram::new(3);
+    p.push_uniform_phase(DurationNs(100));
+    p.push_uniform_phase(DurationNs(250));
+    format::encode_program(&p.record())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Must return (usually Err), never panic.
+        let _ = format::decode_program(&data);
+        let _ = format::decode_set(&data);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        pos_frac in 0.0f64..1.0,
+        value in any::<u8>(),
+    ) {
+        let mut bytes = sample_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = value;
+        // If it still decodes, it must be a structurally valid trace.
+        if let Ok(pt) = format::decode_program(&bytes) {
+            prop_assert!(pt.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(cut_frac in 0.0f64..1.0) {
+        let bytes = sample_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(format::decode_program(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn round_trip_of_random_phase_programs(
+        n in 1usize..6,
+        phases in proptest::collection::vec(1u64..100_000, 1..5),
+    ) {
+        let mut p = PhaseProgram::new(n);
+        for c in &phases {
+            p.push_uniform_phase(DurationNs(*c));
+        }
+        let pt = p.record();
+        let bytes = format::encode_program(&pt);
+        let back = format::decode_program(&bytes).unwrap();
+        prop_assert_eq!(pt, back);
+    }
+}

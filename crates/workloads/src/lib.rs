@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # extrap-workloads — the pC++ benchmark suite
+//!
+//! Rust reimplementations of the benchmarks the paper uses (Table 2),
+//! written against the `pcpp-rt` object-parallel runtime so that running
+//! them produces instrumented 1-processor traces ready for extrapolation:
+//!
+//! | Benchmark | Paper description                               | Module |
+//! |-----------|--------------------------------------------------|--------|
+//! | Embar     | NAS "embarrassingly parallel" benchmark           | [`embar`] |
+//! | Cyclic    | Cyclic reduction computation                      | [`cyclic`] |
+//! | Sparse    | NAS random sparse conjugate gradient benchmark    | [`sparse`] |
+//! | Grid      | Poisson equation on a two-dimensional grid        | [`grid`] |
+//! | Mgrid     | Multigrid solver benchmark                        | [`mgrid`] |
+//! | Poisson   | Fast Poisson solver                               | [`poisson`] |
+//! | Sort      | Bitonic sort module                               | [`sort`] |
+//! | Matmul    | §4.2 validation program (9 data distributions)    | [`matmul`] |
+//!
+//! Every benchmark performs the *real* computation (results are checked
+//! by its tests) while charging virtual time through the host
+//! [`pcpp_rt::WorkModel`], so the recorded traces are deterministic.
+
+pub mod cyclic;
+pub mod embar;
+pub mod grid;
+pub mod matmul;
+pub mod mgrid;
+pub mod poisson;
+pub mod registry;
+pub mod sort;
+pub mod sparse;
+pub mod util;
+
+pub use registry::{Bench, Scale};

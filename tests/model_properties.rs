@@ -1,0 +1,166 @@
+//! Property-based tests of the extrapolation models over randomized
+//! synthetic phase programs.
+
+use perf_extrap::prelude::*;
+use proptest::prelude::*;
+
+/// One thread's work in one phase: compute ns + optional remote access
+/// (owner offset, declared bytes).
+type PhaseSpec = (u64, Option<(u32, u32)>);
+
+/// Strategy: a random phase-structured program description.
+fn arb_program() -> impl Strategy<Value = (usize, Vec<Vec<PhaseSpec>>)> {
+    // threads in 1..=8; 1..6 phases; per thread per phase: compute in
+    // 1..500us and an optional remote access (owner offset, bytes).
+    (1usize..=8).prop_flat_map(|n| {
+        let phase = proptest::collection::vec(
+            (1_000u64..500_000, proptest::option::of((1u32..8, 1u32..100_000))),
+            n,
+        );
+        (Just(n), proptest::collection::vec(phase, 1..6))
+    })
+}
+
+fn build(n: usize, phases: &[Vec<PhaseSpec>]) -> TraceSet {
+    let mut p = PhaseProgram::new(n);
+    for phase in phases {
+        let work = phase
+            .iter()
+            .enumerate()
+            .map(|(t, &(compute, access))| {
+                let mut w = perf_extrap::trace::PhaseWork {
+                    compute: DurationNs(compute),
+                    accesses: vec![],
+                };
+                if let Some((owner_off, bytes)) = access {
+                    let owner = (t + owner_off as usize) % n;
+                    if owner != t {
+                        w.accesses.push(perf_extrap::trace::PhaseAccess {
+                            after: DurationNs(compute / 2),
+                            owner: ThreadId::from_index(owner),
+                            element: ElementId::from_index(t),
+                            declared_bytes: bytes.max(1),
+                            actual_bytes: (bytes / 4).max(1),
+                            write: false,
+                        });
+                    }
+                }
+                w
+            })
+            .collect();
+        p.push_phase(work);
+    }
+    translate(&p.record(), TranslateOptions::default()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ideal_machine_reproduces_makespan((n, phases) in arb_program()) {
+        let ts = build(n, &phases);
+        let pred = extrapolate(&ts, &machine::ideal()).unwrap();
+        prop_assert_eq!(pred.exec_time(), ts.makespan());
+    }
+
+    #[test]
+    fn predictions_never_beat_the_ideal_schedule((n, phases) in arb_program()) {
+        let ts = build(n, &phases);
+        for params in [machine::default_distributed(), machine::shared_memory(), machine::cm5()] {
+            let pred = extrapolate(&ts, &params).unwrap();
+            let floor = ts.makespan().as_ns() as f64 * params.mips_ratio;
+            prop_assert!(
+                pred.exec_time().as_ns() as f64 >= floor * 0.999,
+                "{:?} beat the scaled ideal: {} < {}",
+                params.policy, pred.exec_time().as_ns(), floor
+            );
+        }
+    }
+
+    #[test]
+    fn mips_ratio_exactly_scales_pure_compute((n, phases) in arb_program()) {
+        // Strip accesses: pure compute programs scale exactly.
+        let stripped: Vec<Vec<PhaseSpec>> = phases
+            .iter()
+            .map(|ph| ph.iter().map(|&(c, _)| (c, None)).collect())
+            .collect();
+        let ts = build(n, &stripped);
+        let mut params = machine::ideal();
+        params.mips_ratio = 2.0;
+        let doubled = extrapolate(&ts, &params).unwrap().exec_time();
+        prop_assert_eq!(doubled.as_ns(), ts.makespan().as_ns() * 2);
+    }
+
+    #[test]
+    fn faster_networks_never_slow_programs_down((n, phases) in arb_program()) {
+        let ts = build(n, &phases);
+        let slow = {
+            let mut p = machine::default_distributed();
+            p.comm = p.comm.with_bandwidth_mbps(5.0);
+            extrapolate(&ts, &p).unwrap().exec_time()
+        };
+        let fast = {
+            let mut p = machine::default_distributed();
+            p.comm = p.comm.with_bandwidth_mbps(500.0);
+            extrapolate(&ts, &p).unwrap().exec_time()
+        };
+        prop_assert!(fast <= slow, "fast {} > slow {}", fast, slow);
+    }
+
+    #[test]
+    fn actual_size_mode_never_loses_to_declared((n, phases) in arb_program()) {
+        // actual_bytes <= declared_bytes by construction.
+        let ts = build(n, &phases);
+        let mut declared = machine::default_distributed();
+        declared.size_mode = SizeMode::Declared;
+        let mut actual = machine::default_distributed();
+        actual.size_mode = SizeMode::Actual;
+        let td = extrapolate(&ts, &declared).unwrap().exec_time();
+        let ta = extrapolate(&ts, &actual).unwrap().exec_time();
+        prop_assert!(ta <= td, "actual {} > declared {}", ta, td);
+    }
+
+    #[test]
+    fn predicted_traces_are_valid_and_consistent((n, phases) in arb_program()) {
+        let ts = build(n, &phases);
+        let pred = extrapolate(&ts, &machine::cm5()).unwrap();
+        pred.predicted.validate().unwrap();
+        prop_assert_eq!(pred.predicted.makespan(), pred.exec_time());
+        // Same barrier structure as the input.
+        prop_assert_eq!(
+            pred.predicted.threads[0].barrier_sequence(),
+            ts.threads[0].barrier_sequence()
+        );
+        // Barrier count matches.
+        prop_assert_eq!(pred.barriers, ts.threads[0].barrier_sequence().len());
+    }
+
+    #[test]
+    fn extrapolation_is_deterministic((n, phases) in arb_program()) {
+        let ts = build(n, &phases);
+        let params = machine::default_distributed();
+        let a = extrapolate(&ts, &params).unwrap();
+        let b = extrapolate(&ts, &params).unwrap();
+        prop_assert_eq!(a.exec_time(), b.exec_time());
+        prop_assert_eq!(a.predicted, b.predicted);
+    }
+
+    #[test]
+    fn multithread_m_equals_n_matches_one_per_proc((n, phases) in arb_program()) {
+        let ts = build(n, &phases);
+        let mut explicit = machine::default_distributed();
+        explicit.multithread.mapping = ThreadMapping::Block { procs: n };
+        let implicit = machine::default_distributed();
+        let a = extrapolate(&ts, &explicit).unwrap().exec_time();
+        let b = extrapolate(&ts, &implicit).unwrap().exec_time();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reference_machine_also_completes((n, phases) in arb_program()) {
+        let ts = build(n, &phases);
+        let pred = RefMachine::new(machine::cm5()).measure(&ts).unwrap();
+        prop_assert!(pred.exec_time() >= TimeNs::ZERO);
+        pred.predicted.validate().unwrap();
+    }
+}

@@ -1,0 +1,206 @@
+//! The paper's headline experimental claims, asserted as tests (at tiny
+//! problem scales; EXPERIMENTS.md records the full-scale runs).
+
+use perf_extrap::prelude::*;
+
+fn speedups(bench: Bench, params: &SimParams, procs: &[usize]) -> Vec<f64> {
+    let base = predict(bench, 1, params).exec_time();
+    procs
+        .iter()
+        .map(|&n| predict(bench, n, params).speedup_vs(base))
+        .collect()
+}
+
+fn predict(bench: Bench, n: usize, params: &SimParams) -> Prediction {
+    let traces = translate(&bench.trace(n, Scale::Tiny), TranslateOptions::default()).unwrap();
+    extrapolate(&traces, params).unwrap()
+}
+
+#[test]
+fn fig4_embar_is_linear_and_sort_is_not() {
+    let params = machine::default_distributed();
+    let procs = [2usize, 4, 8, 16, 32];
+    let embar = speedups(Bench::Embar, &params, &procs);
+    assert!(embar[4] > 15.0, "Embar at 32 procs: {embar:?}");
+    let sort = speedups(Bench::Sort, &params, &procs);
+    assert!(
+        sort[4] < embar[4] / 2.0,
+        "Sort is 'more severely affected': {sort:?}"
+    );
+}
+
+#[test]
+fn fig4_grid_idle_processor_artifact() {
+    // (BLOCK,BLOCK) on a non-square processor count leaves processors
+    // idle: no improvement from 4 to 8, recovery at 16.
+    let params = machine::default_distributed();
+    let s = speedups(Bench::Grid, &params, &[4, 8, 16]);
+    assert!(s[1] <= s[0] * 1.02, "4->8 must not improve: {s:?}");
+    assert!(s[2] > s[1] * 1.2, "16 recovers: {s:?}");
+}
+
+#[test]
+fn fig5_grid_investigation_ordering() {
+    let n = 16;
+    let traces = translate(&Bench::Grid.trace(n, Scale::Tiny), TranslateOptions::default()).unwrap();
+    let base = machine::default_distributed();
+    let mut high_bw = base.clone();
+    high_bw.comm = high_bw.comm.with_bandwidth_mbps(200.0);
+    let mut actual = base.clone();
+    actual.size_mode = SizeMode::Actual;
+    let mut tuned = actual.clone();
+    tuned.comm = tuned.comm.with_startup_us(10.0);
+
+    let t = |p: &SimParams| extrapolate(&traces, p).unwrap().exec_time();
+    let (t_base, t_bw, t_actual, t_tuned, t_ideal) = (
+        t(&base),
+        t(&high_bw),
+        t(&actual),
+        t(&tuned),
+        t(&machine::ideal()),
+    );
+    assert!(t_bw < t_base, "bandwidth helps: {t_bw} vs {t_base}");
+    assert!(t_actual < t_base, "actual sizes help: {t_actual} vs {t_base}");
+    // The paper's punchline: fixing the recorded size is comparable to
+    // the 10x-bandwidth experiment.
+    let ratio = t_actual.as_ns() as f64 / t_bw.as_ns() as f64;
+    assert!((0.8..1.25).contains(&ratio), "comparable: ratio {ratio}");
+    assert!(t_tuned < t_actual);
+    assert!(t_ideal <= t_tuned);
+}
+
+#[test]
+fn fig6_mips_ratio_scales_compute_bound_programs() {
+    let traces = translate(&Bench::Embar.trace(8, Scale::Tiny), TranslateOptions::default()).unwrap();
+    let time_at = |ratio: f64| {
+        let mut params = machine::default_distributed();
+        params.mips_ratio = ratio;
+        extrapolate(&traces, &params).unwrap().exec_time().as_ns() as f64
+    };
+    let (slow, base, fast) = (time_at(2.0), time_at(1.0), time_at(0.5));
+    assert!((slow / base - 2.0).abs() < 0.05, "slow/base = {}", slow / base);
+    assert!((base / fast - 2.0).abs() < 0.1, "base/fast = {}", base / fast);
+}
+
+#[test]
+fn fig6_mgrid_speedup_is_ratio_sensitive() {
+    // Faster processors (smaller ratio) worsen the comm/comp balance, so
+    // speedup drops — the paper's Fig 6(iv).
+    let params_with = |ratio: f64| {
+        let mut p = machine::default_distributed();
+        p.mips_ratio = ratio;
+        p
+    };
+    let procs = [16usize];
+    let s_slow = speedups(Bench::Mgrid, &params_with(2.0), &procs)[0];
+    let s_fast = speedups(Bench::Mgrid, &params_with(0.5), &procs)[0];
+    assert!(
+        s_slow > s_fast * 1.15,
+        "Mgrid speedup should drop with faster processors: {s_slow} vs {s_fast}"
+    );
+}
+
+#[test]
+fn fig7_min_time_processor_count_shifts_down() {
+    // Fig 7: with cheaper compute (MipsRatio 0.25) the execution-time
+    // minimum moves to fewer processors.  Built on a controlled
+    // strong-scaling program: total compute is fixed, split across the
+    // threads, with one barrier per phase whose cost grows with the
+    // processor count.
+    let strong_scaled = |n: usize| {
+        let mut p = PhaseProgram::new(n);
+        for _ in 0..20 {
+            p.push_uniform_phase(DurationNs::from_us(4_000.0 / n as f64));
+        }
+        translate(&p.record(), TranslateOptions::default()).unwrap()
+    };
+    let argmin = |ratio: f64| {
+        let mut params = machine::default_distributed();
+        params.mips_ratio = ratio;
+        params.comm = params.comm.with_startup_us(100.0);
+        [1usize, 2, 4, 8, 16, 32]
+            .into_iter()
+            .min_by_key(|&n| {
+                extrapolate(&strong_scaled(n), &params)
+                    .unwrap()
+                    .exec_time()
+                    .as_ns()
+            })
+            .unwrap()
+    };
+    let full = argmin(1.0);
+    let quarter = argmin(0.25);
+    assert!(
+        quarter < full,
+        "minimum must move to fewer processors: ratio=1 -> P={full}, ratio=0.25 -> P={quarter}"
+    );
+}
+
+#[test]
+fn fig8_no_interrupt_is_never_best() {
+    for bench in [Bench::Cyclic, Bench::Grid] {
+        let traces =
+            translate(&bench.trace(16, Scale::Tiny), TranslateOptions::default()).unwrap();
+        let time_with = |policy: ServicePolicy| {
+            let mut params = machine::default_distributed();
+            params.comm = params.comm.with_startup_us(100.0);
+            params.policy = policy;
+            extrapolate(&traces, &params).unwrap().exec_time()
+        };
+        let none = time_with(ServicePolicy::NoInterrupt);
+        let interrupt = time_with(ServicePolicy::Interrupt);
+        let poll = time_with(ServicePolicy::poll_us(100.0));
+        assert!(
+            none >= interrupt && none >= poll,
+            "{}: no-interrupt {none} vs interrupt {interrupt} / poll {poll}",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn fig9_extrapolation_ranks_distributions_like_the_reference_machine() {
+    use perf_extrap::workloads::matmul;
+    let n = 12;
+    let params = machine::cm5();
+    let reference = RefMachine::new(params.clone());
+    for procs in [4usize, 16] {
+        let mut predicted: Vec<(String, u64, u64)> = Vec::new();
+        for dist in matmul::nine_distributions() {
+            let (trace, _) = matmul::run(procs, &matmul::MatmulConfig { n, dist });
+            let ts = translate(&trace, TranslateOptions::default()).unwrap();
+            let p = extrapolate(&ts, &params).unwrap().exec_time().as_ns();
+            let m = reference.measure(&ts).unwrap().exec_time().as_ns();
+            predicted.push((format!("{dist:?}"), p, m));
+        }
+        let best_pred = predicted.iter().min_by_key(|r| r.1).unwrap();
+        let best_meas = predicted.iter().min_by_key(|r| r.2).unwrap();
+        // The predicted choice's measured time is within 25% of optimum
+        // (the paper reports within 3% at its only miss).
+        let gap = best_pred.2 as f64 / best_meas.2 as f64;
+        assert!(
+            gap < 1.25,
+            "P={procs}: predicted {} measured best {} gap {gap}",
+            best_pred.0,
+            best_meas.0
+        );
+    }
+}
+
+#[test]
+fn validation_reference_machine_is_slower_or_equal_under_hot_spots() {
+    // The link-level simulator resolves contention the analytic model
+    // only approximates; on an all-to-one pattern it must not be faster.
+    let traces = translate(
+        &Bench::Poisson.trace(8, Scale::Tiny),
+        TranslateOptions::default(),
+    )
+    .unwrap();
+    let params = machine::cm5();
+    let analytic = extrapolate(&traces, &params).unwrap().exec_time();
+    let detailed = RefMachine::new(params).measure(&traces).unwrap().exec_time();
+    assert!(
+        detailed.as_ns() as f64 >= analytic.as_ns() as f64 * 0.85,
+        "analytic {analytic} vs detailed {detailed}"
+    );
+}
