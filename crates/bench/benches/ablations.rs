@@ -3,7 +3,7 @@
 //! interval, declared vs actual transfer sizes, and the multithreaded
 //! (m < n) extension.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use extrap_bench::harness::Harness;
 use extrap_bench::ring_traces;
 use extrap_core::{
     extrapolate, machine, BarrierAlgorithm, MultithreadParams, ServicePolicy, SizeMode,
@@ -11,90 +11,87 @@ use extrap_core::{
 };
 use std::hint::black_box;
 
-fn bench_barrier_algorithms(c: &mut Criterion) {
-    let ts = ring_traces(32, 16, 20.0, 256);
-    let mut g = c.benchmark_group("barrier_algorithm");
-    for (name, algorithm) in [
-        ("linear", BarrierAlgorithm::Linear),
-        ("tree4", BarrierAlgorithm::Tree { arity: 4 }),
-        ("hardware", BarrierAlgorithm::Hardware),
-    ] {
-        let mut params = machine::default_distributed();
-        params.barrier.algorithm = algorithm;
-        if algorithm != BarrierAlgorithm::Linear {
-            params.barrier.by_msgs = false;
+fn main() {
+    let mut h = Harness::from_args("ablations");
+
+    {
+        let ts = ring_traces(32, 16, 20.0, 256);
+        for (name, algorithm) in [
+            ("barrier_algorithm/linear", BarrierAlgorithm::Linear),
+            (
+                "barrier_algorithm/tree4",
+                BarrierAlgorithm::Tree { arity: 4 },
+            ),
+            ("barrier_algorithm/hardware", BarrierAlgorithm::Hardware),
+        ] {
+            let mut params = machine::default_distributed();
+            params.barrier.algorithm = algorithm;
+            if algorithm != BarrierAlgorithm::Linear {
+                params.barrier.by_msgs = false;
+            }
+            h.bench(name, || {
+                black_box(extrapolate(&ts, &params).unwrap().exec_time())
+            });
         }
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(extrapolate(&ts, &params).unwrap().exec_time()))
+    }
+
+    {
+        let ts = ring_traces(16, 16, 20.0, 4_096);
+        let params = machine::cm5();
+        let refmachine = extrap_refsim::RefMachine::new(params.clone());
+        h.bench("contention_model/analytic", || {
+            black_box(extrapolate(&ts, &params).unwrap().exec_time())
+        });
+        h.bench("contention_model/link_level", || {
+            black_box(refmachine.measure(&ts).unwrap().exec_time())
         });
     }
-    g.finish();
-}
 
-fn bench_contention_models(c: &mut Criterion) {
-    let ts = ring_traces(16, 16, 20.0, 4_096);
-    let params = machine::cm5();
-    let refmachine = extrap_refsim::RefMachine::new(params.clone());
-    let mut g = c.benchmark_group("contention_model");
-    g.bench_function("analytic", |b| {
-        b.iter(|| black_box(extrapolate(&ts, &params).unwrap().exec_time()))
-    });
-    g.bench_function("link_level", |b| {
-        b.iter(|| black_box(refmachine.measure(&ts).unwrap().exec_time()))
-    });
-    g.finish();
-}
-
-fn bench_poll_intervals(c: &mut Criterion) {
-    let ts = ring_traces(16, 16, 100.0, 1_024);
-    let mut g = c.benchmark_group("poll_interval");
-    for us in [10.0, 100.0, 1000.0] {
-        let mut params = machine::default_distributed();
-        params.policy = ServicePolicy::poll_us(us);
-        g.bench_function(format!("{us}us"), |b| {
-            b.iter(|| black_box(extrapolate(&ts, &params).unwrap().exec_time()))
-        });
+    {
+        let ts = ring_traces(16, 16, 100.0, 1_024);
+        for us in [10.0, 100.0, 1000.0] {
+            let mut params = machine::default_distributed();
+            params.policy = ServicePolicy::poll_us(us);
+            h.bench(&format!("poll_interval/{us}us"), || {
+                black_box(extrapolate(&ts, &params).unwrap().exec_time())
+            });
+        }
     }
-    g.finish();
-}
 
-fn bench_size_modes(c: &mut Criterion) {
-    let ts = ring_traces(16, 16, 20.0, 65_536);
-    let mut g = c.benchmark_group("size_mode");
-    for (name, mode) in [("declared", SizeMode::Declared), ("actual", SizeMode::Actual)] {
-        let mut params = machine::default_distributed();
-        params.size_mode = mode;
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(extrapolate(&ts, &params).unwrap().exec_time()))
-        });
+    {
+        let ts = ring_traces(16, 16, 20.0, 65_536);
+        for (name, mode) in [
+            ("size_mode/declared", SizeMode::Declared),
+            ("size_mode/actual", SizeMode::Actual),
+        ] {
+            let mut params = machine::default_distributed();
+            params.size_mode = mode;
+            h.bench(name, || {
+                black_box(extrapolate(&ts, &params).unwrap().exec_time())
+            });
+        }
     }
-    g.finish();
-}
 
-fn bench_multithread_mappings(c: &mut Criterion) {
-    let ts = ring_traces(16, 16, 50.0, 1_024);
-    let mut g = c.benchmark_group("thread_mapping");
-    for (name, mapping) in [
-        ("one_per_proc", ThreadMapping::OnePerProc),
-        ("block_4", ThreadMapping::Block { procs: 4 }),
-        ("cyclic_4", ThreadMapping::Cyclic { procs: 4 }),
-    ] {
-        let mut params = machine::default_distributed();
-        params.multithread = MultithreadParams {
-            mapping,
-            ..MultithreadParams::default()
-        };
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(extrapolate(&ts, &params).unwrap().exec_time()))
-        });
+    {
+        let ts = ring_traces(16, 16, 50.0, 1_024);
+        for (name, mapping) in [
+            ("thread_mapping/one_per_proc", ThreadMapping::OnePerProc),
+            ("thread_mapping/block_4", ThreadMapping::Block { procs: 4 }),
+            (
+                "thread_mapping/cyclic_4",
+                ThreadMapping::Cyclic { procs: 4 },
+            ),
+        ] {
+            let mut params = machine::default_distributed();
+            params.multithread = MultithreadParams {
+                mapping,
+                ..MultithreadParams::default()
+            };
+            h.bench(name, || {
+                black_box(extrapolate(&ts, &params).unwrap().exec_time())
+            });
+        }
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = ablations;
-    config = Criterion::default().sample_size(20);
-    targets = bench_barrier_algorithms, bench_contention_models,
-              bench_poll_intervals, bench_size_modes, bench_multithread_mappings
+    h.finish();
 }
-criterion_main!(ablations);

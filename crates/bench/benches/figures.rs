@@ -4,111 +4,98 @@
 //! the paper sells ("the ability of extrapolation to predict the results
 //! very quickly").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use extrap_bench::harness::Harness;
 use extrap_bench::suite_traces;
 use extrap_core::{extrapolate, machine, ServicePolicy, SizeMode};
 use extrap_trace::translate;
 use extrap_workloads::{matmul, Bench, Scale};
 use std::hint::black_box;
 
-fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1_barrier_params", |b| {
-        b.iter(|| black_box(extrap_core::BarrierParams::default()))
-    });
-    c.bench_function("table3_cm5_preset", |b| b.iter(|| black_box(machine::cm5())));
-}
+fn main() {
+    let mut h = Harness::from_args("figures");
 
-fn bench_fig4(c: &mut Criterion) {
-    let traces = suite_traces(32);
-    let params = machine::default_distributed();
-    c.bench_function("fig4_suite_extrapolation_p32", |b| {
-        b.iter(|| {
+    h.bench("table1_barrier_params", || {
+        black_box(extrap_core::BarrierParams::default())
+    });
+    h.bench("table3_cm5_preset", || black_box(machine::cm5()));
+
+    {
+        let traces = suite_traces(32);
+        let params = machine::default_distributed();
+        h.bench("fig4_suite_extrapolation_p32", || {
             for (_, ts) in &traces {
                 black_box(extrapolate(ts, &params).unwrap().exec_time());
             }
-        })
-    });
-}
+        });
+    }
 
-fn bench_fig5(c: &mut Criterion) {
-    let grid = translate(&Bench::Grid.trace(16, Scale::Tiny), Default::default()).unwrap();
-    let mut variants = vec![machine::default_distributed(), machine::ideal()];
-    let mut actual = machine::default_distributed();
-    actual.size_mode = SizeMode::Actual;
-    variants.push(actual);
-    c.bench_function("fig5_grid_variants_p16", |b| {
-        b.iter(|| {
+    {
+        let grid = translate(&Bench::Grid.trace(16, Scale::Tiny), Default::default()).unwrap();
+        let mut variants = vec![machine::default_distributed(), machine::ideal()];
+        let mut actual = machine::default_distributed();
+        actual.size_mode = SizeMode::Actual;
+        variants.push(actual);
+        h.bench("fig5_grid_variants_p16", || {
             for params in &variants {
                 black_box(extrapolate(&grid, params).unwrap().exec_time());
             }
-        })
-    });
-}
+        });
+    }
 
-fn bench_fig6(c: &mut Criterion) {
-    let mgrid = translate(&Bench::Mgrid.trace(16, Scale::Tiny), Default::default()).unwrap();
-    c.bench_function("fig6_mgrid_mips_sweep_p16", |b| {
-        b.iter(|| {
+    {
+        let mgrid = translate(&Bench::Mgrid.trace(16, Scale::Tiny), Default::default()).unwrap();
+        h.bench("fig6_mgrid_mips_sweep_p16", || {
             for ratio in [2.0, 1.0, 0.5] {
                 let mut params = machine::default_distributed();
                 params.mips_ratio = ratio;
                 black_box(extrapolate(&mgrid, &params).unwrap().exec_time());
             }
-        })
-    });
-}
+        });
+    }
 
-fn bench_fig7(c: &mut Criterion) {
-    let mgrid = translate(&Bench::Mgrid.trace(8, Scale::Tiny), Default::default()).unwrap();
-    c.bench_function("fig7_mgrid_startup_sweep_p8", |b| {
-        b.iter(|| {
+    {
+        let mgrid = translate(&Bench::Mgrid.trace(8, Scale::Tiny), Default::default()).unwrap();
+        h.bench("fig7_mgrid_startup_sweep_p8", || {
             for startup in [5.0, 100.0, 200.0] {
                 let mut params = machine::default_distributed();
                 params.comm = params.comm.with_startup_us(startup);
                 black_box(extrapolate(&mgrid, &params).unwrap().exec_time());
             }
-        })
-    });
-}
+        });
+    }
 
-fn bench_fig8(c: &mut Criterion) {
-    let cyclic = translate(&Bench::Cyclic.trace(16, Scale::Tiny), Default::default()).unwrap();
-    let policies = [
-        ServicePolicy::NoInterrupt,
-        ServicePolicy::Interrupt,
-        ServicePolicy::poll_us(100.0),
-    ];
-    c.bench_function("fig8_cyclic_policies_p16", |b| {
-        b.iter(|| {
+    {
+        let cyclic = translate(&Bench::Cyclic.trace(16, Scale::Tiny), Default::default()).unwrap();
+        let policies = [
+            ServicePolicy::NoInterrupt,
+            ServicePolicy::Interrupt,
+            ServicePolicy::poll_us(100.0),
+        ];
+        h.bench("fig8_cyclic_policies_p16", || {
             for policy in policies {
                 let mut params = machine::default_distributed();
                 params.comm = params.comm.with_startup_us(100.0);
                 params.policy = policy;
                 black_box(extrapolate(&cyclic, &params).unwrap().exec_time());
             }
-        })
-    });
-}
+        });
+    }
 
-fn bench_fig9(c: &mut Criterion) {
-    let cfg = matmul::MatmulConfig {
-        n: 12,
-        dist: (pcpp_rt::Dist1::Block, pcpp_rt::Dist1::Block),
-    };
-    let ts = translate(&matmul::run(16, &cfg).0, Default::default()).unwrap();
-    let params = machine::cm5();
-    let refmachine = extrap_refsim::RefMachine::new(params.clone());
-    c.bench_function("fig9_matmul_predicted_p16", |b| {
-        b.iter(|| black_box(extrapolate(&ts, &params).unwrap().exec_time()))
-    });
-    c.bench_function("fig9_matmul_measured_p16", |b| {
-        b.iter(|| black_box(refmachine.measure(&ts).unwrap().exec_time()))
-    });
-}
+    {
+        let cfg = matmul::MatmulConfig {
+            n: 12,
+            dist: (pcpp_rt::Dist1::Block, pcpp_rt::Dist1::Block),
+        };
+        let ts = translate(&matmul::run(16, &cfg).0, Default::default()).unwrap();
+        let params = machine::cm5();
+        let refmachine = extrap_refsim::RefMachine::new(params.clone());
+        h.bench("fig9_matmul_predicted_p16", || {
+            black_box(extrapolate(&ts, &params).unwrap().exec_time())
+        });
+        h.bench("fig9_matmul_measured_p16", || {
+            black_box(refmachine.measure(&ts).unwrap().exec_time())
+        });
+    }
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(20);
-    targets = bench_tables, bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_fig8, bench_fig9
+    h.finish();
 }
-criterion_main!(figures);

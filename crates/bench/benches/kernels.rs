@@ -1,86 +1,70 @@
 //! Micro-benchmarks of the pipeline kernels: trace recording,
 //! translation, encoding, and raw simulator event throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use extrap_bench::harness::{Harness, Throughput};
 use extrap_bench::{ring_program, ring_traces};
 use extrap_core::{extrapolate, machine};
 use extrap_time::DurationNs;
 use std::hint::black_box;
 
-fn bench_runtime_recording(c: &mut Criterion) {
-    c.bench_function("pcpp_runtime_8_threads_64_phases", |b| {
-        b.iter(|| {
-            let trace = pcpp_rt::Program::new(8)
-                .with_work_model(pcpp_rt::WorkModel::unit())
-                .run(|ctx| {
-                    for _ in 0..64 {
-                        ctx.charge(DurationNs(1_000));
-                        ctx.barrier();
-                    }
-                });
-            black_box(trace.records.len())
-        })
-    });
-}
+fn main() {
+    let mut h = Harness::from_args("kernels");
 
-fn bench_translation(c: &mut Criterion) {
-    let trace = ring_program(32, 64, 10.0, 256);
-    let mut g = c.benchmark_group("translation");
-    g.throughput(Throughput::Elements(trace.records.len() as u64));
-    g.bench_function("translate_32t_64p", |b| {
-        b.iter(|| black_box(extrap_trace::translate(&trace, Default::default()).unwrap()))
+    h.bench("pcpp_runtime_8_threads_64_phases", || {
+        let trace = pcpp_rt::Program::new(8)
+            .with_work_model(pcpp_rt::WorkModel::unit())
+            .run(|ctx| {
+                for _ in 0..64 {
+                    ctx.charge(DurationNs(1_000));
+                    ctx.barrier();
+                }
+            });
+        black_box(trace.records.len())
     });
-    g.finish();
-}
 
-fn bench_codec(c: &mut Criterion) {
-    let trace = ring_program(32, 64, 10.0, 256);
-    let encoded = extrap_trace::format::encode_program(&trace);
-    let mut g = c.benchmark_group("codec");
-    g.throughput(Throughput::Bytes(encoded.len() as u64));
-    g.bench_function("encode_program", |b| {
-        b.iter(|| black_box(extrap_trace::format::encode_program(&trace).len()))
-    });
-    g.bench_function("decode_program", |b| {
-        b.iter(|| black_box(extrap_trace::format::decode_program(&encoded).unwrap()))
-    });
-    g.finish();
-}
+    {
+        let trace = ring_program(32, 64, 10.0, 256);
+        h.bench_throughput(
+            "translate_32t_64p",
+            Throughput::Elements(trace.records.len() as u64),
+            || black_box(extrap_trace::translate(&trace, Default::default()).unwrap()),
+        );
 
-fn bench_engine_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
+        let encoded = extrap_trace::format::encode_program(&trace);
+        h.bench_throughput(
+            "encode_program",
+            Throughput::Bytes(encoded.len() as u64),
+            || black_box(extrap_trace::format::encode_program(&trace).len()),
+        );
+        h.bench_throughput(
+            "decode_program",
+            Throughput::Bytes(encoded.len() as u64),
+            || black_box(extrap_trace::format::decode_program(&encoded).unwrap()),
+        );
+    }
+
     for &n in &[4usize, 16, 32] {
         let ts = ring_traces(n, 32, 20.0, 1_024);
         let params = machine::default_distributed();
         let events = extrapolate(&ts, &params).unwrap().events_dispatched;
-        g.throughput(Throughput::Elements(events));
-        g.bench_function(format!("extrapolate_ring_{n}t"), |b| {
-            b.iter(|| black_box(extrapolate(&ts, &params).unwrap().exec_time()))
-        });
+        h.bench_throughput(
+            &format!("extrapolate_ring_{n}t"),
+            Throughput::Elements(events),
+            || black_box(extrapolate(&ts, &params).unwrap().exec_time()),
+        );
     }
-    g.finish();
-}
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_dispatch_10k", |b| {
-        b.iter(|| {
-            let mut eng: extrap_sim::Engine<u64> = extrap_sim::Engine::new();
-            for i in 0..10_000u64 {
-                eng.schedule(extrap_time::TimeNs(i % 977), i);
-            }
-            let mut count = 0u64;
-            while eng.next().is_some() {
-                count += 1;
-            }
-            black_box(count)
-        })
+    h.bench("event_queue_schedule_dispatch_10k", || {
+        let mut eng: extrap_sim::Engine<u64> = extrap_sim::Engine::new();
+        for i in 0..10_000u64 {
+            eng.schedule(extrap_time::TimeNs(i % 977), i);
+        }
+        let mut count = 0u64;
+        while eng.next().is_some() {
+            count += 1;
+        }
+        black_box(count)
     });
-}
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets = bench_runtime_recording, bench_translation, bench_codec,
-              bench_engine_throughput, bench_event_queue
+    h.finish();
 }
-criterion_main!(kernels);

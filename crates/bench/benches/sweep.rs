@@ -1,0 +1,95 @@
+//! The parallel sweep engine on the Figure-4 grid (all 7 benchmarks ×
+//! 6 processor counts, translation included): serial vs worker-pool
+//! wall clock, plus the warm-cache (extrapolation-only) comparison.
+//!
+//! Run with `cargo bench --bench sweep`; the trailing summary prints the
+//! measured parallel speedup.
+
+use extrap_bench::harness::Harness;
+use extrap_core::{machine, sweep, SharedTraceCache, SweepGrid};
+use extrap_trace::translate;
+use extrap_workloads::{Bench, Scale};
+use std::hint::black_box;
+use std::time::Instant;
+
+const PROCS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+fn fig4_grid() -> Vec<extrap_core::SweepJob<(Bench, usize)>> {
+    SweepGrid::new()
+        .workloads(Bench::all())
+        .procs(PROCS)
+        .params(machine::default_distributed())
+        .jobs()
+}
+
+fn run_grid(workers: usize, cache: &SharedTraceCache<(Bench, usize)>) -> usize {
+    let jobs = fig4_grid();
+    let results = sweep(&jobs, workers, cache, |(bench, n)| {
+        translate(&bench.trace(*n, Scale::Small), Default::default())
+    });
+    results.iter().filter(|r| r.is_ok()).count()
+}
+
+fn timed(label: &str, runs: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let ok = black_box(f());
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(ok, 42, "all Fig-4 jobs must succeed");
+        best = best.min(secs);
+    }
+    println!("{label:40} {best:>10.3} s");
+    best
+}
+
+fn main() {
+    // `cargo bench --bench sweep -- --workers N` overrides the pool size
+    // (useful for scaling curves); default is all available cores.
+    let args: Vec<String> = std::env::args().collect();
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(extrap_core::sweep::default_workers);
+    println!(
+        "## sweep — Fig-4 grid (7 benchmarks x {} proc counts)",
+        PROCS.len()
+    );
+    println!(
+        "workers: {workers} (available parallelism: {})",
+        extrap_core::sweep::default_workers()
+    );
+
+    // Cold cache: translation + extrapolation both ride the pool.
+    let serial_cold = timed("cold cache, 1 worker", 3, || {
+        run_grid(1, &SharedTraceCache::new())
+    });
+    let parallel_cold = timed(&format!("cold cache, {workers} workers"), 3, || {
+        run_grid(workers, &SharedTraceCache::new())
+    });
+
+    // Warm cache: pure extrapolation fan-out over the shared traces.
+    let warm = SharedTraceCache::new();
+    run_grid(1, &warm);
+    let serial_warm = timed("warm cache, 1 worker", 5, || run_grid(1, &warm));
+    let parallel_warm = timed(&format!("warm cache, {workers} workers"), 5, || {
+        run_grid(workers, &warm)
+    });
+
+    println!(
+        "speedup: cold {:.2}x, warm {:.2}x at {workers} workers",
+        serial_cold / parallel_cold,
+        serial_warm / parallel_warm
+    );
+
+    // The harness-based rows, for the uniform report format.
+    let mut h = Harness::from_args("sweep");
+    let warm2 = SharedTraceCache::new();
+    run_grid(1, &warm2);
+    h.bench("fig4_grid_warm_serial", || run_grid(1, &warm2));
+    h.bench("fig4_grid_warm_pool", || run_grid(workers, &warm2));
+    h.finish();
+}

@@ -1,0 +1,211 @@
+//! A dependency-free benchmark harness (`std::time::Instant` based) for
+//! the `harness = false` bench targets.
+//!
+//! Each target builds a [`Harness`], registers closures with
+//! [`Harness::bench`], and calls [`Harness::finish`].  Per benchmark the
+//! harness warms up, then times batches until it has both a minimum
+//! sample count and a minimum total measurement time, and reports the
+//! median/mean/min time per iteration (plus derived throughput when a
+//! [`Throughput`] is given).  Positional command-line arguments act as
+//! substring filters, matching `cargo bench -- <filter>` usage.
+
+use std::time::{Duration, Instant};
+
+/// What one iteration processes, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements (events, records) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+struct Record {
+    name: String,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// The benchmark runner for one bench target.
+pub struct Harness {
+    filters: Vec<String>,
+    min_samples: usize,
+    min_total: Duration,
+    results: Vec<Record>,
+}
+
+impl Harness {
+    /// A harness configured from the process arguments: positional
+    /// arguments are substring filters, `--quick` cuts the measurement
+    /// budget, and cargo's own `--bench` flag is ignored.
+    pub fn from_args(target: &str) -> Harness {
+        let mut filters = Vec::new();
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--exact" => {}
+                "--quick" => quick = true,
+                a if a.starts_with("--") => {}
+                other => filters.push(other.to_string()),
+            }
+        }
+        println!("## {target}");
+        Harness {
+            filters,
+            min_samples: if quick { 5 } else { 20 },
+            min_total: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(300)
+            },
+            results: Vec::new(),
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    /// Times `f`, recording one result row under `name`.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        self.bench_throughput_opt(name, None, f);
+    }
+
+    /// Times `f` and additionally reports `per_iter` worth of derived
+    /// throughput.
+    pub fn bench_throughput<R>(&mut self, name: &str, per_iter: Throughput, f: impl FnMut() -> R) {
+        self.bench_throughput_opt(name, Some(per_iter), f);
+    }
+
+    fn bench_throughput_opt<R>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut() -> R,
+    ) {
+        if !self.selected(name) {
+            return;
+        }
+        // Warm-up, and pick a batch size aiming at ~1 ms per sample so
+        // Instant overhead stays negligible for nanosecond-scale bodies.
+        let warmup = Instant::now();
+        std::hint::black_box(f());
+        let once = warmup.elapsed();
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1))
+            .clamp(1, 1_000_000) as usize;
+
+        let mut samples_ns: Vec<f64> = Vec::new();
+        let started = Instant::now();
+        while samples_ns.len() < self.min_samples || started.elapsed() < self.min_total {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if samples_ns.len() >= 10_000 {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        self.results.push(Record {
+            name: name.to_string(),
+            median_ns,
+            mean_ns,
+            min_ns: samples_ns[0],
+            samples: samples_ns.len(),
+            throughput,
+        });
+    }
+
+    /// Prints the result table.  Call once, last.
+    pub fn finish(self) {
+        println!(
+            "{:44} {:>12} {:>12} {:>12} {:>8}  throughput",
+            "benchmark", "median", "mean", "min", "samples"
+        );
+        for r in &self.results {
+            let tp = match r.throughput {
+                None => String::new(),
+                Some(Throughput::Elements(n)) => {
+                    format!("{:.1} Melem/s", n as f64 / r.median_ns * 1_000.0)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("{:.1} MB/s", n as f64 / r.median_ns * 1_000.0)
+                }
+            };
+            println!(
+                "{:44} {:>12} {:>12} {:>12} {:>8}  {}",
+                r.name,
+                fmt_ns(r.median_ns),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns),
+                r.samples,
+                tp
+            );
+        }
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_and_reports() {
+        let mut h = Harness {
+            filters: vec![],
+            min_samples: 3,
+            min_total: Duration::from_millis(1),
+            results: Vec::new(),
+        };
+        let mut count = 0u64;
+        h.bench("spin", || {
+            count += 1;
+            std::hint::black_box(count)
+        });
+        assert_eq!(h.results.len(), 1);
+        assert!(h.results[0].median_ns > 0.0);
+        assert!(count > 0);
+        h.finish();
+    }
+
+    #[test]
+    fn filters_skip_unmatched_names() {
+        let mut h = Harness {
+            filters: vec!["match-me".into()],
+            min_samples: 1,
+            min_total: Duration::ZERO,
+            results: Vec::new(),
+        };
+        h.bench("something-else", || 1);
+        assert!(h.results.is_empty());
+        h.bench("does match-me indeed", || 1);
+        assert_eq!(h.results.len(), 1);
+    }
+
+    #[test]
+    fn formats_cover_the_ranges() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+}

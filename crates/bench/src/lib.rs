@@ -1,5 +1,8 @@
 #![warn(missing_docs)]
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures and the std-only timing harness for the bench
+//! targets.
+
+pub mod harness;
 
 use extrap_time::{DurationNs, ElementId, ThreadId};
 use extrap_trace::{PhaseAccess, PhaseProgram, PhaseWork, ProgramTrace, TraceSet};

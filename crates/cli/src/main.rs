@@ -4,12 +4,13 @@
 //! extrap trace     <bench> <threads> [--scale S] -o trace.xtrp
 //! extrap translate trace.xtrp -o traces.xtps [--event-overhead US] [--switch-overhead US]
 //! extrap simulate  traces.xtps [--machine M | --params FILE] [--set KEY=VALUE]... [--predicted OUT]
+//! extrap sweep     <bench>[,<bench>...] [--procs 1,2,...] [--jobs N] [--csv]
 //! extrap report    traces.xtps            # trace statistics
 //! extrap params    [--machine M]          # print a parameter file
 //! extrap benches                          # list benchmarks
 //! ```
 
-use extrap_core::{machine, SimParams};
+use extrap_core::{machine, Extrapolator, SharedTraceCache, SimParams, SweepGrid};
 use extrap_time::DurationNs;
 use extrap_trace::{TraceStats, TranslateOptions};
 use extrap_workloads::{Bench, Scale};
@@ -35,6 +36,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "trace" => cmd_trace(rest),
         "translate" => cmd_translate(rest),
         "simulate" => cmd_simulate(rest),
+        "sweep" => cmd_sweep(rest),
         "report" => cmd_report(rest),
         "timeline" => cmd_timeline(rest),
         "check" => cmd_check(rest),
@@ -52,6 +54,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  extrap translate FILE -o FILE [--event-overhead US] [--switch-overhead US]\n  \
                  extrap simulate FILE [--machine distributed|shared|ideal|cm5] [--params FILE] \
                  [--set KEY=VALUE]... [--predicted FILE]\n  \
+                 extrap sweep <bench>[,<bench>...] [--procs 1,2,4,8,16,32] [--scale S] \
+                 [--machine M] [--params FILE] [--set KEY=VALUE]... [--jobs N] [--csv]\n  \
                  extrap report FILE\n  extrap timeline FILE [--width N]\n  \
                  extrap check FILE\n  extrap diff FILE <machineA> <machineB>\n  \
                  extrap params [--machine M]\n  extrap benches"
@@ -126,7 +130,9 @@ fn cmd_trace(mut args: Vec<String>) -> Result<(), String> {
         .into_iter()
         .find(|b| b.name().eq_ignore_ascii_case(&bench_name))
         .ok_or_else(|| format!("unknown benchmark {bench_name:?}; see `extrap benches`"))?;
-    let threads: usize = threads.parse().map_err(|e| format!("bad thread count: {e}"))?;
+    let threads: usize = threads
+        .parse()
+        .map_err(|e| format!("bad thread count: {e}"))?;
     let trace = bench.trace(threads, scale);
     extrap_trace::writer::write_program_file(&out, &trace).map_err(|e| e.to_string())?;
     println!(
@@ -144,7 +150,10 @@ fn cmd_translate(mut args: Vec<String>) -> Result<(), String> {
         .into();
     let options = TranslateOptions {
         event_overhead: parse_us(take_flag(&mut args, "--event-overhead")?, "event overhead")?,
-        switch_overhead: parse_us(take_flag(&mut args, "--switch-overhead")?, "switch overhead")?,
+        switch_overhead: parse_us(
+            take_flag(&mut args, "--switch-overhead")?,
+            "switch overhead",
+        )?,
     };
     let [input]: [String; 1] = args
         .try_into()
@@ -186,8 +195,13 @@ fn cmd_simulate(mut args: Vec<String>) -> Result<(), String> {
         .try_into()
         .map_err(|_| "usage: extrap simulate FILE [--machine M]".to_string())?;
     let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
-    let pred = extrap_core::extrapolate(&set, &params).map_err(|e| e.to_string())?;
-    println!("predicted execution time: {:.3} ms", pred.exec_time().as_ms());
+    let pred = Extrapolator::new(params)
+        .run(&set)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "predicted execution time: {:.3} ms",
+        pred.exec_time().as_ms()
+    );
     println!("processors:               {}", pred.n_procs);
     println!("barriers completed:       {}", pred.barriers);
     println!(
@@ -198,7 +212,10 @@ fn cmd_simulate(mut args: Vec<String>) -> Result<(), String> {
         "mean contention factor:   {:.3}",
         pred.network.mean_factor()
     );
-    println!("utilization:              {:.1}%", pred.utilization() * 100.0);
+    println!(
+        "utilization:              {:.1}%",
+        pred.utilization() * 100.0
+    );
     println!("comp/comm ratio:          {:.2}", pred.comp_comm_ratio());
     println!("-- per-thread breakdown (ms) --");
     println!(
@@ -220,6 +237,95 @@ fn cmd_simulate(mut args: Vec<String>) -> Result<(), String> {
     if let Some(path) = predicted_out {
         extrap_trace::writer::write_set_file(&path, &pred.predicted).map_err(|e| e.to_string())?;
         println!("predicted trace written to {path}");
+    }
+    Ok(())
+}
+
+/// `extrap sweep`: extrapolate a benchmark × processor-count grid in
+/// parallel through the sweep engine and print one row per benchmark.
+fn cmd_sweep(mut args: Vec<String>) -> Result<(), String> {
+    let params = load_params(&mut args)?;
+    let scale = parse_scale(take_flag(&mut args, "--scale")?)?;
+    let procs: Vec<usize> = match take_flag(&mut args, "--procs")? {
+        None => vec![1, 2, 4, 8, 16, 32],
+        Some(list) => list
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --procs entry {p:?}: {e}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let jobs_flag = match take_flag(&mut args, "--jobs")? {
+        None => extrap_core::sweep::default_workers(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("--jobs needs a positive integer, got {v:?}")),
+        },
+    };
+    let csv = if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let [bench_list]: [String; 1] = args
+        .try_into()
+        .map_err(|_| "usage: extrap sweep <bench>[,<bench>...] [--procs LIST]".to_string())?;
+    let benches: Vec<Bench> = bench_list
+        .split(',')
+        .map(|name| {
+            Bench::all()
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(name.trim()))
+                .ok_or_else(|| format!("unknown benchmark {name:?}; see `extrap benches`"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let grid = SweepGrid::new()
+        .workloads(benches.iter().map(|b| b.name().to_string()))
+        .procs(procs.iter().copied())
+        .params(params)
+        .jobs();
+    let cache = SharedTraceCache::new();
+    let results = extrap_core::sweep(&grid, jobs_flag, &cache, |(name, n)| {
+        let bench = Bench::all()
+            .into_iter()
+            .find(|b| b.name() == name.as_str())
+            .expect("benchmark validated above");
+        extrap_trace::translate(&bench.trace(*n, scale), Default::default())
+    });
+
+    let mut rows = Vec::new();
+    for (job, result) in grid.iter().zip(results) {
+        let pred = result.map_err(|e| e.to_string())?;
+        rows.push((job.key.0.clone(), job.key.1, pred.exec_time().as_ms()));
+    }
+    if csv {
+        println!("bench,procs,time_ms");
+        for (bench, n, ms) in &rows {
+            println!("{bench},{n},{ms:.6}");
+        }
+    } else {
+        print!("{:>10}", "bench");
+        for &n in &procs {
+            print!(" {n:>10}");
+        }
+        println!("   [ms across P]");
+        for chunk in rows.chunks(procs.len()) {
+            print!("{:>10}", chunk[0].0);
+            for (_, _, ms) in chunk {
+                print!(" {ms:>10.3}");
+            }
+            println!();
+        }
+        println!(
+            "({} jobs, {} workers, {} translations)",
+            grid.len(),
+            jobs_flag,
+            cache.translations()
+        );
     }
     Ok(())
 }
@@ -292,8 +398,8 @@ fn cmd_diff(args: Vec<String>) -> Result<(), String> {
     let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
     let pa = parse_machine(Some(ma.clone()))?;
     let pb = parse_machine(Some(mb.clone()))?;
-    let a = extrap_core::extrapolate(&set, &pa).map_err(|e| e.to_string())?;
-    let b = extrap_core::extrapolate(&set, &pb).map_err(|e| e.to_string())?;
+    let a = Extrapolator::new(pa).run(&set).map_err(|e| e.to_string())?;
+    let b = Extrapolator::new(pb).run(&set).map_err(|e| e.to_string())?;
     println!(
         "{}: {:.3} ms    {}: {:.3} ms",
         ma,

@@ -39,7 +39,12 @@ fn full_pipeline_through_the_binary() {
     assert!(out.status.success(), "{out:?}");
     assert!(stdout(&out).contains("4 threads"));
 
-    let out = extrap(&["translate", xtrp.to_str().unwrap(), "-o", xtps.to_str().unwrap()]);
+    let out = extrap(&[
+        "translate",
+        xtrp.to_str().unwrap(),
+        "-o",
+        xtps.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{out:?}");
     assert!(stdout(&out).contains("translated 4 threads"));
 
@@ -69,10 +74,28 @@ fn simulate_honors_param_overrides() {
     let dir = tmpdir("overrides");
     let xtrp = dir.join("embar.xtrp");
     let xtps = dir.join("embar.xtps");
-    extrap(&["trace", "embar", "2", "--scale", "tiny", "-o", xtrp.to_str().unwrap()]);
-    extrap(&["translate", xtrp.to_str().unwrap(), "-o", xtps.to_str().unwrap()]);
+    extrap(&[
+        "trace",
+        "embar",
+        "2",
+        "--scale",
+        "tiny",
+        "-o",
+        xtrp.to_str().unwrap(),
+    ]);
+    extrap(&[
+        "translate",
+        xtrp.to_str().unwrap(),
+        "-o",
+        xtps.to_str().unwrap(),
+    ]);
 
-    let base = stdout(&extrap(&["simulate", xtps.to_str().unwrap(), "--machine", "ideal"]));
+    let base = stdout(&extrap(&[
+        "simulate",
+        xtps.to_str().unwrap(),
+        "--machine",
+        "ideal",
+    ]));
     let slowed = stdout(&extrap(&[
         "simulate",
         xtps.to_str().unwrap(),
@@ -109,8 +132,21 @@ fn params_round_trip_through_a_file() {
 
     let xtrp = dir.join("t.xtrp");
     let xtps = dir.join("t.xtps");
-    extrap(&["trace", "cyclic", "2", "--scale", "tiny", "-o", xtrp.to_str().unwrap()]);
-    extrap(&["translate", xtrp.to_str().unwrap(), "-o", xtps.to_str().unwrap()]);
+    extrap(&[
+        "trace",
+        "cyclic",
+        "2",
+        "--scale",
+        "tiny",
+        "-o",
+        xtrp.to_str().unwrap(),
+    ]);
+    extrap(&[
+        "translate",
+        xtrp.to_str().unwrap(),
+        "-o",
+        xtps.to_str().unwrap(),
+    ]);
 
     let via_file = stdout(&extrap(&[
         "simulate",
@@ -118,7 +154,12 @@ fn params_round_trip_through_a_file() {
         "--params",
         cfg.to_str().unwrap(),
     ]));
-    let via_preset = stdout(&extrap(&["simulate", xtps.to_str().unwrap(), "--machine", "cm5"]));
+    let via_preset = stdout(&extrap(&[
+        "simulate",
+        xtps.to_str().unwrap(),
+        "--machine",
+        "cm5",
+    ]));
     assert_eq!(
         via_file.lines().next(),
         via_preset.lines().next(),
@@ -132,8 +173,21 @@ fn diff_compares_two_machines() {
     let dir = tmpdir("diff");
     let xtrp = dir.join("m.xtrp");
     let xtps = dir.join("m.xtps");
-    extrap(&["trace", "mgrid", "4", "--scale", "tiny", "-o", xtrp.to_str().unwrap()]);
-    extrap(&["translate", xtrp.to_str().unwrap(), "-o", xtps.to_str().unwrap()]);
+    extrap(&[
+        "trace",
+        "mgrid",
+        "4",
+        "--scale",
+        "tiny",
+        "-o",
+        xtrp.to_str().unwrap(),
+    ]);
+    extrap(&[
+        "translate",
+        xtrp.to_str().unwrap(),
+        "-o",
+        xtps.to_str().unwrap(),
+    ]);
     let out = extrap(&["diff", xtps.to_str().unwrap(), "distributed", "cm5"]);
     assert!(out.status.success(), "{out:?}");
     let text = stdout(&out);
@@ -153,4 +207,37 @@ fn bad_inputs_fail_cleanly() {
     let out = extrap(&["benches"]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("Embar"));
+}
+
+#[test]
+fn sweep_is_deterministic_across_worker_counts() {
+    let args = |jobs: &'static str| {
+        [
+            "sweep",
+            "embar,grid",
+            "--scale",
+            "tiny",
+            "--procs",
+            "1,2,4",
+            "--jobs",
+            jobs,
+            "--csv",
+        ]
+    };
+    let serial = extrap(&args("1"));
+    assert!(serial.status.success(), "{serial:?}");
+    let parallel = extrap(&args("8"));
+    assert!(parallel.status.success(), "{parallel:?}");
+    assert_eq!(
+        stdout(&serial),
+        stdout(&parallel),
+        "sweep output must not depend on the worker count"
+    );
+    let text = stdout(&serial);
+    assert!(text.starts_with("bench,procs,time_ms"));
+    assert_eq!(
+        text.lines().count(),
+        1 + 2 * 3,
+        "header + 2 benches x 3 procs"
+    );
 }

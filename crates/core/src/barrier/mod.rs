@@ -314,7 +314,10 @@ mod tests {
         assert_eq!(quantize(anchor, TimeNs(1_100), q), TimeNs(1_100));
         assert_eq!(quantize(anchor, TimeNs(1_101), q), TimeNs(1_200));
         // Zero period observes immediately.
-        assert_eq!(quantize(anchor, TimeNs(1_101), DurationNs::ZERO), TimeNs(1_101));
+        assert_eq!(
+            quantize(anchor, TimeNs(1_101), DurationNs::ZERO),
+            TimeNs(1_101)
+        );
         // Times before the anchor clamp to the anchor.
         assert_eq!(quantize(anchor, TimeNs(500), q), anchor);
     }
@@ -363,8 +366,8 @@ mod tests {
         let b = BarrierId(0);
         c.on_enter(b, ThreadId(0), TimeNs(0)); // master ready at 10
         let actions = c.on_enter(b, ThreadId(1), TimeNs(95)); // done at 105
-        // master observes on its 30ns grid from 10: 105 -> 130; lower at 230.
-        // resumes at 230 + exit(20) = 250 (exit_check = 0).
+                                                              // master observes on its 30ns grid from 10: 105 -> 130; lower at 230.
+                                                              // resumes at 230 + exit(20) = 250 (exit_check = 0).
         let resumes: Vec<TimeNs> = actions
             .iter()
             .map(|a| match a {

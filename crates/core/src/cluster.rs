@@ -148,8 +148,8 @@ pub fn extrapolate_clustered(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::params::ContentionParams;
     use crate::network::topology::Topology;
+    use crate::params::ContentionParams;
 
     fn net() -> ClusteredNetwork {
         ClusteredNetwork::new(

@@ -66,10 +66,7 @@ pub fn diff(a: &Prediction, b: &Prediction) -> PredictionDiff {
         ),
         service: DeltaNs::between(total(a, |t| t.service), total(b, |t| t.service)),
         remote_wait: DeltaNs::between(total(a, |t| t.remote_wait), total(b, |t| t.remote_wait)),
-        barrier_wait: DeltaNs::between(
-            total(a, |t| t.barrier_wait),
-            total(b, |t| t.barrier_wait),
-        ),
+        barrier_wait: DeltaNs::between(total(a, |t| t.barrier_wait), total(b, |t| t.barrier_wait)),
         sched_wait: DeltaNs::between(total(a, |t| t.sched_wait), total(b, |t| t.sched_wait)),
         messages: b.network.messages as i128 - a.network.messages as i128,
         bytes: b.network.bytes as i128 - a.network.bytes as i128,

@@ -147,7 +147,10 @@ struct Pr {
 /// Runs the extrapolation of `traces` on the machine described by
 /// `params`, using the paper's analytic network contention model.
 pub fn run(traces: &TraceSet, params: &SimParams) -> Result<Prediction, ExtrapError> {
-    let n_procs = params.multithread.mapping.n_procs(traces.n_threads().max(1));
+    let n_procs = params
+        .multithread
+        .mapping
+        .n_procs(traces.n_threads().max(1));
     let net = NetworkState::new(n_procs, params.network, params.comm.byte_transfer);
     run_with_network(traces, params, net)
 }
@@ -349,8 +352,7 @@ impl<N: NetModel> Sim<N> {
                             self.queue.schedule(first, Ev::PollTick(t as u32, gen));
                         }
                         _ => {
-                            self.queue
-                                .schedule(now + d, Ev::ComputeDone(t as u32, gen));
+                            self.queue.schedule(now + d, Ev::ComputeDone(t as u32, gen));
                         }
                     }
                     return;
@@ -625,7 +627,13 @@ impl<N: NetModel> Sim<N> {
                     th.gen += 1;
                 }
                 let depart = now + cost;
-                self.send_msg(depart, ThreadId::from_index(o), m.from, reply_bytes, Payload::Reply);
+                self.send_msg(
+                    depart,
+                    ThreadId::from_index(o),
+                    m.from,
+                    reply_bytes,
+                    Payload::Reply,
+                );
                 let (until, gen) = {
                     let th = &self.threads[o];
                     (th.compute_until, th.gen)
@@ -655,7 +663,13 @@ impl<N: NetModel> Sim<N> {
                 self.threads[o].stats.service += svc;
                 self.threads[o].stats.send_overhead += send;
                 self.threads[o].svc_avail = depart;
-                self.send_msg(depart, ThreadId::from_index(o), m.from, reply_bytes, Payload::Reply);
+                self.send_msg(
+                    depart,
+                    ThreadId::from_index(o),
+                    m.from,
+                    reply_bytes,
+                    Payload::Reply,
+                );
             }
             Payload::Write => {
                 self.threads[o].stats.service += svc;

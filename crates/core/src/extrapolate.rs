@@ -2,26 +2,34 @@
 //! measured 1-processor trace → translation → trace-driven simulation →
 //! predicted performance information and metrics.
 
-use crate::engine::{self, ExtrapError};
+use crate::engine::ExtrapError;
 use crate::metrics::Prediction;
 use crate::params::SimParams;
+use crate::session::Extrapolator;
 use extrap_trace::{ProgramTrace, TraceSet, TranslateOptions};
 
 /// Extrapolates already-translated per-thread traces to the target
 /// machine described by `params`.
+///
+/// Thin wrapper over [`Extrapolator`]; prefer the builder when you
+/// configure more than the parameter set or reuse a session across many
+/// traces.
 pub fn extrapolate(traces: &TraceSet, params: &SimParams) -> Result<Prediction, ExtrapError> {
-    engine::run(traces, params)
+    Extrapolator::new(params.clone()).run(traces)
 }
 
 /// Convenience wrapper: translates a raw 1-processor program trace and
 /// extrapolates it in one call.
+///
+/// Thin wrapper over [`Extrapolator::run_program`].
 pub fn extrapolate_program(
     trace: &ProgramTrace,
     translate_options: TranslateOptions,
     params: &SimParams,
 ) -> Result<Prediction, ExtrapError> {
-    let set = extrap_trace::translate(trace, translate_options)?;
-    extrapolate(&set, params)
+    Extrapolator::new(params.clone())
+        .translate_options(translate_options)
+        .run_program(trace)
 }
 
 #[cfg(test)]
@@ -155,7 +163,12 @@ mod tests {
         }
         // No-interrupt can never beat interrupt on this communication-
         // bound pattern: requests to busy threads wait longer.
-        assert!(times[1] <= times[0], "interrupt {} vs no-interrupt {}", times[1], times[0]);
+        assert!(
+            times[1] <= times[0],
+            "interrupt {} vs no-interrupt {}",
+            times[1],
+            times[0]
+        );
     }
 
     #[test]

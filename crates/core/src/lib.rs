@@ -17,9 +17,11 @@
 //!   with the Table 1 cost parameters (tree and hardware variants are
 //!   provided as the paper's "easily substituted" alternatives).
 //!
-//! The top-level entry point is [`extrapolate()`]; machine presets
-//! (including the paper's CM-5 parameter set, Table 3) live in
-//! [`machine`].
+//! The top-level entry point is the [`Extrapolator`] session builder
+//! (the [`extrapolate()`] / [`extrapolate_program()`] free functions
+//! remain as thin wrappers); machine presets (including the paper's CM-5
+//! parameter set, Table 3) live in [`machine`], and whole parameter
+//! grids run in parallel through the [`sweep`] engine.
 
 // Parameter sets are built by mutating a preset/default — that is the
 // intended API style ("take the CM-5 and change MipsRatio").
@@ -37,6 +39,8 @@ pub mod network;
 pub mod params;
 pub mod processor;
 pub mod scalability;
+pub mod session;
+pub mod sweep;
 
 pub use cluster::{extrapolate_clustered, ClusterParams, ClusteredNetwork};
 pub use compare::{diff, DeltaNs, PredictionDiff};
@@ -45,9 +49,11 @@ pub use extrapolate::{extrapolate, extrapolate_program};
 pub use metrics::{Prediction, ProcBreakdown};
 pub use multithread::{MultithreadParams, ThreadMapping};
 pub use network::state::NetModel;
-pub use scalability::{ScalePoint, Scalability};
 pub use network::topology::Topology;
 pub use params::{
     BarrierAlgorithm, BarrierParams, CommParams, ContentionParams, NetworkParams, ServicePolicy,
     SimParams, SizeMode,
 };
+pub use scalability::{Scalability, ScalePoint};
+pub use session::Extrapolator;
+pub use sweep::{parallel_map, sweep, SharedTraceCache, SweepError, SweepGrid, SweepJob};

@@ -5,8 +5,10 @@
 //! approximation, the ideal (zero-cost) environment, and the CM-5 of
 //! Table 3.
 
-use crate::params::{BarrierAlgorithm, BarrierParams, CommParams, ServicePolicy, SimParams, SizeMode};
 use crate::network::topology::Topology;
+use crate::params::{
+    BarrierAlgorithm, BarrierParams, CommParams, ServicePolicy, SimParams, SizeMode,
+};
 use extrap_time::DurationNs;
 
 /// The Fig. 4 experimental environment: a distributed-memory platform

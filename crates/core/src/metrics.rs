@@ -1,9 +1,9 @@
 //! Predicted performance metrics (§2: metrics are derived from the
 //! predicted performance information `PI₂ᵖ`).
 
+use crate::network::NetworkStats;
 use extrap_time::{DurationNs, TimeNs};
 use extrap_trace::TraceSet;
-use crate::network::NetworkStats;
 
 /// Per-thread (≡ per-processor when one thread runs per processor)
 /// breakdown of where predicted time goes.

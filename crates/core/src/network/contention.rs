@@ -6,8 +6,8 @@
 //! multiplied by a factor computed from the intensity of concurrent use
 //! of the interconnect at injection time.
 
-use crate::params::ContentionParams;
 use crate::network::topology::Topology;
+use crate::params::ContentionParams;
 
 /// Computes the delay factor for a message injected while `in_flight`
 /// *other* messages are traversing the network of `n` processors.

@@ -295,7 +295,10 @@ impl SimParams {
     /// Validates ranges (positive ratios, nonzero poll interval, ...).
     pub fn validate(&self) -> Result<(), String> {
         if !(self.mips_ratio.is_finite() && self.mips_ratio > 0.0) {
-            return Err(format!("MipsRatio must be positive, got {}", self.mips_ratio));
+            return Err(format!(
+                "MipsRatio must be positive, got {}",
+                self.mips_ratio
+            ));
         }
         if let ServicePolicy::Poll { interval } = self.policy {
             if interval.is_zero() {
@@ -423,9 +426,9 @@ impl SimParams {
                         "no-interrupt" => ServicePolicy::NoInterrupt,
                         "interrupt" => ServicePolicy::Interrupt,
                         other => {
-                            let interval = other
-                                .strip_prefix("poll:")
-                                .ok_or_else(|| format!("line {}: bad policy {other:?}", lineno + 1))?;
+                            let interval = other.strip_prefix("poll:").ok_or_else(|| {
+                                format!("line {}: bad policy {other:?}", lineno + 1)
+                            })?;
                             ServicePolicy::Poll {
                                 interval: us(interval)?,
                             }
@@ -436,7 +439,9 @@ impl SimParams {
                     p.size_mode = match value {
                         "declared" => SizeMode::Declared,
                         "actual" => SizeMode::Actual,
-                        other => return Err(format!("line {}: bad size mode {other:?}", lineno + 1)),
+                        other => {
+                            return Err(format!("line {}: bad size mode {other:?}", lineno + 1))
+                        }
                     }
                 }
                 "CommStartupTime" => p.comm.startup = us(value)?,
@@ -456,7 +461,10 @@ impl SimParams {
                         "on" | "1" | "true" => true,
                         "off" | "0" | "false" => false,
                         other => {
-                            return Err(format!("line {}: bad contention flag {other:?}", lineno + 1))
+                            return Err(format!(
+                                "line {}: bad contention flag {other:?}",
+                                lineno + 1
+                            ))
                         }
                     }
                 }

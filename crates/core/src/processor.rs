@@ -116,8 +116,8 @@ pub fn total_compute(ops: &[Op]) -> DurationNs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use extrap_trace::{PhaseAccess, PhaseProgram, PhaseWork, TraceRecord};
     use extrap_time::ElementId;
+    use extrap_trace::{PhaseAccess, PhaseProgram, PhaseWork, TraceRecord};
 
     fn compile_first(params: &SimParams) -> Vec<Op> {
         let mut p = PhaseProgram::new(2);

@@ -162,12 +162,7 @@ mod tests {
     fn amdahl_program_recovers_its_serial_fraction() {
         // T(p) = (0.2 + 0.8/p) * 100ms — 20% serial.
         let t = |p: f64| ms((0.2 + 0.8 / p) * 100.0);
-        let s = Scalability::from_times(vec![
-            (1, t(1.0)),
-            (2, t(2.0)),
-            (4, t(4.0)),
-            (16, t(16.0)),
-        ]);
+        let s = Scalability::from_times(vec![(1, t(1.0)), (2, t(2.0)), (4, t(4.0)), (16, t(16.0))]);
         for p in s.points.iter().skip(1) {
             let kf = p.karp_flatt.unwrap();
             assert!((kf - 0.2).abs() < 0.01, "{p:?}");

@@ -1,0 +1,194 @@
+//! The builder-style extrapolation session.
+//!
+//! [`Extrapolator`] bundles everything one prediction needs — the target
+//! machine's [`SimParams`] plus the [`TranslateOptions`] used when raw
+//! 1-processor traces must first be translated — behind a fluent builder,
+//! so call sites read as the what-if questions the paper poses:
+//!
+//! ```
+//! use extrap_core::{machine, Extrapolator, ServicePolicy};
+//! use extrap_trace::PhaseProgram;
+//! use extrap_time::DurationNs;
+//!
+//! let mut p = PhaseProgram::new(4);
+//! p.push_uniform_phase(DurationNs::from_us(100.0));
+//!
+//! let prediction = Extrapolator::new(machine::cm5())
+//!     .policy(ServicePolicy::Interrupt)
+//!     .mips_ratio(0.5)
+//!     .run_program(&p.record())
+//!     .unwrap();
+//! assert_eq!(prediction.n_procs, 4);
+//! ```
+//!
+//! The free functions [`extrapolate`](crate::extrapolate()) and
+//! [`extrapolate_program`](crate::extrapolate_program()) remain as thin
+//! wrappers over this type, and the [`sweep`](crate::sweep) engine runs
+//! whole grids of sessions in parallel.
+
+use crate::engine::{self, ExtrapError};
+use crate::metrics::Prediction;
+use crate::params::{BarrierParams, CommParams, ServicePolicy, SimParams, SizeMode};
+use extrap_trace::{ProgramTrace, TraceSet, TranslateOptions};
+
+/// A configured extrapolation session: target-machine parameters plus
+/// translation options, applied to as many traces as you like.
+#[derive(Clone, Debug, Default)]
+pub struct Extrapolator {
+    params: SimParams,
+    translate: TranslateOptions,
+}
+
+impl Extrapolator {
+    /// Starts a session targeting the machine described by `params`
+    /// (usually one of the [`machine`](crate::machine) presets).
+    pub fn new(params: SimParams) -> Extrapolator {
+        Extrapolator {
+            params,
+            translate: TranslateOptions::default(),
+        }
+    }
+
+    /// Sets the intrusion-compensation options used by
+    /// [`run_program`](Extrapolator::run_program).
+    pub fn translate_options(mut self, options: TranslateOptions) -> Extrapolator {
+        self.translate = options;
+        self
+    }
+
+    /// Sets the remote-request service policy.
+    pub fn policy(mut self, policy: ServicePolicy) -> Extrapolator {
+        self.params.policy = policy;
+        self
+    }
+
+    /// Sets which recorded access size the communication model charges.
+    pub fn size_mode(mut self, mode: SizeMode) -> Extrapolator {
+        self.params.size_mode = mode;
+        self
+    }
+
+    /// Sets the `MipsRatio` compute-speed scaling factor.
+    pub fn mips_ratio(mut self, ratio: f64) -> Extrapolator {
+        self.params.mips_ratio = ratio;
+        self
+    }
+
+    /// Replaces the remote data access model parameters.
+    pub fn comm(mut self, comm: CommParams) -> Extrapolator {
+        self.params.comm = comm;
+        self
+    }
+
+    /// Replaces the barrier model parameters.
+    pub fn barrier(mut self, barrier: BarrierParams) -> Extrapolator {
+        self.params.barrier = barrier;
+        self
+    }
+
+    /// Applies an arbitrary edit to the parameter set — the escape hatch
+    /// for fields without a dedicated builder method.
+    pub fn with_params(mut self, edit: impl FnOnce(&mut SimParams)) -> Extrapolator {
+        edit(&mut self.params);
+        self
+    }
+
+    /// The session's current parameter set.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// The session's translation options.
+    pub fn translation(&self) -> TranslateOptions {
+        self.translate
+    }
+
+    /// Extrapolates already-translated per-thread traces.
+    pub fn run(&self, traces: &TraceSet) -> Result<Prediction, ExtrapError> {
+        engine::run(traces, &self.params)
+    }
+
+    /// Translates a raw 1-processor program trace with the session's
+    /// [`TranslateOptions`] and extrapolates it.
+    pub fn run_program(&self, trace: &ProgramTrace) -> Result<Prediction, ExtrapError> {
+        let set = extrap_trace::translate(trace, self.translate)?;
+        self.run(&set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine;
+    use extrap_time::DurationNs;
+    use extrap_trace::PhaseProgram;
+
+    fn program() -> ProgramTrace {
+        let mut p = PhaseProgram::new(4);
+        p.push_uniform_phase(DurationNs::from_us(50.0));
+        p.push_uniform_phase(DurationNs::from_us(50.0));
+        p.record()
+    }
+
+    #[test]
+    fn builder_matches_hand_built_params() {
+        let pt = program();
+        let mut params = machine::cm5();
+        params.policy = ServicePolicy::NoInterrupt;
+        params.mips_ratio = 2.0;
+        let by_hand = crate::extrapolate_program(&pt, TranslateOptions::default(), &params)
+            .unwrap()
+            .exec_time();
+        let by_builder = Extrapolator::new(machine::cm5())
+            .policy(ServicePolicy::NoInterrupt)
+            .mips_ratio(2.0)
+            .run_program(&pt)
+            .unwrap()
+            .exec_time();
+        assert_eq!(by_hand, by_builder);
+    }
+
+    #[test]
+    fn translate_options_flow_into_run_program() {
+        let noisy = pt_with_overhead();
+        let compensated = Extrapolator::new(machine::ideal())
+            .translate_options(TranslateOptions {
+                event_overhead: DurationNs::from_us(5.0),
+                switch_overhead: DurationNs::ZERO,
+            })
+            .run_program(&noisy)
+            .unwrap();
+        let raw = Extrapolator::new(machine::ideal())
+            .run_program(&noisy)
+            .unwrap();
+        assert!(compensated.exec_time() < raw.exec_time());
+    }
+
+    fn pt_with_overhead() -> ProgramTrace {
+        // A phase program records zero overhead itself; emulate intrusion
+        // by declaring it at translation time on a padded program.
+        let mut p = PhaseProgram::new(2);
+        for _ in 0..4 {
+            p.push_uniform_phase(DurationNs::from_us(100.0));
+        }
+        p.record()
+    }
+
+    #[test]
+    fn with_params_edits_arbitrary_fields() {
+        let session = Extrapolator::new(machine::default_distributed())
+            .with_params(|p| p.barrier.msg_size = 99);
+        assert_eq!(session.params().barrier.msg_size, 99);
+    }
+
+    #[test]
+    fn run_equals_free_function() {
+        let pt = program();
+        let ts = extrap_trace::translate(&pt, TranslateOptions::default()).unwrap();
+        let params = machine::default_distributed();
+        let a = Extrapolator::new(params.clone()).run(&ts).unwrap();
+        let b = crate::extrapolate(&ts, &params).unwrap();
+        assert_eq!(a.exec_time(), b.exec_time());
+        assert_eq!(a.predicted, b.predicted);
+    }
+}

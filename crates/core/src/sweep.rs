@@ -1,0 +1,529 @@
+//! The parallel sweep engine.
+//!
+//! The paper's economics are that **one** 1-processor trace is cheap to
+//! re-simulate under *many* `(machine × policy × P)` parameter sets, so
+//! sweep-style pipelines dominate real use: every figure of §4 is a grid
+//! of extrapolations over the same handful of traces.  This module turns
+//! such grids into a declarative job list executed across a fixed worker
+//! pool:
+//!
+//! * [`SweepGrid`] — a cartesian builder producing `(workload, n_procs,
+//!   SimParams)` jobs in a deterministic order;
+//! * [`SharedTraceCache`] — a concurrent, share-by-`&self` memo table
+//!   that translates each `(workload, n)` trace **exactly once**
+//!   (single-flight: two workers never translate the same trace twice);
+//! * [`sweep`] / [`parallel_map`] — scoped worker threads over
+//!   `std::sync::mpsc`, with results collected **by job index**, never by
+//!   completion order, so the output is bit-identical to the serial loop
+//!   (`workers = 1` *is* the serial loop).
+//!
+//! The build container has no crates.io access, so the pool is plain
+//! `std::thread::scope` + `std::sync::mpsc` and the cache uses
+//! `std::sync::RwLock`/`OnceLock` rather than the crossbeam/parking_lot
+//! equivalents; the interfaces are shaped so those could be swapped back
+//! in without touching callers.
+//!
+//! ```
+//! use extrap_core::sweep::{sweep, SharedTraceCache, SweepGrid};
+//! use extrap_core::machine;
+//! use extrap_trace::{translate, PhaseProgram};
+//! use extrap_time::DurationNs;
+//!
+//! let jobs = SweepGrid::new()
+//!     .workloads(["uniform"])
+//!     .procs([1, 2, 4])
+//!     .param_sets([machine::cm5(), machine::ideal()])
+//!     .jobs();
+//! let cache = SharedTraceCache::new();
+//! let results = sweep(&jobs, 4, &cache, |&(_, n)| {
+//!     let mut p = PhaseProgram::new(n);
+//!     p.push_uniform_phase(DurationNs::from_us(100.0));
+//!     translate(&p.record(), Default::default())
+//! });
+//! assert_eq!(results.len(), 6);
+//! assert_eq!(cache.translations(), 3); // one per distinct (workload, n)
+//! ```
+
+use crate::engine::ExtrapError;
+use crate::metrics::Prediction;
+use crate::params::SimParams;
+use crate::session::Extrapolator;
+use extrap_trace::{TraceError, TraceSet};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock, RwLock};
+
+// ---------------------------------------------------------------------
+// Concurrent trace cache
+// ---------------------------------------------------------------------
+
+/// A memoized translation outcome.  Translation errors are memoized as
+/// their rendered message (the error types own `io::Error`s and cannot
+/// be cloned); every later hit resurfaces the same failure.
+type CacheSlot = Arc<OnceLock<Result<Arc<TraceSet>, String>>>;
+
+/// A concurrent translate-once trace cache, shared by `&self`.
+///
+/// Workers race for the same `(workload, n)` all the time — a Fig-4 grid
+/// asks for every benchmark's trace at six processor counts under one
+/// parameter set per series.  Each distinct key is translated exactly
+/// once: the per-key [`OnceLock`] makes initialization single-flight
+/// (losers of the race block until the winner's value lands), and the
+/// outer [`RwLock`] is held only to look up or insert the slot, never
+/// during translation.
+pub struct SharedTraceCache<K = (&'static str, usize)> {
+    entries: RwLock<HashMap<K, CacheSlot>>,
+    translations: AtomicUsize,
+}
+
+impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
+    /// An empty cache.
+    pub fn new() -> SharedTraceCache<K> {
+        SharedTraceCache {
+            entries: RwLock::new(HashMap::new()),
+            translations: AtomicUsize::new(0),
+        }
+    }
+
+    /// The translated trace for `key`, building it with `translate` on
+    /// the first request (all concurrent requesters share that one run).
+    pub fn get_or_translate(
+        &self,
+        key: K,
+        translate: impl FnOnce() -> Result<TraceSet, TraceError>,
+    ) -> Result<Arc<TraceSet>, ExtrapError> {
+        let slot = self.slot(key);
+        let outcome = slot.get_or_init(|| {
+            self.translations.fetch_add(1, Ordering::Relaxed);
+            translate().map(Arc::new).map_err(|e| e.to_string())
+        });
+        match outcome {
+            Ok(ts) => Ok(Arc::clone(ts)),
+            Err(detail) => Err(ExtrapError::Trace(TraceError::Format {
+                detail: detail.clone(),
+            })),
+        }
+    }
+
+    /// Looks up or inserts the per-key slot; never blocks on translation.
+    fn slot(&self, key: K) -> CacheSlot {
+        if let Some(slot) = self.entries.read().expect("cache lock").get(&key) {
+            return Arc::clone(slot);
+        }
+        let mut map = self.entries.write().expect("cache lock");
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// How many translations actually ran (cache misses).
+    pub fn translations(&self) -> usize {
+        self.translations.load(Ordering::Relaxed)
+    }
+
+    /// How many distinct keys have been requested.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + Clone> Default for SharedTraceCache<K> {
+    fn default() -> Self {
+        SharedTraceCache::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> fmt::Debug for SharedTraceCache<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedTraceCache")
+            .field("keys", &self.len())
+            .field("translations", &self.translations())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic parallel map
+// ---------------------------------------------------------------------
+
+/// Applies `f` to every item across `workers` scoped threads, returning
+/// results **in item order** regardless of completion order.
+///
+/// Work is handed out through a shared atomic cursor (no pre-chunking, so
+/// stragglers cannot serialize a whole chunk) and results travel back
+/// over an `mpsc` channel tagged with their index.  `workers <= 1`
+/// degenerates to the plain serial loop on the calling thread, which is
+/// the determinism baseline: parallel output is defined to be whatever
+/// the serial loop produces.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                // The receiver outlives the workers unless a sibling
+                // panicked; stop quietly in that case and let the scope
+                // propagate the panic.
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index was dispatched exactly once"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Jobs and grids
+// ---------------------------------------------------------------------
+
+/// One extrapolation job: which trace ([`SweepJob::key`], conventionally
+/// `(workload, n_procs)`) under which parameter set.
+#[derive(Clone, Debug)]
+pub struct SweepJob<K> {
+    /// Identity of the translated trace this job replays.
+    pub key: K,
+    /// Target-machine parameters for this job.
+    pub params: SimParams,
+}
+
+/// A sweep failure, carrying the failing job's key for context.
+#[derive(Debug)]
+pub struct SweepError<K> {
+    /// Key of the job that failed.
+    pub key: K,
+    /// The underlying pipeline error.
+    pub error: ExtrapError,
+}
+
+impl<K: fmt::Debug> fmt::Display for SweepError<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep job {:?}: {}", self.key, self.error)
+    }
+}
+
+impl<K: fmt::Debug> std::error::Error for SweepError<K> {}
+
+/// Cartesian grid builder: `workloads × param_sets × procs`, flattened
+/// into [`SweepJob`]s in exactly that (deterministic) nesting order —
+/// jobs `[i * procs.len() .. (i + 1) * procs.len()]` are series `i`'s
+/// points, matching how the experiment harness slices results back into
+/// per-series rows.
+#[derive(Clone, Debug)]
+pub struct SweepGrid<W> {
+    workloads: Vec<W>,
+    procs: Vec<usize>,
+    params: Vec<SimParams>,
+}
+
+impl<W: Clone> SweepGrid<W> {
+    /// An empty grid.
+    pub fn new() -> SweepGrid<W> {
+        SweepGrid {
+            workloads: Vec::new(),
+            procs: Vec::new(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Sets the workloads axis.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = W>) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Sets the processor-count axis.
+    pub fn procs(mut self, procs: impl IntoIterator<Item = usize>) -> Self {
+        self.procs = procs.into_iter().collect();
+        self
+    }
+
+    /// Sets the parameter axis to a single set.
+    pub fn params(self, params: SimParams) -> Self {
+        self.param_sets([params])
+    }
+
+    /// Sets the parameter axis.
+    pub fn param_sets(mut self, params: impl IntoIterator<Item = SimParams>) -> Self {
+        self.params = params.into_iter().collect();
+        self
+    }
+
+    /// Flattens the grid into jobs keyed by `(workload, n_procs)`.
+    pub fn jobs(self) -> Vec<SweepJob<(W, usize)>> {
+        let mut out =
+            Vec::with_capacity(self.workloads.len() * self.params.len() * self.procs.len());
+        for w in &self.workloads {
+            for p in &self.params {
+                for &n in &self.procs {
+                    out.push(SweepJob {
+                        key: (w.clone(), n),
+                        params: p.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<W: Clone> Default for SweepGrid<W> {
+    fn default() -> Self {
+        SweepGrid::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------
+
+/// Runs every job across `workers` threads, translating each distinct
+/// key at most once through `cache` via `source`.
+///
+/// Results come back **indexed by job position**: `results[i]` is job
+/// `i`'s prediction no matter which worker finished first, so output is
+/// bit-identical to the `workers = 1` serial loop (extrapolation itself
+/// is deterministic; the only nondeterminism a thread pool could add is
+/// ordering, and that is removed here).
+pub fn sweep<K, F>(
+    jobs: &[SweepJob<K>],
+    workers: usize,
+    cache: &SharedTraceCache<K>,
+    source: F,
+) -> Vec<Result<Prediction, SweepError<K>>>
+where
+    K: Eq + Hash + Clone + Send + Sync,
+    F: Fn(&K) -> Result<TraceSet, TraceError> + Sync,
+{
+    parallel_map(jobs, workers, |_, job| {
+        let traces = cache
+            .get_or_translate(job.key.clone(), || source(&job.key))
+            .map_err(|error| SweepError {
+                key: job.key.clone(),
+                error,
+            })?;
+        Extrapolator::new(job.params.clone())
+            .run(&traces)
+            .map_err(|error| SweepError {
+                key: job.key.clone(),
+                error,
+            })
+    })
+}
+
+/// The number of workers to use when the caller does not say: the
+/// machine's available parallelism, capped so tiny grids do not spawn
+/// idle threads.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine;
+    use extrap_time::DurationNs;
+    use extrap_trace::{translate, PhaseProgram};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn uniform(n: usize) -> Result<TraceSet, TraceError> {
+        let mut p = PhaseProgram::new(n);
+        p.push_uniform_phase(DurationNs::from_us(100.0));
+        p.push_uniform_phase(DurationNs::from_us(40.0));
+        translate(&p.record(), Default::default())
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let doubled = parallel_map(&items, 8, |_, &x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_with_one_worker_is_the_serial_loop() {
+        let items = [3usize, 1, 4, 1, 5];
+        assert_eq!(
+            parallel_map(&items, 1, |i, &x| (i, x)),
+            items.iter().copied().enumerate().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cache_translates_each_key_exactly_once_under_contention() {
+        // 8 threads all demand the same two keys at the same instant; the
+        // single-flight slot must run each translation exactly once.
+        let cache: SharedTraceCache<(&'static str, usize)> = SharedTraceCache::new();
+        let calls = AtomicUsize::new(0);
+        let gate = Barrier::new(8);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let cache = &cache;
+                let calls = &calls;
+                let gate = &gate;
+                s.spawn(move || {
+                    gate.wait();
+                    for round in 0..10 {
+                        let key = ("contended", (t + round) % 2 + 2);
+                        let ts = cache
+                            .get_or_translate(key, || {
+                                calls.fetch_add(1, Ordering::Relaxed);
+                                uniform(key.1)
+                            })
+                            .unwrap();
+                        assert_eq!(ts.n_threads(), key.1);
+                    }
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "one translation per key");
+        assert_eq!(cache.translations(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_memoizes_errors() {
+        let cache: SharedTraceCache<u32> = SharedTraceCache::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let err = cache.get_or_translate(7, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err(TraceError::Format {
+                    detail: "synthetic".into(),
+                })
+            });
+            assert!(err.is_err());
+        }
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "failures are memoized too"
+        );
+    }
+
+    #[test]
+    fn grid_order_is_workload_params_procs() {
+        let jobs = SweepGrid::new()
+            .workloads(["a", "b"])
+            .procs([1, 2])
+            .param_sets([machine::ideal(), machine::cm5()])
+            .jobs();
+        let keys: Vec<(&str, usize)> = jobs.iter().map(|j| j.key).collect();
+        assert_eq!(
+            keys,
+            [
+                ("a", 1),
+                ("a", 2),
+                ("a", 1),
+                ("a", 2),
+                ("b", 1),
+                ("b", 2),
+                ("b", 1),
+                ("b", 2),
+            ]
+        );
+        assert_eq!(jobs[0].params.mips_ratio, machine::ideal().mips_ratio);
+        assert_eq!(jobs[2].params.mips_ratio, machine::cm5().mips_ratio);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_worker_counts() {
+        let jobs = SweepGrid::new()
+            .workloads(["uniform"])
+            .procs([1, 2, 4, 8])
+            .param_sets([
+                machine::ideal(),
+                machine::cm5(),
+                machine::default_distributed(),
+            ])
+            .jobs();
+        let run = |workers| {
+            let cache = SharedTraceCache::new();
+            sweep(&jobs, workers, &cache, |&(_, n)| uniform(n))
+        };
+        let serial = run(1);
+        for workers in [2, 4, 8] {
+            let parallel = run(workers);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.exec_time(), b.exec_time());
+                assert_eq!(a.predicted, b.predicted);
+                assert_eq!(a.per_thread, b.per_thread);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_shares_translations_across_param_sets() {
+        let jobs = SweepGrid::new()
+            .workloads(["u"])
+            .procs([2, 4])
+            .param_sets([machine::ideal(), machine::cm5(), machine::shared_memory()])
+            .jobs();
+        let cache = SharedTraceCache::new();
+        let results = sweep(&jobs, 4, &cache, |&(_, n)| uniform(n));
+        assert_eq!(results.len(), 6);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(cache.translations(), 2, "2 keys, 3 param sets each");
+    }
+
+    #[test]
+    fn sweep_errors_carry_the_failing_key() {
+        let jobs = vec![
+            SweepJob {
+                key: ("ok", 2usize),
+                params: machine::ideal(),
+            },
+            SweepJob {
+                key: ("broken", 2usize),
+                params: machine::ideal(),
+            },
+        ];
+        let cache = SharedTraceCache::new();
+        let results = sweep(&jobs, 2, &cache, |&(name, n)| {
+            if name == "broken" {
+                Err(TraceError::Format {
+                    detail: "no such workload".into(),
+                })
+            } else {
+                uniform(n)
+            }
+        });
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert_eq!(err.key, ("broken", 2));
+        assert!(err.to_string().contains("broken"));
+    }
+}

@@ -329,8 +329,8 @@ fn prediction_breakdown_accounts_for_the_whole_makespan() {
     let ts = extrap_trace::translate(&p.record(), Default::default()).unwrap();
     let pred = extrapolate(&ts, &machine::default_distributed()).unwrap();
     let b = &pred.per_thread[0];
-    let accounted = b.compute + b.send_overhead + b.service + b.remote_wait + b.barrier_wait
-        + b.sched_wait;
+    let accounted =
+        b.compute + b.send_overhead + b.service + b.remote_wait + b.barrier_wait + b.sched_wait;
     assert_eq!(
         b.end_time.as_ns(),
         accounted.as_ns(),

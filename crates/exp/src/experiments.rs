@@ -1,20 +1,83 @@
-//! The paper's experiments (§4), one function per table/figure.
+//! The paper's experiments (§4), one function per table/figure, all
+//! running on the [`sweep`](extrap_core::sweep) engine: each figure
+//! flattens its parameter grid into jobs, executes them across the
+//! harness's worker pool, and slices the (job-index-ordered, therefore
+//! deterministic) predictions back into series.
 
 use crate::series::Series;
-use extrap_core::{extrapolate, machine, Prediction, ServicePolicy, SimParams, SizeMode};
-use extrap_trace::{translate, TraceSet};
+use extrap_core::{
+    machine, parallel_map, sweep, ExtrapError, Prediction, ServicePolicy, SharedTraceCache,
+    SimParams, SizeMode, SweepJob,
+};
+use extrap_trace::{translate, TraceError, TraceSet};
 use extrap_workloads::{matmul, Bench, Scale};
-use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 /// The processor counts of every scaling experiment ("1, 2, 4, 8, 16,
 /// and 32 processors").
 pub const PROCS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
+/// A harness failure, carrying the `(bench, n, params)` coordinates of
+/// the failing job so figure-sized grids do not reduce to an anonymous
+/// panic.
+#[derive(Debug)]
+pub struct ExpError {
+    /// Workload (benchmark name or matmul distribution label).
+    pub bench: String,
+    /// Processor count of the failing job.
+    pub n_procs: usize,
+    /// Compact description of the failing parameter set.
+    pub params: String,
+    /// The underlying pipeline error.
+    pub source: ExtrapError,
+}
+
+impl ExpError {
+    fn new(bench: &str, n_procs: usize, params: &SimParams, source: ExtrapError) -> ExpError {
+        ExpError {
+            bench: bench.to_string(),
+            n_procs,
+            params: format!(
+                "mips_ratio={}, policy={:?}, size_mode={:?}",
+                params.mips_ratio, params.policy, params.size_mode
+            ),
+            source,
+        }
+    }
+
+    fn translation(bench: &str, n_procs: usize, source: ExtrapError) -> ExpError {
+        ExpError {
+            bench: bench.to_string(),
+            n_procs,
+            params: "trace translation".to_string(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at P={} [{}]: {}",
+            self.bench, self.n_procs, self.params, self.source
+        )
+    }
+}
+
+impl std::error::Error for ExpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Caches translated traces: the same 1-processor measurement feeds many
-/// parameter sets (the whole point of extrapolation).
-#[derive(Default)]
+/// parameter sets (the whole point of extrapolation).  Concurrent and
+/// shared by `&self`; each `(workload, n)` translates exactly once even
+/// when every worker of a sweep demands it simultaneously.
 pub struct TraceCache {
-    traces: HashMap<(&'static str, usize), TraceSet>,
+    inner: SharedTraceCache<(String, usize)>,
     scale: Scale,
 }
 
@@ -22,55 +85,211 @@ impl TraceCache {
     /// A cache for one problem scale.
     pub fn new(scale: Scale) -> TraceCache {
         TraceCache {
-            traces: HashMap::new(),
+            inner: SharedTraceCache::new(),
             scale,
         }
     }
 
+    /// The problem scale the cache translates at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
     /// The translated trace of `bench` at `n` threads.
-    pub fn get(&mut self, bench: Bench, n: usize) -> &TraceSet {
+    pub fn get(&self, bench: Bench, n: usize) -> Result<Arc<TraceSet>, ExpError> {
         let scale = self.scale;
-        self.traces.entry((bench.name(), n)).or_insert_with(|| {
-            translate(&bench.trace(n, scale), Default::default())
-                .expect("benchmark produced an untranslatable trace")
-        })
+        self.inner
+            .get_or_translate((bench.name().to_string(), n), || {
+                translate(&bench.trace(n, scale), Default::default())
+            })
+            .map_err(|e| ExpError::translation(bench.name(), n, e))
+    }
+
+    /// How many translations have actually run (cache misses).
+    pub fn translations(&self) -> usize {
+        self.inner.translations()
+    }
+
+    /// How many distinct `(workload, n)` keys are cached.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
     }
 }
 
-/// Extrapolates one benchmark at one processor count.
-pub fn predict(cache: &mut TraceCache, bench: Bench, n: usize, params: &SimParams) -> Prediction {
-    extrapolate(cache.get(bench, n), params).expect("extrapolation failed")
+impl Default for TraceCache {
+    fn default() -> TraceCache {
+        TraceCache::new(Scale::default())
+    }
 }
 
-/// Execution-time series (milliseconds) across [`PROCS`].
-pub fn time_series(
-    cache: &mut TraceCache,
-    label: impl Into<String>,
-    bench: Bench,
-    params: &SimParams,
-) -> Series {
+/// The experiment harness: a shared trace cache plus the worker count
+/// every figure's sweep runs with.  `jobs = 1` is the serial baseline;
+/// any other worker count produces byte-identical output.
+pub struct Harness {
+    cache: TraceCache,
+    jobs: usize,
+}
+
+impl Harness {
+    /// A harness at `scale` sweeping with `jobs` workers.
+    pub fn new(scale: Scale, jobs: usize) -> Harness {
+        Harness {
+            cache: TraceCache::new(scale),
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// The serial (1-worker) harness.
+    pub fn serial(scale: Scale) -> Harness {
+        Harness::new(scale, 1)
+    }
+
+    /// The shared trace cache.
+    pub fn cache(&self) -> &TraceCache {
+        &self.cache
+    }
+
+    /// The problem scale.
+    pub fn scale(&self) -> Scale {
+        self.cache.scale
+    }
+
+    /// The sweep worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Resolves a workload key to a fresh translated trace (the sweep
+    /// cache's miss path).  Benchmark names come from [`Bench::all`];
+    /// `(R,C)`-style keys are matmul distribution labels.
+    fn translate_key(&self, key: &(String, usize)) -> Result<TraceSet, TraceError> {
+        let (name, n) = key;
+        if let Some(bench) = Bench::all().into_iter().find(|b| b.name() == name.as_str()) {
+            return translate(&bench.trace(*n, self.cache.scale), Default::default());
+        }
+        if let Some(dist) = matmul::nine_distributions()
+            .into_iter()
+            .find(|d| matmul_label(d) == *name)
+        {
+            let cfg = matmul::MatmulConfig {
+                n: matmul_order(self.cache.scale),
+                dist,
+            };
+            return translate(&matmul::run(*n, &cfg).0, Default::default());
+        }
+        Err(TraceError::Format {
+            detail: format!("unknown workload key {name:?}"),
+        })
+    }
+
+    /// Runs one sweep over explicit `(workload-key, params)` jobs.
+    fn run_jobs(&self, jobs: Vec<SweepJob<(String, usize)>>) -> Result<Vec<Prediction>, ExpError> {
+        let results = sweep(&jobs, self.jobs, &self.cache.inner, |key| {
+            self.translate_key(key)
+        });
+        results
+            .into_iter()
+            .zip(&jobs)
+            .map(|(r, job)| r.map_err(|e| ExpError::new(&e.key.0, e.key.1, &job.params, e.error)))
+            .collect()
+    }
+
+    /// Runs `specs` (one per series) across [`PROCS`] and returns each
+    /// spec's predictions in processor order.
+    fn run_specs(
+        &self,
+        specs: &[(String, Bench, SimParams)],
+    ) -> Result<Vec<Vec<Prediction>>, ExpError> {
+        let jobs = specs
+            .iter()
+            .flat_map(|(_, bench, params)| {
+                PROCS.iter().map(|&n| SweepJob {
+                    key: (bench.name().to_string(), n),
+                    params: params.clone(),
+                })
+            })
+            .collect();
+        let flat = self.run_jobs(jobs)?;
+        Ok(flat.chunks(PROCS.len()).map(|c| c.to_vec()).collect())
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness::new(Scale::default(), extrap_core::sweep::default_workers())
+    }
+}
+
+fn matmul_label(dist: &(pcpp_rt::Dist1, pcpp_rt::Dist1)) -> String {
+    format!("({},{})", dist.0.letter(), dist.1.letter())
+}
+
+fn matmul_order(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 12,
+        Scale::Small => 32,
+        Scale::Paper => 48,
+    }
+}
+
+/// Execution-time series (milliseconds) from per-processor predictions.
+fn times_of(label: &str, preds: &[Prediction]) -> Series {
     let mut s = Series::new(label);
-    for &n in &PROCS {
-        let pred = predict(cache, bench, n, params);
+    for (&n, pred) in PROCS.iter().zip(preds) {
         s.push(n, pred.exec_time().as_ms());
     }
     s
 }
 
-/// Speedup series (relative to the same parameter set at one processor).
-pub fn speedup_series(
-    cache: &mut TraceCache,
-    label: impl Into<String>,
-    bench: Bench,
-    params: &SimParams,
-) -> Series {
-    let base = predict(cache, bench, 1, params).exec_time();
+/// Speedup series relative to the same parameter set at one processor
+/// (`PROCS[0] == 1`, so the baseline is the chunk's first prediction).
+fn speedups_of(label: &str, preds: &[Prediction]) -> Series {
+    let base = preds[0].exec_time();
     let mut s = Series::new(label);
-    for &n in &PROCS {
-        let pred = predict(cache, bench, n, params);
+    for (&n, pred) in PROCS.iter().zip(preds) {
         s.push(n, pred.speedup_vs(base));
     }
     s
+}
+
+/// Extrapolates one benchmark at one processor count.
+pub fn predict(
+    h: &Harness,
+    bench: Bench,
+    n: usize,
+    params: &SimParams,
+) -> Result<Prediction, ExpError> {
+    let traces = h.cache.get(bench, n)?;
+    extrap_core::Extrapolator::new(params.clone())
+        .run(&traces)
+        .map_err(|e| ExpError::new(bench.name(), n, params, e))
+}
+
+/// Execution-time series (milliseconds) across [`PROCS`].
+pub fn time_series(
+    h: &Harness,
+    label: impl Into<String>,
+    bench: Bench,
+    params: &SimParams,
+) -> Result<Series, ExpError> {
+    let preds = h.run_specs(&[(String::new(), bench, params.clone())])?;
+    Ok(times_of(&label.into(), &preds[0]))
+}
+
+/// Speedup series (relative to the same parameter set at one processor).
+pub fn speedup_series(
+    h: &Harness,
+    label: impl Into<String>,
+    bench: Bench,
+    params: &SimParams,
+) -> Result<Series, ExpError> {
+    let preds = h.run_specs(&[(String::new(), bench, params.clone())])?;
+    Ok(speedups_of(&label.into(), &preds[0]))
 }
 
 // ---------------------------------------------------------------------
@@ -140,23 +359,30 @@ pub fn table3() -> String {
 /// Figure 4: speedup curves for all benchmarks on the distributed-memory
 /// parameter set (20 MB/s links, high overheads).  Also returns the raw
 /// execution times.
-pub fn fig4(scale: Scale) -> (Vec<Series>, Vec<Series>) {
-    let mut cache = TraceCache::new(scale);
+pub fn fig4(h: &Harness) -> Result<(Vec<Series>, Vec<Series>), ExpError> {
     let params = machine::default_distributed();
-    let mut speedups = Vec::new();
-    let mut times = Vec::new();
-    for bench in Bench::all() {
-        speedups.push(speedup_series(&mut cache, bench.name(), bench, &params));
-        times.push(time_series(&mut cache, bench.name(), bench, &params));
-    }
-    (speedups, times)
+    let specs: Vec<(String, Bench, SimParams)> = Bench::all()
+        .into_iter()
+        .map(|b| (b.name().to_string(), b, params.clone()))
+        .collect();
+    let preds = h.run_specs(&specs)?;
+    let speedups = specs
+        .iter()
+        .zip(&preds)
+        .map(|((label, _, _), p)| speedups_of(label, p))
+        .collect();
+    let times = specs
+        .iter()
+        .zip(&preds)
+        .map(|((label, _, _), p)| times_of(label, p))
+        .collect();
+    Ok((speedups, times))
 }
 
 /// Figure 5: Grid under different extrapolations — base, 200 MB/s
 /// bandwidth, ideal (zero-cost) environment, actual message sizes, and
 /// actual sizes with reduced start-up.  Returns (times, speedups).
-pub fn fig5(scale: Scale) -> (Vec<Series>, Vec<Series>) {
-    let mut cache = TraceCache::new(scale);
+pub fn fig5(h: &Harness) -> Result<(Vec<Series>, Vec<Series>), ExpError> {
     let base = machine::default_distributed();
 
     let mut high_bw = base.clone();
@@ -170,20 +396,28 @@ pub fn fig5(scale: Scale) -> (Vec<Series>, Vec<Series>) {
 
     let ideal = machine::ideal();
 
-    let variants: [(&str, &SimParams); 5] = [
-        ("base (declared size)", &base),
-        ("200 MB/s bandwidth", &high_bw),
-        ("actual msg size", &actual),
-        ("actual size + low startup", &actual_low_startup),
-        ("ideal (zero cost)", &ideal),
-    ];
-    let mut times = Vec::new();
-    let mut speedups = Vec::new();
-    for (label, params) in variants {
-        times.push(time_series(&mut cache, label, Bench::Grid, params));
-        speedups.push(speedup_series(&mut cache, label, Bench::Grid, params));
-    }
-    (times, speedups)
+    let specs: Vec<(String, Bench, SimParams)> = [
+        ("base (declared size)", base),
+        ("200 MB/s bandwidth", high_bw),
+        ("actual msg size", actual),
+        ("actual size + low startup", actual_low_startup),
+        ("ideal (zero cost)", ideal),
+    ]
+    .into_iter()
+    .map(|(label, params)| (label.to_string(), Bench::Grid, params))
+    .collect();
+    let preds = h.run_specs(&specs)?;
+    let times = specs
+        .iter()
+        .zip(&preds)
+        .map(|((label, _, _), p)| times_of(label, p))
+        .collect();
+    let speedups = specs
+        .iter()
+        .zip(&preds)
+        .map(|((label, _, _), p)| speedups_of(label, p))
+        .collect();
+    Ok((times, speedups))
 }
 
 /// Figure 6's five panels: `(embar_times, cyclic_speedups,
@@ -197,176 +431,268 @@ pub type Fig6Panels = (
 );
 
 /// Figure 6: the effect of `MipsRatio` ∈ {2.0, 1.0, 0.5}.
-pub fn fig6(scale: Scale) -> Fig6Panels {
-    let mut cache = TraceCache::new(scale);
+pub fn fig6(h: &Harness) -> Result<Fig6Panels, ExpError> {
     let ratios = [2.0, 1.0, 0.5];
-    let with_ratio = |r: f64| {
-        let mut p = machine::default_distributed();
-        p.mips_ratio = r;
-        p
-    };
+    let panel_benches = [
+        Bench::Embar,
+        Bench::Cyclic,
+        Bench::Sort,
+        Bench::Mgrid,
+        Bench::Poisson,
+    ];
+    let mut specs = Vec::new();
+    for r in ratios {
+        let mut params = machine::default_distributed();
+        params.mips_ratio = r;
+        for bench in panel_benches {
+            specs.push((format!("MipsRatio={r}"), bench, params.clone()));
+        }
+    }
+    let preds = h.run_specs(&specs)?;
     let mut embar_times = Vec::new();
     let mut cyclic = Vec::new();
     let mut sort = Vec::new();
     let mut mgrid = Vec::new();
     let mut poisson = Vec::new();
-    for r in ratios {
-        let params = with_ratio(r);
-        let label = format!("MipsRatio={r}");
-        embar_times.push(time_series(&mut cache, label.clone(), Bench::Embar, &params));
-        cyclic.push(speedup_series(&mut cache, label.clone(), Bench::Cyclic, &params));
-        sort.push(speedup_series(&mut cache, label.clone(), Bench::Sort, &params));
-        mgrid.push(speedup_series(&mut cache, label.clone(), Bench::Mgrid, &params));
-        poisson.push(speedup_series(&mut cache, label, Bench::Poisson, &params));
+    for (ri, _) in ratios.iter().enumerate() {
+        let row = |b: usize| &preds[ri * panel_benches.len() + b];
+        let label = &specs[ri * panel_benches.len()].0;
+        embar_times.push(times_of(label, row(0)));
+        cyclic.push(speedups_of(label, row(1)));
+        sort.push(speedups_of(label, row(2)));
+        mgrid.push(speedups_of(label, row(3)));
+        poisson.push(speedups_of(label, row(4)));
     }
-    (embar_times, cyclic, sort, mgrid, poisson)
+    Ok((embar_times, cyclic, sort, mgrid, poisson))
 }
 
 /// Figure 7: Mgrid execution time for `MipsRatio` ∈ {1.0, 0.25} ×
 /// `CommStartupTime` ∈ {5, 100, 200} µs.
-pub fn fig7(scale: Scale) -> Vec<Series> {
-    let mut cache = TraceCache::new(scale);
-    let mut out = Vec::new();
+pub fn fig7(h: &Harness) -> Result<Vec<Series>, ExpError> {
+    let mut specs = Vec::new();
     for ratio in [1.0, 0.25] {
         for startup in [5.0, 100.0, 200.0] {
             let mut params = machine::default_distributed();
             params.mips_ratio = ratio;
             params.comm = params.comm.with_startup_us(startup);
-            let label = format!("ratio={ratio} startup={startup}us");
-            out.push(time_series(&mut cache, label, Bench::Mgrid, &params));
+            specs.push((
+                format!("ratio={ratio} startup={startup}us"),
+                Bench::Mgrid,
+                params,
+            ));
         }
     }
-    out
+    let preds = h.run_specs(&specs)?;
+    Ok(specs
+        .iter()
+        .zip(&preds)
+        .map(|((label, _, _), p)| times_of(label, p))
+        .collect())
 }
 
 /// Figure 8: remote-data-request service policies on Cyclic and Grid
 /// with `CommStartupTime = 100 µs`.  Returns `(cyclic_times,
 /// grid_times)`.
-pub fn fig8(scale: Scale) -> (Vec<Series>, Vec<Series>) {
-    let mut cache = TraceCache::new(scale);
+pub fn fig8(h: &Harness) -> Result<(Vec<Series>, Vec<Series>), ExpError> {
     let policies: [(&str, ServicePolicy); 4] = [
         ("no-interrupt/poll", ServicePolicy::NoInterrupt),
         ("interrupt", ServicePolicy::Interrupt),
         ("poll 100us", ServicePolicy::poll_us(100.0)),
         ("poll 500us", ServicePolicy::poll_us(500.0)),
     ];
-    let mut cyclic = Vec::new();
-    let mut grid = Vec::new();
-    for (label, policy) in policies {
-        let mut params = machine::default_distributed();
-        params.comm = params.comm.with_startup_us(100.0);
-        params.policy = policy;
-        cyclic.push(time_series(&mut cache, label, Bench::Cyclic, &params));
-        grid.push(time_series(&mut cache, label, Bench::Grid, &params));
+    let mut specs = Vec::new();
+    for bench in [Bench::Cyclic, Bench::Grid] {
+        for (label, policy) in policies {
+            let mut params = machine::default_distributed();
+            params.comm = params.comm.with_startup_us(100.0);
+            params.policy = policy;
+            specs.push((label.to_string(), bench, params));
+        }
     }
-    (cyclic, grid)
+    let preds = h.run_specs(&specs)?;
+    let series: Vec<Series> = specs
+        .iter()
+        .zip(&preds)
+        .map(|((label, _, _), p)| times_of(label, p))
+        .collect();
+    let (cyclic, grid) = series.split_at(policies.len());
+    Ok((cyclic.to_vec(), grid.to_vec()))
 }
 
 /// Figure 9: Matmul with the nine distribution combinations —
 /// extrapolated (ExtraP, analytic model) vs "measured" (link-level
 /// reference machine), both on the Table 3 CM-5 parameters.  Returns
 /// `(predicted_times, measured_times)`.
-pub fn fig9(scale: Scale) -> (Vec<Series>, Vec<Series>) {
-    let n = match scale {
-        Scale::Tiny => 12,
-        Scale::Small => 32,
-        Scale::Paper => 48,
-    };
+pub fn fig9(h: &Harness) -> Result<(Vec<Series>, Vec<Series>), ExpError> {
     let params = machine::cm5();
+    let dists = matmul::nine_distributions();
+    let jobs: Vec<SweepJob<(String, usize)>> = dists
+        .iter()
+        .flat_map(|dist| {
+            PROCS.iter().map(|&procs| SweepJob {
+                key: (matmul_label(dist), procs),
+                params: params.clone(),
+            })
+        })
+        .collect();
+    let preds = h.run_jobs(jobs.clone())?;
+
+    // The "measured" side replays the identical cached traces on the
+    // link-level reference machine, fanned out over the same pool.
     let refmachine = extrap_refsim::RefMachine::new(params.clone());
+    let measured_preds: Vec<Result<Prediction, ExpError>> =
+        parallel_map(&jobs, h.jobs, |_, job| {
+            let traces = h
+                .cache
+                .inner
+                .get_or_translate(job.key.clone(), || h.translate_key(&job.key))
+                .map_err(|e| ExpError::new(&job.key.0, job.key.1, &params, e))?;
+            refmachine
+                .measure(&traces)
+                .map_err(|e| ExpError::new(&job.key.0, job.key.1, &params, e))
+        });
+    let measured_preds: Vec<Prediction> = measured_preds.into_iter().collect::<Result<_, _>>()?;
+
     let mut predicted = Vec::new();
     let mut measured = Vec::new();
-    for dist in matmul::nine_distributions() {
-        let label = format!("({},{})", dist.0.letter(), dist.1.letter());
-        let mut pred_series = Series::new(label.clone());
-        let mut meas_series = Series::new(label);
-        for &procs in &PROCS {
-            let cfg = matmul::MatmulConfig { n, dist };
-            let (trace, _) = matmul::run(procs, &cfg);
-            let ts = translate(&trace, Default::default()).expect("matmul trace");
-            let pred = extrapolate(&ts, &params).expect("extrapolation failed");
-            let meas = refmachine.measure(&ts).expect("reference run failed");
-            pred_series.push(procs, pred.exec_time().as_ms());
-            meas_series.push(procs, meas.exec_time().as_ms());
-        }
-        predicted.push(pred_series);
-        measured.push(meas_series);
+    for (di, dist) in dists.iter().enumerate() {
+        let label = matmul_label(dist);
+        let chunk = |flat: &[Prediction]| {
+            let mut s = Series::new(label.clone());
+            for (pi, &procs) in PROCS.iter().enumerate() {
+                s.push(procs, flat[di * PROCS.len() + pi].exec_time().as_ms());
+            }
+            s
+        };
+        predicted.push(chunk(&preds));
+        measured.push(chunk(&measured_preds));
     }
-    (predicted, measured)
+    Ok((predicted, measured))
 }
 
 /// Scalability analysis (speedup / efficiency / Karp–Flatt) of one
 /// benchmark on a machine preset, across [`PROCS`].
-pub fn scalability(bench: Bench, scale: Scale, params: &SimParams) -> extrap_core::Scalability {
-    let mut cache = TraceCache::new(scale);
+pub fn scalability(
+    h: &Harness,
+    bench: Bench,
+    params: &SimParams,
+) -> Result<extrap_core::Scalability, ExpError> {
+    let preds = h.run_specs(&[(String::new(), bench, params.clone())])?;
     let samples = PROCS
         .iter()
-        .map(|&n| (n, predict(&mut cache, bench, n, params).exec_time()))
+        .zip(&preds[0])
+        .map(|(&n, pred)| (n, pred.exec_time()))
         .collect();
-    extrap_core::Scalability::from_times(samples)
+    Ok(extrap_core::Scalability::from_times(samples))
 }
 
 /// Extension report: barrier-algorithm ablation — every benchmark at 32
 /// processors under linear-with-messages, 4-ary tree, and hardware
 /// barriers (the §3.3.3 substitution study).
-pub fn ablation_barriers(scale: Scale) -> Vec<Series> {
-    let mut cache = TraceCache::new(scale);
+pub fn ablation_barriers(h: &Harness) -> Result<Vec<Series>, ExpError> {
     let variants: [(&str, extrap_core::BarrierAlgorithm, bool); 3] = [
-        ("linear (messages)", extrap_core::BarrierAlgorithm::Linear, true),
-        ("tree arity 4", extrap_core::BarrierAlgorithm::Tree { arity: 4 }, false),
-        ("hardware 5us", extrap_core::BarrierAlgorithm::Hardware, false),
+        (
+            "linear (messages)",
+            extrap_core::BarrierAlgorithm::Linear,
+            true,
+        ),
+        (
+            "tree arity 4",
+            extrap_core::BarrierAlgorithm::Tree { arity: 4 },
+            false,
+        ),
+        (
+            "hardware 5us",
+            extrap_core::BarrierAlgorithm::Hardware,
+            false,
+        ),
     ];
-    let mut out = Vec::new();
-    for (label, algorithm, by_msgs) in variants {
+    let benches = Bench::all();
+    let mut jobs = Vec::new();
+    for (_, algorithm, by_msgs) in variants {
         let mut params = machine::default_distributed();
         params.barrier.algorithm = algorithm;
         params.barrier.by_msgs = by_msgs;
         params.barrier.hardware_latency = extrap_time::DurationNs::from_us(5.0);
-        let mut series = Series::new(label);
-        for (i, bench) in Bench::all().into_iter().enumerate() {
+        for bench in benches {
+            jobs.push(SweepJob {
+                key: (bench.name().to_string(), 32),
+                params: params.clone(),
+            });
+        }
+    }
+    let preds = h.run_jobs(jobs)?;
+    let mut out = Vec::new();
+    for (vi, (label, _, _)) in variants.iter().enumerate() {
+        let mut series = Series::new(*label);
+        for bi in 0..benches.len() {
             // x-axis doubles as a benchmark index here.
-            let pred = predict(&mut cache, bench, 32, &params);
-            series.push(i + 1, pred.exec_time().as_ms());
+            series.push(bi + 1, preds[vi * benches.len() + bi].exec_time().as_ms());
         }
         out.push(series);
     }
-    out
+    Ok(out)
 }
+
+/// Rows of the contention ablation: `(benchmark, analytic ms, link ms)`.
+pub type ContentionRows = Vec<(String, f64, f64)>;
 
 /// Extension report: analytic vs link-level contention on identical
 /// traces (the speed/accuracy trade-off of §3.3.2), per benchmark at 16
 /// processors on the CM-5 parameters.
-pub fn ablation_contention(scale: Scale) -> (Vec<(String, f64, f64)>, f64) {
-    let mut cache = TraceCache::new(scale);
+pub fn ablation_contention(h: &Harness) -> Result<(ContentionRows, f64), ExpError> {
     let params = machine::cm5();
     let reference = extrap_refsim::RefMachine::new(params.clone());
-    let mut rows = Vec::new();
-    let mut worst_ratio: f64 = 1.0;
-    for bench in Bench::all() {
-        let ts = cache.get(bench, 16).clone();
-        let analytic = extrapolate(&ts, &params).expect("extrapolation").exec_time();
-        let detailed = reference.measure(&ts).expect("reference run").exec_time();
+    let benches = Bench::all();
+    type Row = ((String, f64, f64), f64);
+    let computed: Vec<Result<Row, ExpError>> = parallel_map(&benches, h.jobs, |_, bench| {
+        let ts = h.cache.get(*bench, 16)?;
+        let analytic = extrap_core::Extrapolator::new(params.clone())
+            .run(&ts)
+            .map_err(|e| ExpError::new(bench.name(), 16, &params, e))?
+            .exec_time();
+        let detailed = reference
+            .measure(&ts)
+            .map_err(|e| ExpError::new(bench.name(), 16, &params, e))?
+            .exec_time();
         let ratio = detailed.as_ns() as f64 / analytic.as_ns().max(1) as f64;
+        Ok((
+            (bench.name().to_string(), analytic.as_ms(), detailed.as_ms()),
+            ratio,
+        ))
+    });
+    let mut rows = Vec::new();
+    let mut worst_ratio = 1.0f64;
+    for item in computed {
+        let (row, ratio) = item?;
+        rows.push(row);
         worst_ratio = worst_ratio.max(ratio);
-        rows.push((bench.name().to_string(), analytic.as_ms(), detailed.as_ms()));
     }
-    (rows, worst_ratio)
+    Ok((rows, worst_ratio))
 }
 
 /// Extension report (§6 future work): n-thread programs on m <= n
 /// processors, block placement.
-pub fn multithread_sweep(scale: Scale, bench: Bench) -> Vec<Series> {
+pub fn multithread_sweep(h: &Harness, bench: Bench) -> Result<Vec<Series>, ExpError> {
     let n_threads = 16usize;
-    let ts = translate(&bench.trace(n_threads, scale), Default::default())
-        .expect("trace translates");
+    let mappings = [1usize, 2, 4, 8, 16];
+    let jobs: Vec<SweepJob<(String, usize)>> = mappings
+        .iter()
+        .map(|&m| {
+            let mut params = machine::default_distributed();
+            params.multithread.mapping = extrap_core::ThreadMapping::Block { procs: m };
+            SweepJob {
+                key: (bench.name().to_string(), n_threads),
+                params,
+            }
+        })
+        .collect();
+    let preds = h.run_jobs(jobs)?;
     let mut series = Series::new(format!("{} ({n_threads} threads)", bench.name()));
-    for m in [1usize, 2, 4, 8, 16] {
-        let mut params = machine::default_distributed();
-        params.multithread.mapping = extrap_core::ThreadMapping::Block { procs: m };
-        let pred = extrapolate(&ts, &params).expect("extrapolation");
+    for (&m, pred) in mappings.iter().zip(&preds) {
         series.push(m, pred.exec_time().as_ms());
     }
-    vec![series]
+    Ok(vec![series])
 }
 
 /// For Fig. 9 analysis: at each processor count, does extrapolation pick
@@ -374,7 +700,10 @@ pub fn multithread_sweep(scale: Scale, bench: Bench) -> Vec<Series> {
 /// `(procs, predicted_best, measured_best, within)` where `within` is
 /// the relative gap of the predicted choice's *measured* time to the
 /// measured optimum.
-pub fn fig9_ranking(predicted: &[Series], measured: &[Series]) -> Vec<(usize, String, String, f64)> {
+pub fn fig9_ranking(
+    predicted: &[Series],
+    measured: &[Series],
+) -> Vec<(usize, String, String, f64)> {
     let mut out = Vec::new();
     for &procs in &PROCS {
         let best_pred = predicted
@@ -404,7 +733,12 @@ pub fn fig9_ranking(predicted: &[Series], measured: &[Series]) -> Vec<(usize, St
             .unwrap();
         let optimum = best_meas.at(procs).unwrap();
         let within = (meas_of_pred - optimum) / optimum;
-        out.push((procs, best_pred.label.clone(), best_meas.label.clone(), within));
+        out.push((
+            procs,
+            best_pred.label.clone(),
+            best_meas.label.clone(),
+            within,
+        ));
     }
     out
 }
@@ -413,13 +747,18 @@ pub fn fig9_ranking(predicted: &[Series], measured: &[Series]) -> Vec<(usize, St
 mod tests {
     use super::*;
 
+    fn harness() -> Harness {
+        Harness::new(Scale::Tiny, 4)
+    }
+
     #[test]
     fn trace_cache_reuses_traces() {
-        let mut cache = TraceCache::new(Scale::Tiny);
-        let a = cache.get(Bench::Embar, 2).makespan();
-        let b = cache.get(Bench::Embar, 2).makespan();
+        let h = harness();
+        let a = h.cache().get(Bench::Embar, 2).unwrap().makespan();
+        let b = h.cache().get(Bench::Embar, 2).unwrap().makespan();
         assert_eq!(a, b);
-        assert_eq!(cache.traces.len(), 1);
+        assert_eq!(h.cache().len(), 1);
+        assert_eq!(h.cache().translations(), 1);
     }
 
     #[test]
@@ -433,9 +772,9 @@ mod tests {
 
     #[test]
     fn embar_speedup_is_nearly_linear() {
-        let mut cache = TraceCache::new(Scale::Tiny);
+        let h = harness();
         let params = machine::default_distributed();
-        let s = speedup_series(&mut cache, "Embar", Bench::Embar, &params);
+        let s = speedup_series(&h, "Embar", Bench::Embar, &params).unwrap();
         let s32 = s.at(32).unwrap();
         assert!(s32 > 15.0, "Embar speedup at 32 procs: {s32}");
         // Monotone growth.
@@ -446,9 +785,9 @@ mod tests {
 
     #[test]
     fn grid_shows_no_gain_from_4_to_8() {
-        let mut cache = TraceCache::new(Scale::Tiny);
+        let h = harness();
         let params = machine::default_distributed();
-        let s = speedup_series(&mut cache, "Grid", Bench::Grid, &params);
+        let s = speedup_series(&h, "Grid", Bench::Grid, &params).unwrap();
         let (s4, s8, s16) = (s.at(4).unwrap(), s.at(8).unwrap(), s.at(16).unwrap());
         // The (BLOCK,BLOCK) idle-processor artifact: 8 procs uses the
         // same 2x2 thread grid as 4 procs, so there is *no improvement*
@@ -463,7 +802,7 @@ mod tests {
 
     #[test]
     fn fig5_variant_ordering() {
-        let (times, _) = fig5(Scale::Tiny);
+        let (times, _) = fig5(&harness()).unwrap();
         let at32 = |label: &str| {
             times
                 .iter()
@@ -483,7 +822,7 @@ mod tests {
 
     #[test]
     fn fig6_embar_times_scale_with_ratio() {
-        let (embar, _, _, _, _) = fig6(Scale::Tiny);
+        let (embar, _, _, _, _) = fig6(&harness()).unwrap();
         let t = |label: &str, p: usize| {
             embar
                 .iter()
@@ -502,7 +841,7 @@ mod tests {
 
     #[test]
     fn fig7_series_cover_the_full_grid() {
-        let series = fig7(Scale::Tiny);
+        let series = fig7(&harness()).unwrap();
         assert_eq!(series.len(), 6, "2 ratios x 3 startups");
         for s in &series {
             assert_eq!(s.points.len(), PROCS.len(), "{}", s.label);
@@ -523,10 +862,13 @@ mod tests {
 
     #[test]
     fn fig8_no_interrupt_is_never_the_best_policy() {
-        let (cyclic, grid) = fig8(Scale::Tiny);
+        let (cyclic, grid) = fig8(&harness()).unwrap();
         for group in [&cyclic, &grid] {
             assert_eq!(group.len(), 4);
-            let noint = group.iter().find(|s| s.label.contains("no-interrupt")).unwrap();
+            let noint = group
+                .iter()
+                .find(|s| s.label.contains("no-interrupt"))
+                .unwrap();
             let interrupt = group.iter().find(|s| s.label == "interrupt").unwrap();
             for &p in &PROCS {
                 assert!(
@@ -542,7 +884,7 @@ mod tests {
     #[test]
     fn scalability_analysis_is_consistent_with_the_series() {
         let params = machine::default_distributed();
-        let analysis = scalability(Bench::Embar, Scale::Tiny, &params);
+        let analysis = scalability(&harness(), Bench::Embar, &params).unwrap();
         assert_eq!(analysis.points.len(), PROCS.len());
         // Embar at tiny scale still gets decent efficiency at 8 procs.
         assert!(analysis.max_procs_at_efficiency(0.8).unwrap() >= 8);
@@ -551,7 +893,7 @@ mod tests {
 
     #[test]
     fn fig9_predictions_rank_distributions() {
-        let (pred, meas) = fig9(Scale::Tiny);
+        let (pred, meas) = fig9(&harness()).unwrap();
         assert_eq!(pred.len(), 9);
         assert_eq!(meas.len(), 9);
         let ranking = fig9_ranking(&pred, &meas);
@@ -563,5 +905,27 @@ mod tests {
                 "P={procs}: predicted {p}, measured {m}, within {within}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_figures_match_serial_exactly() {
+        let serial = Harness::serial(Scale::Tiny);
+        let parallel = Harness::new(Scale::Tiny, 8);
+        let (s_speed, s_time) = fig4(&serial).unwrap();
+        let (p_speed, p_time) = fig4(&parallel).unwrap();
+        assert_eq!(s_speed, p_speed);
+        assert_eq!(s_time, p_time);
+    }
+
+    #[test]
+    fn errors_carry_bench_and_procs_context() {
+        let h = harness();
+        let mut params = machine::default_distributed();
+        params.mips_ratio = -2.0;
+        let err = predict(&h, Bench::Grid, 4, &params).unwrap_err();
+        assert_eq!(err.bench, "Grid");
+        assert_eq!(err.n_procs, 4);
+        let msg = err.to_string();
+        assert!(msg.contains("Grid") && msg.contains("P=4"), "{msg}");
     }
 }

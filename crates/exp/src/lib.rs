@@ -9,5 +9,8 @@
 pub mod experiments;
 pub mod series;
 
-pub use experiments::{fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3, PROCS};
+pub use experiments::{
+    fig4, fig5, fig6, fig7, fig8, fig9, table1, table2, table3, ExpError, Harness, TraceCache,
+    PROCS,
+};
 pub use series::{render_csv, render_table, Series};

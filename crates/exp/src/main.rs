@@ -1,16 +1,22 @@
 //! `extrap-exp` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! extrap-exp [--scale tiny|small|paper] [--out DIR] [table1|table2|table3|fig4|...|fig9|all]
+//! extrap-exp [--scale tiny|small|paper] [--jobs N] [--out DIR] \
+//!            [table1|table2|table3|fig4|...|fig9|all]
 //! ```
+//!
+//! `--jobs N` sets the sweep worker count (default: all available
+//! cores); `--jobs 1` is the serial baseline and every other value
+//! produces byte-identical output.
 
-use extrap_exp::experiments::{self, fig9_ranking};
+use extrap_exp::experiments::{self, fig9_ranking, ExpError, Harness};
 use extrap_exp::series::{render_csv, render_table, Series};
 use extrap_workloads::Scale;
 use std::path::{Path, PathBuf};
 
 fn main() {
     let mut scale = Scale::Small;
+    let mut jobs = extrap_core::sweep::default_workers();
     let mut out_dir: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
 
@@ -29,6 +35,16 @@ fn main() {
                     }
                 };
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_default();
+                jobs = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--out" => {
                 out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a directory");
@@ -37,7 +53,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: extrap-exp [--scale tiny|small|paper] [--out DIR] \
+                    "usage: extrap-exp [--scale tiny|small|paper] [--jobs N] [--out DIR] \
                      [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|all]..."
                 );
                 return;
@@ -48,12 +64,21 @@ fn main() {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    let all = targets.iter().any(|t| t == "all");
-    let want = |name: &str| all || targets.iter().any(|t| t == name);
 
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
+
+    let harness = Harness::new(scale, jobs);
+    if let Err(err) = run(&harness, &targets, &out_dir) {
+        eprintln!("extrap-exp: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run(h: &Harness, targets: &[String], out_dir: &Option<PathBuf>) -> Result<(), ExpError> {
+    let all = targets.iter().any(|t| t == "all");
+    let want = |name: &str| all || targets.iter().any(|t| t == name);
 
     if want("table1") {
         println!("{}", experiments::table1());
@@ -65,33 +90,48 @@ fn main() {
         println!("{}", experiments::table3());
     }
     if want("fig4") {
-        let (speedups, times) = experiments::fig4(scale);
+        let (speedups, times) = experiments::fig4(h)?;
         println!(
             "{}",
-            render_table("Figure 4 — speedup, all benchmarks (distributed memory)", "x", &speedups)
+            render_table(
+                "Figure 4 — speedup, all benchmarks (distributed memory)",
+                "x",
+                &speedups
+            )
         );
         println!(
             "{}",
             render_table("Figure 4 — execution time, all benchmarks", "ms", &times)
         );
-        dump(&out_dir, "fig4_speedup", &speedups);
-        dump(&out_dir, "fig4_time", &times);
+        dump(out_dir, "fig4_speedup", &speedups);
+        dump(out_dir, "fig4_time", &times);
     }
     if want("fig5") {
-        let (times, speedups) = experiments::fig5(scale);
+        let (times, speedups) = experiments::fig5(h)?;
         println!(
             "{}",
-            render_table("Figure 5 — Grid, comparison of different extrapolations", "ms", &times)
+            render_table(
+                "Figure 5 — Grid, comparison of different extrapolations",
+                "ms",
+                &times
+            )
         );
-        println!("{}", render_table("Figure 5 — Grid speedups", "x", &speedups));
-        dump(&out_dir, "fig5_time", &times);
-        dump(&out_dir, "fig5_speedup", &speedups);
+        println!(
+            "{}",
+            render_table("Figure 5 — Grid speedups", "x", &speedups)
+        );
+        dump(out_dir, "fig5_time", &times);
+        dump(out_dir, "fig5_speedup", &speedups);
     }
     if want("fig6") {
-        let (embar, cyclic, sort, mgrid, poisson) = experiments::fig6(scale);
+        let (embar, cyclic, sort, mgrid, poisson) = experiments::fig6(h)?;
         println!(
             "{}",
-            render_table("Figure 6(i) — Embar execution time vs MipsRatio", "ms", &embar)
+            render_table(
+                "Figure 6(i) — Embar execution time vs MipsRatio",
+                "ms",
+                &embar
+            )
         );
         println!(
             "{}",
@@ -109,14 +149,14 @@ fn main() {
             "{}",
             render_table("Figure 6(+) — Poisson speedup vs MipsRatio", "x", &poisson)
         );
-        dump(&out_dir, "fig6_embar_time", &embar);
-        dump(&out_dir, "fig6_cyclic_speedup", &cyclic);
-        dump(&out_dir, "fig6_sort_speedup", &sort);
-        dump(&out_dir, "fig6_mgrid_speedup", &mgrid);
-        dump(&out_dir, "fig6_poisson_speedup", &poisson);
+        dump(out_dir, "fig6_embar_time", &embar);
+        dump(out_dir, "fig6_cyclic_speedup", &cyclic);
+        dump(out_dir, "fig6_sort_speedup", &sort);
+        dump(out_dir, "fig6_mgrid_speedup", &mgrid);
+        dump(out_dir, "fig6_poisson_speedup", &poisson);
     }
     if want("fig7") {
-        let series = experiments::fig7(scale);
+        let series = experiments::fig7(h)?;
         println!(
             "{}",
             render_table(
@@ -133,26 +173,34 @@ fn main() {
             );
         }
         println!();
-        dump(&out_dir, "fig7_mgrid_time", &series);
+        dump(out_dir, "fig7_mgrid_time", &series);
     }
     if want("fig8") {
-        let (cyclic, grid) = experiments::fig8(scale);
+        let (cyclic, grid) = experiments::fig8(h)?;
         println!(
             "{}",
-            render_table("Figure 8 — Cyclic, remote-request service policies", "ms", &cyclic)
+            render_table(
+                "Figure 8 — Cyclic, remote-request service policies",
+                "ms",
+                &cyclic
+            )
         );
         println!(
             "{}",
-            render_table("Figure 8 — Grid, remote-request service policies", "ms", &grid)
+            render_table(
+                "Figure 8 — Grid, remote-request service policies",
+                "ms",
+                &grid
+            )
         );
-        dump(&out_dir, "fig8_cyclic", &cyclic);
-        dump(&out_dir, "fig8_grid", &grid);
+        dump(out_dir, "fig8_cyclic", &cyclic);
+        dump(out_dir, "fig8_grid", &grid);
     }
     if targets.iter().any(|t| t == "scalability") {
         use extrap_workloads::Bench;
         let params = extrap_core::machine::default_distributed();
         for bench in Bench::all() {
-            let analysis = experiments::scalability(bench, scale, &params);
+            let analysis = experiments::scalability(h, bench, &params)?;
             println!("## Scalability — {} (distributed memory)", bench.name());
             print!("{}", analysis.render());
             println!(
@@ -167,7 +215,7 @@ fn main() {
         }
     }
     if targets.iter().any(|t| t == "ablations") {
-        let barriers = experiments::ablation_barriers(scale);
+        let barriers = experiments::ablation_barriers(h)?;
         println!(
             "{}",
             render_table(
@@ -177,10 +225,13 @@ fn main() {
                 &barriers
             )
         );
-        dump(&out_dir, "ablation_barriers", &barriers);
-        let (rows, worst) = experiments::ablation_contention(scale);
+        dump(out_dir, "ablation_barriers", &barriers);
+        let (rows, worst) = experiments::ablation_contention(h)?;
         println!("## Ablation — analytic vs link-level contention (P=16, CM-5)");
-        println!("{:10} {:>14} {:>14} {:>8}", "benchmark", "analytic [ms]", "link [ms]", "ratio");
+        println!(
+            "{:10} {:>14} {:>14} {:>8}",
+            "benchmark", "analytic [ms]", "link [ms]", "ratio"
+        );
         for (name, a, d) in &rows {
             println!("{name:10} {a:>14.3} {d:>14.3} {:>8.2}", d / a);
         }
@@ -189,11 +240,14 @@ fn main() {
     if targets.iter().any(|t| t == "multithread") {
         use extrap_workloads::Bench;
         for bench in [Bench::Cyclic, Bench::Grid, Bench::Embar] {
-            let series = experiments::multithread_sweep(scale, bench);
+            let series = experiments::multithread_sweep(h, bench)?;
             println!(
                 "{}",
                 render_table(
-                    &format!("Multithreaded extrapolation — {} on m processors", bench.name()),
+                    &format!(
+                        "Multithreaded extrapolation — {} on m processors",
+                        bench.name()
+                    ),
                     "ms",
                     &series
                 )
@@ -201,10 +255,14 @@ fn main() {
         }
     }
     if want("fig9") {
-        let (pred, meas) = experiments::fig9(scale);
+        let (pred, meas) = experiments::fig9(h)?;
         println!(
             "{}",
-            render_table("Figure 9 — Matmul predicted times (ExtraP, CM-5 params)", "ms", &pred)
+            render_table(
+                "Figure 9 — Matmul predicted times (ExtraP, CM-5 params)",
+                "ms",
+                &pred
+            )
         );
         println!(
             "{}",
@@ -223,9 +281,10 @@ fn main() {
             );
         }
         println!();
-        dump(&out_dir, "fig9_predicted", &pred);
-        dump(&out_dir, "fig9_measured", &meas);
+        dump(out_dir, "fig9_predicted", &pred);
+        dump(out_dir, "fig9_measured", &meas);
     }
+    Ok(())
 }
 
 fn dump(out_dir: &Option<PathBuf>, name: &str, series: &[Series]) {

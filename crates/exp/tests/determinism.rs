@@ -1,0 +1,46 @@
+//! The tentpole guarantee: sweeping a figure grid on a worker pool is
+//! **byte-identical** to the serial path — same predictions, same CSV
+//! bytes, no matter the worker count or scheduling interleavings.
+
+use extrap_exp::experiments::{self, Harness};
+use extrap_exp::render_csv;
+use extrap_workloads::Scale;
+
+fn csv_of(h: &Harness) -> String {
+    let (speedups, times) = experiments::fig4(h).expect("fig4 runs");
+    let (f5_times, f5_speedups) = experiments::fig5(h).expect("fig5 runs");
+    let mut out = render_csv(&speedups);
+    out.push_str(&render_csv(&times));
+    out.push_str(&render_csv(&f5_times));
+    out.push_str(&render_csv(&f5_speedups));
+    out
+}
+
+#[test]
+fn eight_workers_render_byte_identical_csv() {
+    let serial = csv_of(&Harness::serial(Scale::Tiny));
+    for workers in [2, 8] {
+        let parallel = csv_of(&Harness::new(Scale::Tiny, workers));
+        assert_eq!(
+            serial, parallel,
+            "CSV output with {workers} workers differs from serial"
+        );
+    }
+    assert!(serial.lines().count() > 20, "sanity: CSV is non-trivial");
+}
+
+#[test]
+fn shared_cache_translates_each_key_once_across_figures() {
+    let h = Harness::new(Scale::Tiny, 8);
+    // fig4 and fig5 both touch Grid at every processor count; the
+    // second figure must reuse the first one's translations.
+    experiments::fig4(&h).expect("fig4 runs");
+    let after_fig4 = h.cache().translations();
+    experiments::fig5(&h).expect("fig5 runs");
+    assert_eq!(
+        h.cache().translations(),
+        after_fig4,
+        "fig5 re-translated traces fig4 already produced"
+    );
+    assert_eq!(h.cache().translations(), h.cache().len());
+}

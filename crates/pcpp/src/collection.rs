@@ -10,8 +10,8 @@
 use crate::distribution::{Distribution, Index2};
 use crate::element::Element;
 use crate::program::ThreadCtx;
+use crate::sync::RwLock;
 use extrap_time::{ElementId, ThreadId};
-use parking_lot::RwLock;
 
 /// A distributed collection of elements.
 pub struct Collection<T: Element> {

@@ -87,7 +87,10 @@ mod tests {
     use crate::program::Program;
     use std::sync::Mutex;
 
-    fn run_collect(n: usize, f: impl Fn(&mut ThreadCtx<'_>, &Collectives) -> f64 + Sync) -> Vec<f64> {
+    fn run_collect(
+        n: usize,
+        f: impl Fn(&mut ThreadCtx<'_>, &Collectives) -> f64 + Sync,
+    ) -> Vec<f64> {
         let coll = Collectives::new(n);
         let out = Mutex::new(vec![0.0; n]);
         Program::new(n)

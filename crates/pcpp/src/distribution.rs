@@ -244,9 +244,7 @@ mod tests {
         ] {
             for n in [1, 2, 4, 7, 8, 16] {
                 let d = Distribution::new((6, 6), dist, n);
-                let total: usize = (0..n)
-                    .map(|t| d.local_count(ThreadId::from_index(t)))
-                    .sum();
+                let total: usize = (0..n).map(|t| d.local_count(ThreadId::from_index(t))).sum();
                 assert_eq!(total, 36, "dist {dist:?} n {n}");
             }
         }
@@ -262,10 +260,7 @@ mod tests {
         // With 4 threads everyone works; the per-thread share is the same
         // as with 8 -> no speedup from 4 to 8.
         let d4 = Distribution::block_block(16, 16, 4);
-        assert_eq!(
-            d4.local_count(ThreadId(0)),
-            d8.local_count(ThreadId(0))
-        );
+        assert_eq!(d4.local_count(ThreadId(0)), d8.local_count(ThreadId(0)));
         // 16 threads: 4x4 grid, all busy.
         let d16 = Distribution::block_block(16, 16, 16);
         assert_eq!(d16.busy_threads(), 16);

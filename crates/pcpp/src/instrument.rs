@@ -5,9 +5,9 @@
 //! moment, the clock and buffer see strictly serialized access and the
 //! recorded trace is deterministic.
 
+use crate::sync::Mutex;
 use extrap_time::{DurationNs, ThreadId, TimeNs};
 use extrap_trace::{EventKind, ProgramTrace, TraceRecord};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 

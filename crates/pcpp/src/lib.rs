@@ -44,13 +44,14 @@
 //! ```
 
 pub mod clock;
-pub mod collective;
 pub mod collection;
+pub mod collective;
 pub mod distribution;
 pub mod element;
 pub mod instrument;
 pub mod program;
 pub mod scheduler;
+pub mod sync;
 
 pub use clock::WorkModel;
 pub use collection::Collection;

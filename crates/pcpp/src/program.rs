@@ -161,9 +161,11 @@ impl ThreadCtx<'_> {
     pub fn barrier(&mut self) {
         let b = BarrierId::from_index(self.barriers);
         self.barriers += 1;
-        self.recorder.record(self.id, EventKind::BarrierEnter { barrier: b });
+        self.recorder
+            .record(self.id, EventKind::BarrierEnter { barrier: b });
         self.scheduler.barrier(self.id.index());
-        self.recorder.record(self.id, EventKind::BarrierExit { barrier: b });
+        self.recorder
+            .record(self.id, EventKind::BarrierExit { barrier: b });
     }
 
     /// Barriers passed so far by this thread.

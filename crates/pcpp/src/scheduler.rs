@@ -7,7 +7,7 @@
 //! execution is exactly the "n-thread program on a single processor using
 //! a non-preemptive threads package" of §3.2, and fully deterministic.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 #[derive(Debug)]

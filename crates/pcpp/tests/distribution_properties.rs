@@ -1,65 +1,91 @@
 //! Property tests of the distribution algebra: every (shape, attribute,
 //! thread-count) combination must partition the index space, agree with
 //! `local_indices`, and obey the pC++ thread-grid conventions.
+//!
+//! Driven by a deterministic SplitMix64 case generator instead of
+//! `proptest` (crates.io is unreachable in the build environment).
 
 use extrap_time::ThreadId;
 use pcpp_rt::{Dist1, Distribution, Index2};
-use proptest::prelude::*;
 
-fn dist1() -> impl Strategy<Value = Dist1> {
-    prop_oneof![Just(Dist1::Block), Just(Dist1::Cyclic), Just(Dist1::Whole)]
+const CASES: u64 = 128;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo)
+    }
+
+    fn dist1(&mut self) -> Dist1 {
+        match self.range(0, 3) {
+            0 => Dist1::Block,
+            1 => Dist1::Cyclic,
+            _ => Dist1::Whole,
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn for_all(seed: u64, check: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng(seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+        check(&mut rng);
+    }
+}
 
-    #[test]
-    fn ownership_partitions_every_index(
-        rows in 1usize..20,
-        cols in 1usize..20,
-        d0 in dist1(),
-        d1 in dist1(),
-        n in 1usize..33,
-    ) {
+#[test]
+fn ownership_partitions_every_index() {
+    for_all(0x0B0E, |rng| {
+        let (rows, cols) = (rng.range(1, 20), rng.range(1, 20));
+        let (d0, d1) = (rng.dist1(), rng.dist1());
+        let n = rng.range(1, 33);
         let d = Distribution::new((rows, cols), (d0, d1), n);
         let mut counts = vec![0usize; n];
         for r in 0..rows {
             for c in 0..cols {
                 let owner = d.owner(Index2(r, c));
-                prop_assert!(owner.index() < n, "{owner} out of range");
+                assert!(owner.index() < n, "{owner} out of range");
                 counts[owner.index()] += 1;
             }
         }
-        prop_assert_eq!(counts.iter().sum::<usize>(), rows * cols);
+        assert_eq!(counts.iter().sum::<usize>(), rows * cols);
         // local_indices agrees with owner().
         for t in 0..n {
             let t = ThreadId::from_index(t);
             let local: Vec<Index2> = d.local_indices(t).collect();
-            prop_assert_eq!(local.len(), counts[t.index()]);
+            assert_eq!(local.len(), counts[t.index()]);
             for idx in local {
-                prop_assert_eq!(d.owner(idx), t);
+                assert_eq!(d.owner(idx), t);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn thread_grid_never_exceeds_thread_count(
-        rows in 1usize..20,
-        cols in 1usize..20,
-        d0 in dist1(),
-        d1 in dist1(),
-        n in 1usize..33,
-    ) {
+#[test]
+fn thread_grid_never_exceeds_thread_count() {
+    for_all(0x61D5, |rng| {
+        let (rows, cols) = (rng.range(1, 20), rng.range(1, 20));
+        let (d0, d1) = (rng.dist1(), rng.dist1());
+        let n = rng.range(1, 33);
         let d = Distribution::new((rows, cols), (d0, d1), n);
-        prop_assert!(d.tgrid.0 * d.tgrid.1 <= n.max(1));
-        prop_assert!(d.busy_threads() <= n);
-    }
+        assert!(d.tgrid.0 * d.tgrid.1 <= n.max(1));
+        assert!(d.busy_threads() <= n);
+    });
+}
 
-    #[test]
-    fn block_ownership_is_contiguous_per_thread(
-        rows in 1usize..40,
-        n in 1usize..17,
-    ) {
+#[test]
+fn block_ownership_is_contiguous_per_thread() {
+    for_all(0xB10C, |rng| {
+        let rows = rng.range(1, 40);
+        let n = rng.range(1, 17);
         let d = Distribution::block_1d(rows, n);
         for t in 0..n {
             let owned: Vec<usize> = d
@@ -67,47 +93,48 @@ proptest! {
                 .map(|i| i.0)
                 .collect();
             for w in owned.windows(2) {
-                prop_assert_eq!(w[1], w[0] + 1, "block must be contiguous");
+                assert_eq!(w[1], w[0] + 1, "block must be contiguous");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cyclic_ownership_strides_by_thread_count(
-        rows in 1usize..40,
-        n in 1usize..17,
-    ) {
+#[test]
+fn cyclic_ownership_strides_by_thread_count() {
+    for_all(0xC41C, |rng| {
+        let rows = rng.range(1, 40);
+        let n = rng.range(1, 17);
         let d = Distribution::cyclic_1d(rows, n);
         for i in 0..rows {
-            prop_assert_eq!(d.owner(Index2(i, 0)).index(), i % n);
+            assert_eq!(d.owner(Index2(i, 0)).index(), i % n);
         }
-    }
+    });
+}
 
-    #[test]
-    fn flat_is_a_bijection(
-        rows in 1usize..15,
-        cols in 1usize..15,
-    ) {
+#[test]
+fn flat_is_a_bijection() {
+    for_all(0xF1A7, |rng| {
+        let (rows, cols) = (rng.range(1, 15), rng.range(1, 15));
         let d = Distribution::block_block(rows, cols, 4);
         let mut seen = vec![false; rows * cols];
         for r in 0..rows {
             for c in 0..cols {
                 let f = d.flat(Index2(r, c));
-                prop_assert!(!seen[f]);
+                assert!(!seen[f]);
                 seen[f] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+        assert!(seen.iter().all(|&s| s));
+    });
+}
 
-    #[test]
-    fn block_block_busy_threads_is_floor_sqrt_squared(
-        n in 1usize..33,
-    ) {
+#[test]
+fn block_block_busy_threads_is_floor_sqrt_squared() {
+    for n in 1usize..33 {
         // A grid big enough that every grid position owns something.
         let side = 12usize; // divisible by 1,2,3,4,6; >= 5x5 blocks too
         let d = Distribution::block_block(side * 2, side * 2, n);
         let s = pcpp_rt::distribution::isqrt(n);
-        prop_assert_eq!(d.busy_threads(), s * s);
+        assert_eq!(d.busy_threads(), s * s);
     }
 }

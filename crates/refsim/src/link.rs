@@ -2,7 +2,7 @@
 //! transfers and packetization.
 
 use crate::route::{route, Link};
-use extrap_core::network::{NetworkStats, state::NetModel};
+use extrap_core::network::{state::NetModel, NetworkStats};
 use extrap_core::{NetworkParams, Topology};
 use extrap_time::{DurationNs, ProcId, TimeNs};
 use std::collections::BTreeMap;
@@ -79,8 +79,10 @@ impl LinkNetwork {
         let level = link.tree_level();
         if level > 1 {
             (self.link_params.base_channels
-                * self.link_params.fat_channel_growth.pow(u32::from(level) - 1))
-                as usize
+                * self
+                    .link_params
+                    .fat_channel_growth
+                    .pow(u32::from(level) - 1)) as usize
         } else {
             self.link_params.base_channels.max(1) as usize
         }

@@ -206,18 +206,9 @@ mod tests {
     fn cube_route_flips_each_bit_once() {
         let r = route(Topology::Hypercube, 8, p(0), p(7));
         assert_eq!(r.len(), 3 + 1);
-        assert_eq!(
-            r[0],
-            Link::Cube { from: 0, dim: 0 }
-        );
-        assert_eq!(
-            r[1],
-            Link::Cube { from: 1, dim: 1 }
-        );
-        assert_eq!(
-            r[2],
-            Link::Cube { from: 3, dim: 2 }
-        );
+        assert_eq!(r[0], Link::Cube { from: 0, dim: 0 });
+        assert_eq!(r[1], Link::Cube { from: 1, dim: 1 });
+        assert_eq!(r[2], Link::Cube { from: 3, dim: 2 });
     }
 
     #[test]
@@ -243,7 +234,9 @@ mod tests {
         let levels: Vec<u8> = r
             .iter()
             .filter_map(|l| match l {
-                Link::Tree { level, up: true, .. } => Some(*level),
+                Link::Tree {
+                    level, up: true, ..
+                } => Some(*level),
                 _ => None,
             })
             .collect();

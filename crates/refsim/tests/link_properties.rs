@@ -1,20 +1,49 @@
 //! Property tests of the link-level network model.
+//!
+//! Driven by a deterministic SplitMix64 case generator instead of
+//! `proptest` (crates.io is unreachable in the build environment).
 
 use extrap_core::network::state::NetModel;
 use extrap_core::{ContentionParams, NetworkParams, Topology};
 use extrap_refsim::link::{LinkNetwork, LinkParams};
 use extrap_refsim::route::{route, Link};
 use extrap_time::{DurationNs, ProcId, TimeNs};
-use proptest::prelude::*;
 
-fn topologies() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        Just(Topology::Bus),
-        Just(Topology::Crossbar),
-        Just(Topology::Mesh2D),
-        Just(Topology::Hypercube),
-        (2u32..5).prop_map(|arity| Topology::FatTree { arity }),
-    ]
+const CASES: u64 = 64;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn topology(&mut self) -> Topology {
+        match self.range(0, 5) {
+            0 => Topology::Bus,
+            1 => Topology::Crossbar,
+            2 => Topology::Mesh2D,
+            3 => Topology::Hypercube,
+            _ => Topology::FatTree {
+                arity: self.range(2, 5) as u32,
+            },
+        }
+    }
+}
+
+fn for_all(seed: u64, check: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng(seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+        check(&mut rng);
+    }
 }
 
 fn network(topology: Topology, n: usize) -> LinkNetwork {
@@ -30,67 +59,63 @@ fn network(topology: Topology, n: usize) -> LinkNetwork {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn routes_are_finite_and_terminate_at_ingress(
-        topology in topologies(),
-        n in 2usize..33,
-        a in 0u32..33,
-        b in 0u32..33,
-    ) {
-        let a = ProcId(a % n as u32);
-        let b = ProcId(b % n as u32);
+#[test]
+fn routes_are_finite_and_terminate_at_ingress() {
+    for_all(0x2077E, |rng| {
+        let topology = rng.topology();
+        let n = rng.range(2, 33) as usize;
+        let a = ProcId(rng.range(0, 33) as u32 % n as u32);
+        let b = ProcId(rng.range(0, 33) as u32 % n as u32);
         let r = route(topology, n, a, b);
         if a == b {
-            prop_assert!(r.is_empty());
+            assert!(r.is_empty());
         } else {
-            prop_assert!(!r.is_empty());
-            prop_assert!(r.len() <= 2 * n + 2, "{topology:?}: route {r:?}");
-            prop_assert_eq!(*r.last().unwrap(), Link::Ingress(b.0));
+            assert!(!r.is_empty());
+            assert!(r.len() <= 2 * n + 2, "{topology:?}: route {r:?}");
+            assert_eq!(*r.last().unwrap(), Link::Ingress(b.0));
         }
-    }
+    });
+}
 
-    #[test]
-    fn route_length_is_symmetric(
-        topology in topologies(),
-        n in 2usize..33,
-        a in 0u32..33,
-        b in 0u32..33,
-    ) {
-        let a = ProcId(a % n as u32);
-        let b = ProcId(b % n as u32);
-        prop_assert_eq!(
+#[test]
+fn route_length_is_symmetric() {
+    for_all(0x5EE5, |rng| {
+        let topology = rng.topology();
+        let n = rng.range(2, 33) as usize;
+        let a = ProcId(rng.range(0, 33) as u32 % n as u32);
+        let b = ProcId(rng.range(0, 33) as u32 % n as u32);
+        assert_eq!(
             route(topology, n, a, b).len(),
             route(topology, n, b, a).len()
         );
-    }
+    });
+}
 
-    #[test]
-    fn arrivals_are_never_earlier_than_injection(
-        topology in topologies(),
-        n in 2usize..17,
-        msgs in proptest::collection::vec((0u32..17, 0u32..17, 1u32..10_000, 0u64..50_000), 1..40),
-    ) {
+#[test]
+fn arrivals_are_never_earlier_than_injection() {
+    for_all(0xA221, |rng| {
+        let topology = rng.topology();
+        let n = rng.range(2, 17) as usize;
         let mut net = network(topology, n);
         let mut injected = 0u64;
-        for (src, dst, bytes, at) in msgs {
-            let src = ProcId(src % n as u32);
-            let dst = ProcId(dst % n as u32);
-            let now = TimeNs(at);
+        for _ in 0..rng.range(1, 40) {
+            let src = ProcId(rng.range(0, 17) as u32 % n as u32);
+            let dst = ProcId(rng.range(0, 17) as u32 % n as u32);
+            let bytes = rng.range(1, 10_000) as u32;
+            let now = TimeNs(rng.range(0, 50_000));
             let arrival = net.inject(now, src, dst, bytes);
-            prop_assert!(arrival >= now, "arrival {arrival} before injection {now}");
+            assert!(arrival >= now, "arrival {arrival} before injection {now}");
             injected += 1;
         }
-        prop_assert_eq!(NetModel::stats(&net).messages, injected);
-    }
+        assert_eq!(NetModel::stats(&net).messages, injected);
+    });
+}
 
-    #[test]
-    fn sequential_messages_on_one_path_do_not_contend(
-        topology in topologies(),
-        n in 2usize..17,
-    ) {
+#[test]
+fn sequential_messages_on_one_path_do_not_contend() {
+    for_all(0x5E01, |rng| {
+        let topology = rng.topology();
+        let n = rng.range(2, 17) as usize;
         // Messages spaced far apart in time find every link free: each
         // transfer takes exactly the unloaded time of the first.
         let mut net = network(topology, n);
@@ -100,15 +125,15 @@ proptest! {
         for i in 1..5u64 {
             let start = TimeNs(i * 10_000_000);
             let took = net.inject(start, src, dst, 100).since(start);
-            prop_assert_eq!(took, first);
+            assert_eq!(took, first);
         }
-        prop_assert_eq!(net.link_wait(), DurationNs::ZERO);
-    }
+        assert_eq!(net.link_wait(), DurationNs::ZERO);
+    });
+}
 
-    #[test]
-    fn simultaneous_messages_through_one_bus_serialize(
-        count in 2usize..10,
-    ) {
+#[test]
+fn simultaneous_messages_through_one_bus_serialize() {
+    for count in 2usize..10 {
         let mut net = network(Topology::Bus, 16);
         let mut arrivals = Vec::new();
         for i in 0..count {
@@ -120,7 +145,7 @@ proptest! {
         let mut sorted = arrivals.clone();
         sorted.sort();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), arrivals.len());
-        prop_assert!(net.link_wait() > DurationNs::ZERO);
+        assert_eq!(sorted.len(), arrivals.len());
+        assert!(net.link_wait() > DurationNs::ZERO);
     }
 }

@@ -78,7 +78,10 @@ impl fmt::Display for TraceError {
                 write!(f, "timestamp regression in {thread} at record {record}")
             }
             TraceError::MisplacedThread { position, thread } => {
-                write!(f, "trace at position {position} contains records of {thread}")
+                write!(
+                    f,
+                    "trace at position {position} contains records of {thread}"
+                )
             }
             TraceError::BarrierMismatch { thread } => write!(
                 f,
@@ -115,7 +118,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TraceError::BarrierMismatch { thread: ThreadId(3) };
+        let e = TraceError::BarrierMismatch {
+            thread: ThreadId(3),
+        };
         assert!(e.to_string().contains("T3"));
         let e = TraceError::Format {
             detail: "bad magic".into(),

@@ -322,11 +322,17 @@ mod tests {
             threads: vec![
                 ThreadTrace {
                     thread: ThreadId(0),
-                    records: vec![rec(0, 0, EventKind::ThreadBegin), rec(10, 0, EventKind::ThreadEnd)],
+                    records: vec![
+                        rec(0, 0, EventKind::ThreadBegin),
+                        rec(10, 0, EventKind::ThreadEnd),
+                    ],
                 },
                 ThreadTrace {
                     thread: ThreadId(1),
-                    records: vec![rec(0, 1, EventKind::ThreadBegin), rec(25, 1, EventKind::ThreadEnd)],
+                    records: vec![
+                        rec(0, 1, EventKind::ThreadBegin),
+                        rec(25, 1, EventKind::ThreadEnd),
+                    ],
                 },
             ],
         };

@@ -18,9 +18,9 @@
 //!   payload (kind-dependent, see `encode_record`)
 //! ```
 
+use crate::bytesio::{Buf, BufMut};
 use crate::error::TraceError;
 use crate::event::{EventKind, ProgramTrace, ThreadTrace, TraceRecord, TraceSet};
-use bytes::{Buf, BufMut};
 use extrap_time::{BarrierId, ElementId, ThreadId, TimeNs};
 
 /// Magic bytes for a program (1-processor) trace file.

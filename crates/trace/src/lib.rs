@@ -11,6 +11,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod bytesio;
 pub mod error;
 pub mod event;
 pub mod format;

@@ -17,11 +17,7 @@ use std::fmt::Write as _;
 /// Renders a program trace as text.
 pub fn program_to_text(trace: &ProgramTrace) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "# extrap program trace v1 threads={}",
-        trace.n_threads
-    );
+    let _ = writeln!(out, "# extrap program trace v1 threads={}", trace.n_threads);
     for r in &trace.records {
         let _ = writeln!(out, "{}", record_to_line(r));
     }
@@ -73,10 +69,8 @@ pub fn program_from_text(text: &str) -> Result<ProgramTrace, TraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        records.push(
-            parse_line(line)
-                .map_err(|e| malformed(&format!("line {}: {e}", lineno + 2)))?,
-        );
+        records
+            .push(parse_line(line).map_err(|e| malformed(&format!("line {}: {e}", lineno + 2)))?);
     }
     let pt = ProgramTrace { n_threads, records };
     pt.validate()?;

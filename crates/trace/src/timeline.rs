@@ -63,7 +63,12 @@ pub fn render(set: &TraceSet, width: usize) -> String {
             match rec.kind {
                 EventKind::ThreadBegin => cursor = rec.time,
                 EventKind::BarrierEnter { .. } => {
-                    mark(&mut cells, bucket_of(cursor), bucket_of(rec.time), Cell::Busy);
+                    mark(
+                        &mut cells,
+                        bucket_of(cursor),
+                        bucket_of(rec.time),
+                        Cell::Busy,
+                    );
                     barrier_entry = Some(rec.time);
                 }
                 EventKind::BarrierExit { .. } => {
@@ -80,19 +85,34 @@ pub fn render(set: &TraceSet, width: usize) -> String {
                     cursor = rec.time;
                 }
                 EventKind::RemoteRead { .. } => {
-                    mark(&mut cells, bucket_of(cursor), bucket_of(rec.time), Cell::Busy);
+                    mark(
+                        &mut cells,
+                        bucket_of(cursor),
+                        bucket_of(rec.time),
+                        Cell::Busy,
+                    );
                     let b = bucket_of(rec.time);
                     cells[b] = cells[b].max(Cell::RemoteRead);
                     cursor = rec.time;
                 }
                 EventKind::RemoteWrite { .. } => {
-                    mark(&mut cells, bucket_of(cursor), bucket_of(rec.time), Cell::Busy);
+                    mark(
+                        &mut cells,
+                        bucket_of(cursor),
+                        bucket_of(rec.time),
+                        Cell::Busy,
+                    );
                     let b = bucket_of(rec.time);
                     cells[b] = cells[b].max(Cell::RemoteWrite);
                     cursor = rec.time;
                 }
                 EventKind::ThreadEnd => {
-                    mark(&mut cells, bucket_of(cursor), bucket_of(rec.time), Cell::Busy);
+                    mark(
+                        &mut cells,
+                        bucket_of(cursor),
+                        bucket_of(rec.time),
+                        Cell::Busy,
+                    );
                     cursor = rec.time;
                 }
                 EventKind::Marker { .. } => {}
@@ -104,7 +124,10 @@ pub fn render(set: &TraceSet, width: usize) -> String {
         }
         out.push('\n');
     }
-    let _ = writeln!(out, "legend: '=' compute  '.' barrier wait  '|' barrier entry  'r'/'w' remote access");
+    let _ = writeln!(
+        out,
+        "legend: '=' compute  '.' barrier wait  '|' barrier entry  'r'/'w' remote access"
+    );
     out
 }
 

@@ -48,10 +48,7 @@ pub struct TranslateOptions {
 /// Returns an error if the trace is malformed, if threads disagree on the
 /// barrier sequence, or if barrier entry/exit events do not alternate
 /// properly.
-pub fn translate(
-    trace: &ProgramTrace,
-    options: TranslateOptions,
-) -> Result<TraceSet, TraceError> {
+pub fn translate(trace: &ProgramTrace, options: TranslateOptions) -> Result<TraceSet, TraceError> {
     trace.validate()?;
     let per_thread = trace.split_by_thread();
 
@@ -305,9 +302,7 @@ mod tests {
                     EventKind::BarrierEnter { .. } => {
                         compute.push(r.time.since(last_resume).as_ns())
                     }
-                    EventKind::BarrierExit { .. } | EventKind::ThreadBegin => {
-                        last_resume = r.time
-                    }
+                    EventKind::BarrierExit { .. } | EventKind::ThreadBegin => last_resume = r.time,
                     _ => {}
                 }
             }

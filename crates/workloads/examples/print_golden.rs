@@ -4,19 +4,48 @@
 use extrap_workloads::*;
 fn main() {
     let (t, r) = embar::run(4, &embar::EmbarConfig::default());
-    println!("embar: events={} accepted={} sumx={:.6}", t.records.len(), r.accepted, r.sum_x);
+    println!(
+        "embar: events={} accepted={} sumx={:.6}",
+        t.records.len(),
+        r.accepted,
+        r.sum_x
+    );
     let (t, x) = cyclic::run(4, &cyclic::CyclicConfig::default());
-    println!("cyclic: events={} x0={:.12} xmid={:.12}", t.records.len(), x[0][0], x[0][127]);
+    println!(
+        "cyclic: events={} x0={:.12} xmid={:.12}",
+        t.records.len(),
+        x[0][0],
+        x[0][127]
+    );
     let (t, s) = sparse::run(4, &sparse::SparseConfig::default());
     println!("sparse: events={} s0={:.9}", t.records.len(), s[0]);
     let (t, g) = grid::run(4, &grid::GridConfig::default());
-    println!("grid: events={} sum={:.9}", t.records.len(), g.iter().sum::<f64>());
+    println!(
+        "grid: events={} sum={:.9}",
+        t.records.len(),
+        g.iter().sum::<f64>()
+    );
     let (t, u) = mgrid::run(4, &mgrid::MgridConfig::default());
     println!("mgrid: events={} u0={:.12}", t.records.len(), u[0][10]);
     let (t, p) = poisson::run(4, &poisson::PoissonConfig::default());
-    println!("poisson: events={} abssum={:.9}", t.records.len(), p.iter().map(|v| v.abs()).sum::<f64>());
+    println!(
+        "poisson: events={} abssum={:.9}",
+        t.records.len(),
+        p.iter().map(|v| v.abs()).sum::<f64>()
+    );
     let (t, s) = sort::run(4, &sort::SortConfig::default());
-    println!("sort: events={} sum={} first={} last={}", t.records.len(), s.iter().map(|&x| x as u64).sum::<u64>(), s[0], s[s.len()-1]);
+    println!(
+        "sort: events={} sum={} first={} last={}",
+        t.records.len(),
+        s.iter().map(|&x| x as u64).sum::<u64>(),
+        s[0],
+        s[s.len() - 1]
+    );
     let (t, m) = matmul::run(4, &matmul::MatmulConfig::default());
-    println!("matmul: events={} c00={} sum={}", t.records.len(), m[0], m.iter().sum::<f64>());
+    println!(
+        "matmul: events={} c00={} sum={}",
+        t.records.len(),
+        m[0],
+        m.iter().sum::<f64>()
+    );
 }

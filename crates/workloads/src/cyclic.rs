@@ -56,9 +56,8 @@ pub fn run(n_threads: usize, config: &CyclicConfig) -> (ProgramTrace, Vec<Vec<f6
         row.extend((0..batch).map(|s| rhs(i.0, s)));
         row
     });
-    let xs = Collection::<Vec<f64>>::build(Distribution::block_1d(n, n_threads), |_| {
-        vec![0.0; batch]
-    });
+    let xs =
+        Collection::<Vec<f64>>::build(Distribution::block_1d(n, n_threads), |_| vec![0.0; batch]);
 
     let trace = Program::new(n_threads).run(|ctx| {
         // Forward elimination.
@@ -209,10 +208,13 @@ mod tests {
     #[test]
     fn batch_scales_transfer_sizes_not_event_counts() {
         let mk = |batch| {
-            let (trace, _) = run(4, &CyclicConfig {
-                log2_size: 6,
-                batch,
-            });
+            let (trace, _) = run(
+                4,
+                &CyclicConfig {
+                    log2_size: 6,
+                    batch,
+                },
+            );
             let ts = extrap_trace::translate(&trace, Default::default()).unwrap();
             let st = extrap_trace::TraceStats::from_set(&ts);
             (st.total_remote_accesses(), st.total_actual_bytes())

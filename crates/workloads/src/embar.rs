@@ -122,7 +122,10 @@ mod tests {
         };
         let (_, res) = run(4, &cfg);
         let rate = res.accepted as f64 / cfg.pairs as f64;
-        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.02, "rate {rate}");
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.02,
+            "rate {rate}"
+        );
     }
 
     #[test]
@@ -135,10 +138,13 @@ mod tests {
 
     #[test]
     fn gaussian_checksums_are_centered() {
-        let (_, res) = run(4, &EmbarConfig {
-            pairs: 40_000,
-            seed: 99,
-        });
+        let (_, res) = run(
+            4,
+            &EmbarConfig {
+                pairs: 40_000,
+                seed: 99,
+            },
+        );
         // Mean of the deviates should be near zero.
         assert!((res.sum_x / res.accepted as f64).abs() < 0.05);
         assert!((res.sum_y / res.accepted as f64).abs() < 0.05);

@@ -68,13 +68,11 @@ pub fn run(n_threads: usize, config: &GridConfig) -> (ProgramTrace, Vec<f64>) {
     let h2 = 1.0 / ((p + 1) as f64 * (p + 1) as f64);
 
     // One subgrid element per (BLOCK, BLOCK) position, row-major m×m.
-    let grid = Collection::<Vec<f64>>::build(
-        Distribution::block_block(s, s, n_threads),
-        |_| vec![0.0; m * m],
-    );
+    let grid = Collection::<Vec<f64>>::build(Distribution::block_block(s, s, n_threads), |_| {
+        vec![0.0; m * m]
+    });
     // Scratch for the halos each thread gathered in the read phase.
-    let halos: Mutex<Vec<Halo>> =
-        Mutex::new((0..n_threads).map(|_| Halo::new(m)).collect());
+    let halos: Mutex<Vec<Halo>> = Mutex::new((0..n_threads).map(|_| Halo::new(m)).collect());
 
     struct Halo {
         top: Vec<f64>,
@@ -136,13 +134,21 @@ pub fn run(n_threads: usize, config: &GridConfig) -> (ProgramTrace, Vec<f64>) {
                 let mut new = vec![0.0; m * m];
                 for i in 0..m {
                     for j in 0..m {
-                        let up = if i > 0 { old[(i - 1) * m + j] } else { halo.top[j] };
+                        let up = if i > 0 {
+                            old[(i - 1) * m + j]
+                        } else {
+                            halo.top[j]
+                        };
                         let down = if i + 1 < m {
                             old[(i + 1) * m + j]
                         } else {
                             halo.bottom[j]
                         };
-                        let left = if j > 0 { old[i * m + j - 1] } else { halo.left[i] };
+                        let left = if j > 0 {
+                            old[i * m + j - 1]
+                        } else {
+                            halo.left[i]
+                        };
                         let right = if j + 1 < m {
                             old[i * m + j + 1]
                         } else {
@@ -208,7 +214,7 @@ pub fn reference(config: &GridConfig) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use extrap_trace::{TraceStats, EventKind};
+    use extrap_trace::{EventKind, TraceStats};
 
     #[test]
     fn matches_sequential_reference_for_every_thread_count() {

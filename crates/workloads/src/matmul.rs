@@ -70,8 +70,12 @@ pub fn run(n_threads: usize, config: &MatmulConfig) -> (ProgramTrace, Vec<f64>) 
     let (tg0, tg1) = tgrid;
 
     // Thread-grid coordinates of every row / column index.
-    let row_group: Vec<usize> = (0..n).map(|i| dist.owner(Index2(i, 0)).index() / tg1).collect();
-    let col_group: Vec<usize> = (0..n).map(|j| dist.owner(Index2(0, j)).index() % tg1).collect();
+    let row_group: Vec<usize> = (0..n)
+        .map(|i| dist.owner(Index2(i, 0)).index() / tg1)
+        .collect();
+    let col_group: Vec<usize> = (0..n)
+        .map(|j| dist.owner(Index2(0, j)).index() % tg1)
+        .collect();
     // Members of each group, ascending.
     let rows_of: Vec<Vec<usize>> = (0..tg0)
         .map(|g| (0..n).filter(|&i| row_group[i] == g).collect())
@@ -211,10 +215,13 @@ mod tests {
     #[test]
     fn broadcast_is_bulk_segments() {
         let n = 16;
-        let (trace, _) = run(4, &MatmulConfig {
-            n,
-            dist: (Dist1::Block, Dist1::Block),
-        });
+        let (trace, _) = run(
+            4,
+            &MatmulConfig {
+                n,
+                dist: (Dist1::Block, Dist1::Block),
+            },
+        );
         let ts = extrap_trace::translate(&trace, Default::default()).unwrap();
         let stats = extrap_trace::TraceStats::from_set(&ts);
         // Per k each thread does at most 1 broadcast fetch + 1 chain read
@@ -247,10 +254,13 @@ mod tests {
     #[test]
     fn whole_whole_serializes_compute() {
         let n = 8;
-        let (trace, _) = run(4, &MatmulConfig {
-            n,
-            dist: (Dist1::Whole, Dist1::Whole),
-        });
+        let (trace, _) = run(
+            4,
+            &MatmulConfig {
+                n,
+                dist: (Dist1::Whole, Dist1::Whole),
+            },
+        );
         let ts = extrap_trace::translate(&trace, Default::default()).unwrap();
         let stats = extrap_trace::TraceStats::from_set(&ts);
         assert!(stats.thread(extrap_time::ThreadId(0)).compute.as_ns() > 0);

@@ -351,12 +351,15 @@ mod tests {
     #[test]
     fn width_scales_bytes_not_barriers() {
         let mk = |width| {
-            let (trace, _) = run(4, &MgridConfig {
-                log2_size: 5,
-                cycles: 1,
-                smooth: 1,
-                width,
-            });
+            let (trace, _) = run(
+                4,
+                &MgridConfig {
+                    log2_size: 5,
+                    cycles: 1,
+                    smooth: 1,
+                    width,
+                },
+            );
             let ts = extrap_trace::translate(&trace, Default::default()).unwrap();
             let st = extrap_trace::TraceStats::from_set(&ts);
             (st.barriers(), st.total_actual_bytes())

@@ -81,7 +81,10 @@ pub fn run(n_threads: usize, config: &PoissonConfig) -> (ProgramTrace, Vec<f64>)
         // Step 3: for each transformed mode k (a local row of gt), solve
         // the tridiagonal system (A + lambda_k I) x = rhs along i.
         for &k in &my_rows {
-            let lambda = 4.0 * ((pi * (k + 1) as f64) / (2.0 * (p + 1) as f64)).sin().powi(2);
+            let lambda = 4.0
+                * ((pi * (k + 1) as f64) / (2.0 * (p + 1) as f64))
+                    .sin()
+                    .powi(2);
             let diag = 2.0 + lambda;
             let rhs: Vec<f64> = (0..p).map(|i| gt.read(ctx, Index2(k, i), |x| *x)).collect();
             // Thomas algorithm with constant coefficients (-1, diag, -1).
@@ -151,8 +154,11 @@ pub fn residual_norm(config: &PoissonConfig, u: &[f64]) -> f64 {
     for i in 0..p {
         for j in 0..p {
             let (ii, jj) = (i as isize, j as isize);
-            let lap =
-                4.0 * at(ii, jj) - at(ii - 1, jj) - at(ii + 1, jj) - at(ii, jj - 1) - at(ii, jj + 1);
+            let lap = 4.0 * at(ii, jj)
+                - at(ii - 1, jj)
+                - at(ii + 1, jj)
+                - at(ii, jj - 1)
+                - at(ii, jj + 1);
             worst = worst.max((lap - h2 * f_term(i, j, p)).abs());
         }
     }

@@ -16,7 +16,7 @@ pub enum Scale {
 }
 
 /// The pC++ benchmark suite (Table 2).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Bench {
     /// NAS "embarrassingly parallel" benchmark.
     Embar,
@@ -84,7 +84,14 @@ impl Bench {
                     Scale::Small => 200_000,
                     Scale::Paper => 1_000_000,
                 };
-                embar::run(n_threads, &embar::EmbarConfig { pairs, seed: 271_828 }).0
+                embar::run(
+                    n_threads,
+                    &embar::EmbarConfig {
+                        pairs,
+                        seed: 271_828,
+                    },
+                )
+                .0
             }
             Bench::Cyclic => {
                 let (log2_size, batch) = match scale {

@@ -69,13 +69,10 @@ pub fn run(n_threads: usize, config: &SortConfig) -> (ProgramTrace, Vec<u32>) {
     );
     let b = config.total_keys / n_threads;
     let seed = config.seed;
-    let blocks = Collection::<Vec<u32>>::build(
-        Distribution::block_1d(n_threads, n_threads),
-        |i| {
-            let mut rng = Rng64::new(seed ^ ((i.0 as u64) << 20));
-            (0..b).map(|_| rng.next_u64() as u32).collect()
-        },
-    );
+    let blocks = Collection::<Vec<u32>>::build(Distribution::block_1d(n_threads, n_threads), |i| {
+        let mut rng = Rng64::new(seed ^ ((i.0 as u64) << 20));
+        (0..b).map(|_| rng.next_u64() as u32).collect()
+    });
     let stages = n_threads.trailing_zeros();
 
     let trace = Program::new(n_threads).run(|ctx| {
@@ -96,8 +93,7 @@ pub fn run(n_threads: usize, config: &SortConfig) -> (ProgramTrace, Vec<u32>) {
                 // compute the kept half, then barrier *before* writing so
                 // the partner also sees the pre-step block.
                 let other = blocks.get(ctx, Index2(partner, 0));
-                let kept =
-                    blocks.read(ctx, me, |mine| merge_split(mine, &other, keep_low));
+                let kept = blocks.read(ctx, me, |mine| merge_split(mine, &other, keep_low));
                 ctx.charge_int_ops(2 * b as u64);
                 ctx.barrier();
                 blocks.write(ctx, me, |blk| *blk = kept);
@@ -144,9 +140,7 @@ mod tests {
         let mut expected: Vec<u32> = (0..4)
             .flat_map(|t| {
                 let mut rng = Rng64::new(cfg.seed ^ ((t as u64) << 20));
-                (0..128)
-                    .map(|_| rng.next_u64() as u32)
-                    .collect::<Vec<_>>()
+                (0..128).map(|_| rng.next_u64() as u32).collect::<Vec<_>>()
             })
             .collect();
         let (_, sorted) = run(4, &cfg);
@@ -163,10 +157,13 @@ mod tests {
 
     #[test]
     fn trace_has_log_squared_stages() {
-        let (trace, _) = run(8, &SortConfig {
-            total_keys: 256,
-            seed: 1,
-        });
+        let (trace, _) = run(
+            8,
+            &SortConfig {
+                total_keys: 256,
+                seed: 1,
+            },
+        );
         let ts = extrap_trace::translate(&trace, Default::default()).unwrap();
         let stats = extrap_trace::TraceStats::from_set(&ts);
         // 1 post-local-sort barrier + (1+2+3) merge-split steps with two

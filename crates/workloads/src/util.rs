@@ -123,7 +123,8 @@ impl VecReduction {
                 });
                 ctx.charge_flops(partial.len() as u64);
             }
-            self.total.write(ctx, Index2(0, 0), |v| v.copy_from_slice(&acc));
+            self.total
+                .write(ctx, Index2(0, 0), |v| v.copy_from_slice(&acc));
         }
         ctx.barrier();
         self.total.read(ctx, Index2(0, 0), |v| v.clone())
@@ -174,9 +175,7 @@ mod tests {
     #[test]
     fn block_range_partitions() {
         let n = 10;
-        let covered: usize = (0..3)
-            .map(|t| block_range(n, 3, ThreadId(t)).len())
-            .sum();
+        let covered: usize = (0..3).map(|t| block_range(n, 3, ThreadId(t)).len()).sum();
         assert_eq!(covered, n);
         assert_eq!(block_range(10, 3, ThreadId(0)), 0..4);
         assert_eq!(block_range(10, 3, ThreadId(2)), 8..10);

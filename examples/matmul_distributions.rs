@@ -31,7 +31,10 @@ fn main() {
                 measured.as_ms(),
             ));
         }
-        println!("{:8} {:>12} {:>12} {:>8}", "dist", "predicted", "measured", "err");
+        println!(
+            "{:8} {:>12} {:>12} {:>8}",
+            "dist", "predicted", "measured", "err"
+        );
         for (label, pred, meas) in &rows {
             println!(
                 "{label:8} {pred:>9.3} ms {meas:>9.3} ms {:>7.1}%",

@@ -16,8 +16,7 @@ fn main() {
     // local elements, then reads its right neighbour's partial, twice.
     let values =
         Collection::<f64>::build(Distribution::block_1d(n_elems, n_threads), |i| i.0 as f64);
-    let partials =
-        Collection::<f64>::build(Distribution::block_1d(n_threads, n_threads), |_| 0.0);
+    let partials = Collection::<f64>::build(Distribution::block_1d(n_threads, n_threads), |_| 0.0);
 
     let program = Program::new(n_threads);
     let measured: ProgramTrace = program.run(|ctx| {
@@ -60,7 +59,10 @@ fn main() {
     // Extrapolate to different target environments — no further
     // measurement needed.
     for (name, params) in [
-        ("distributed memory (20 MB/s)", machine::default_distributed()),
+        (
+            "distributed memory (20 MB/s)",
+            machine::default_distributed(),
+        ),
         ("shared memory", machine::shared_memory()),
         ("CM-5 (Table 3 parameters)", machine::cm5()),
         ("ideal machine", machine::ideal()),

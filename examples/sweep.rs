@@ -1,0 +1,61 @@
+//! Run a what-if parameter grid through the parallel sweep engine.
+//!
+//! ```text
+//! cargo run --release --example sweep
+//! ```
+//!
+//! Extrapolates every benchmark across 1–32 processors under two
+//! machine models at once, on all available cores, translating each
+//! trace exactly once, and prints a speedup table per parameter set.
+
+use perf_extrap::prelude::*;
+
+fn main() {
+    let procs = [1usize, 2, 4, 8, 16, 32];
+    let param_sets = [
+        ("distributed (20 MB/s)", machine::default_distributed()),
+        ("CM-5 (Table 3)", machine::cm5()),
+    ];
+
+    // workloads × param_sets × procs, flattened in deterministic order.
+    let jobs = SweepGrid::new()
+        .workloads(Bench::all())
+        .procs(procs)
+        .param_sets(param_sets.iter().map(|(_, p)| p.clone()))
+        .jobs();
+
+    let workers = perf_extrap::models::sweep::default_workers();
+    let cache = SharedTraceCache::new();
+    let results = sweep(&jobs, workers, &cache, |(bench, n)| {
+        translate(&bench.trace(*n, Scale::Tiny), TranslateOptions::default())
+    });
+
+    println!(
+        "{} jobs on {workers} workers; {} traces translated (shared across parameter sets)\n",
+        jobs.len(),
+        cache.translations()
+    );
+
+    // Jobs nest as workload → param set → procs, so consecutive chunks
+    // of `procs.len()` are one (benchmark, machine) speedup row.
+    for (chunk_idx, chunk) in results.chunks(procs.len()).enumerate() {
+        let (bench, _) = &jobs[chunk_idx * procs.len()].key;
+        let (machine_label, _) = param_sets[chunk_idx % param_sets.len()];
+        let times: Vec<TimeNs> = chunk
+            .iter()
+            .map(|r| {
+                r.as_ref()
+                    .expect("benchmark traces extrapolate")
+                    .exec_time()
+            })
+            .collect();
+        let speedups: Vec<String> = times
+            .iter()
+            .map(|t| format!("{:6.2}", times[0].as_ns() as f64 / t.as_ns().max(1) as f64))
+            .collect();
+        if chunk_idx % param_sets.len() == 0 {
+            println!("{:8} speedup at P = {procs:?}", bench.name());
+        }
+        println!("         {:22} {}", machine_label, speedups.join(" "));
+    }
+}

@@ -37,9 +37,12 @@
 //! let traces = translate(&measured, TranslateOptions::default()).unwrap();
 //!
 //! // 3. Extrapolate to a 4-processor CM-5.
-//! let prediction = extrapolate(&traces, &machine::cm5()).unwrap();
+//! let prediction = Extrapolator::new(machine::cm5()).run(&traces).unwrap();
 //! assert!(prediction.exec_time() > TimeNs::ZERO);
 //! ```
+//!
+//! Whole parameter grids run in parallel through the
+//! [`sweep`](models::sweep) engine — see `examples/sweep.rs`.
 
 pub use extrap_core as models;
 pub use extrap_refsim as refsim;
@@ -52,9 +55,11 @@ pub use pcpp_rt as rt;
 /// The most common imports in one place.
 pub mod prelude {
     pub use extrap_core::{
-        extrapolate, extrapolate_clustered, extrapolate_program, machine, BarrierAlgorithm,
-        BarrierParams, ClusterParams, CommParams, MultithreadParams, NetworkParams, Prediction,
-        ProcBreakdown, Scalability, ServicePolicy, SimParams, SizeMode, ThreadMapping, Topology,
+        extrapolate, extrapolate_clustered, extrapolate_program, machine, parallel_map, sweep,
+        BarrierAlgorithm, BarrierParams, ClusterParams, CommParams, Extrapolator,
+        MultithreadParams, NetworkParams, Prediction, ProcBreakdown, Scalability, ServicePolicy,
+        SharedTraceCache, SimParams, SizeMode, SweepError, SweepGrid, SweepJob, ThreadMapping,
+        Topology,
     };
     pub use extrap_refsim::RefMachine;
     pub use extrap_time::{BarrierId, DurationNs, ElementId, ProcId, ThreadId, TimeNs};
@@ -63,5 +68,7 @@ pub mod prelude {
         TraceSet, TraceStats, TranslateOptions,
     };
     pub use extrap_workloads::{Bench, Scale};
-    pub use pcpp_rt::{Collection, Collectives, Dist1, Distribution, Index2, Program, ThreadCtx, WorkModel};
+    pub use pcpp_rt::{
+        Collection, Collectives, Dist1, Distribution, Index2, Program, ThreadCtx, WorkModel,
+    };
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-36fc80c151c6cdaa.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-36fc80c151c6cdaa: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

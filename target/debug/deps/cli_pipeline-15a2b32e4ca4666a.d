@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_pipeline-15a2b32e4ca4666a.d: crates/cli/tests/cli_pipeline.rs
+
+/root/repo/target/debug/deps/cli_pipeline-15a2b32e4ca4666a: crates/cli/tests/cli_pipeline.rs
+
+crates/cli/tests/cli_pipeline.rs:
+
+# env-dep:CARGO_BIN_EXE_extrap=/root/repo/target/debug/extrap

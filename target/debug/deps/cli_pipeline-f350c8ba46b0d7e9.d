@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_pipeline-f350c8ba46b0d7e9.d: crates/cli/tests/cli_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_pipeline-f350c8ba46b0d7e9.rmeta: crates/cli/tests/cli_pipeline.rs Cargo.toml
+
+crates/cli/tests/cli_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_extrap=placeholder:extrap
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

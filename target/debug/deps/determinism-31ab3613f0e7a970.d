@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-31ab3613f0e7a970.d: crates/exp/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-31ab3613f0e7a970: crates/exp/tests/determinism.rs
+
+crates/exp/tests/determinism.rs:

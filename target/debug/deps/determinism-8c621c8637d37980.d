@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-8c621c8637d37980.d: crates/exp/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-8c621c8637d37980.rmeta: crates/exp/tests/determinism.rs Cargo.toml
+
+crates/exp/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

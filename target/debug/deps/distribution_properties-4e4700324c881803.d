@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distribution_properties-4e4700324c881803.d: crates/pcpp/tests/distribution_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistribution_properties-4e4700324c881803.rmeta: crates/pcpp/tests/distribution_properties.rs Cargo.toml
+
+crates/pcpp/tests/distribution_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distribution_properties-588fe5cccdf4effb.d: crates/pcpp/tests/distribution_properties.rs
+
+/root/repo/target/debug/deps/distribution_properties-588fe5cccdf4effb: crates/pcpp/tests/distribution_properties.rs
+
+crates/pcpp/tests/distribution_properties.rs:

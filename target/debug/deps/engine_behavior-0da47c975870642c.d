@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_behavior-0da47c975870642c.d: crates/core/tests/engine_behavior.rs
+
+/root/repo/target/debug/deps/engine_behavior-0da47c975870642c: crates/core/tests/engine_behavior.rs
+
+crates/core/tests/engine_behavior.rs:

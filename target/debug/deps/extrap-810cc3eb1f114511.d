@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrap-810cc3eb1f114511.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/extrap-810cc3eb1f114511: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrap-a9f096ae43c70711.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/extrap-a9f096ae43c70711: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extrap-b68c5e59ce33124f.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrap-b68c5e59ce33124f.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

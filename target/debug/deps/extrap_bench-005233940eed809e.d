@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/extrap_bench-005233940eed809e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libextrap_bench-005233940eed809e.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libextrap_bench-005233940eed809e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/extrap_bench-3cf45afafb757c1a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/extrap_bench-3cf45afafb757c1a: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

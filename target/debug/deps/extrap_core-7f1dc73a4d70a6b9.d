@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/extrap_core-7f1dc73a4d70a6b9.d: crates/core/src/lib.rs crates/core/src/barrier/mod.rs crates/core/src/barrier/hardware.rs crates/core/src/barrier/linear.rs crates/core/src/barrier/tree.rs crates/core/src/cluster.rs crates/core/src/compare.rs crates/core/src/engine.rs crates/core/src/extrapolate.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/multithread.rs crates/core/src/network/mod.rs crates/core/src/network/contention.rs crates/core/src/network/state.rs crates/core/src/network/topology.rs crates/core/src/params.rs crates/core/src/processor.rs crates/core/src/scalability.rs crates/core/src/session.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrap_core-7f1dc73a4d70a6b9.rmeta: crates/core/src/lib.rs crates/core/src/barrier/mod.rs crates/core/src/barrier/hardware.rs crates/core/src/barrier/linear.rs crates/core/src/barrier/tree.rs crates/core/src/cluster.rs crates/core/src/compare.rs crates/core/src/engine.rs crates/core/src/extrapolate.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/multithread.rs crates/core/src/network/mod.rs crates/core/src/network/contention.rs crates/core/src/network/state.rs crates/core/src/network/topology.rs crates/core/src/params.rs crates/core/src/processor.rs crates/core/src/scalability.rs crates/core/src/session.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/barrier/mod.rs:
+crates/core/src/barrier/hardware.rs:
+crates/core/src/barrier/linear.rs:
+crates/core/src/barrier/tree.rs:
+crates/core/src/cluster.rs:
+crates/core/src/compare.rs:
+crates/core/src/engine.rs:
+crates/core/src/extrapolate.rs:
+crates/core/src/machine.rs:
+crates/core/src/metrics.rs:
+crates/core/src/multithread.rs:
+crates/core/src/network/mod.rs:
+crates/core/src/network/contention.rs:
+crates/core/src/network/state.rs:
+crates/core/src/network/topology.rs:
+crates/core/src/params.rs:
+crates/core/src/processor.rs:
+crates/core/src/scalability.rs:
+crates/core/src/session.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

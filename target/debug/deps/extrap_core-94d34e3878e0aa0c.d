@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/extrap_core-94d34e3878e0aa0c.d: crates/core/src/lib.rs crates/core/src/barrier/mod.rs crates/core/src/barrier/hardware.rs crates/core/src/barrier/linear.rs crates/core/src/barrier/tree.rs crates/core/src/cluster.rs crates/core/src/compare.rs crates/core/src/engine.rs crates/core/src/extrapolate.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/multithread.rs crates/core/src/network/mod.rs crates/core/src/network/contention.rs crates/core/src/network/state.rs crates/core/src/network/topology.rs crates/core/src/params.rs crates/core/src/processor.rs crates/core/src/scalability.rs crates/core/src/session.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/extrap_core-94d34e3878e0aa0c: crates/core/src/lib.rs crates/core/src/barrier/mod.rs crates/core/src/barrier/hardware.rs crates/core/src/barrier/linear.rs crates/core/src/barrier/tree.rs crates/core/src/cluster.rs crates/core/src/compare.rs crates/core/src/engine.rs crates/core/src/extrapolate.rs crates/core/src/machine.rs crates/core/src/metrics.rs crates/core/src/multithread.rs crates/core/src/network/mod.rs crates/core/src/network/contention.rs crates/core/src/network/state.rs crates/core/src/network/topology.rs crates/core/src/params.rs crates/core/src/processor.rs crates/core/src/scalability.rs crates/core/src/session.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/barrier/mod.rs:
+crates/core/src/barrier/hardware.rs:
+crates/core/src/barrier/linear.rs:
+crates/core/src/barrier/tree.rs:
+crates/core/src/cluster.rs:
+crates/core/src/compare.rs:
+crates/core/src/engine.rs:
+crates/core/src/extrapolate.rs:
+crates/core/src/machine.rs:
+crates/core/src/metrics.rs:
+crates/core/src/multithread.rs:
+crates/core/src/network/mod.rs:
+crates/core/src/network/contention.rs:
+crates/core/src/network/state.rs:
+crates/core/src/network/topology.rs:
+crates/core/src/params.rs:
+crates/core/src/processor.rs:
+crates/core/src/scalability.rs:
+crates/core/src/session.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrap_exp-0ff64af2438d2848.d: crates/exp/src/main.rs
+
+/root/repo/target/debug/deps/extrap_exp-0ff64af2438d2848: crates/exp/src/main.rs
+
+crates/exp/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extrap_exp-6ec7d22dbcc557e1.d: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+/root/repo/target/debug/deps/libextrap_exp-6ec7d22dbcc557e1.rlib: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+/root/repo/target/debug/deps/libextrap_exp-6ec7d22dbcc557e1.rmeta: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+crates/exp/src/lib.rs:
+crates/exp/src/experiments.rs:
+crates/exp/src/series.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrap_exp-7b52dcbe77765fc3.d: crates/exp/src/main.rs
+
+/root/repo/target/debug/deps/extrap_exp-7b52dcbe77765fc3: crates/exp/src/main.rs
+
+crates/exp/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/extrap_exp-ee925bbe6d27eea8.d: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+/root/repo/target/debug/deps/extrap_exp-ee925bbe6d27eea8: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+crates/exp/src/lib.rs:
+crates/exp/src/experiments.rs:
+crates/exp/src/series.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/extrap_refsim-909b3ad1a805121c.d: crates/refsim/src/lib.rs crates/refsim/src/link.rs crates/refsim/src/machine.rs crates/refsim/src/route.rs
+
+/root/repo/target/debug/deps/extrap_refsim-909b3ad1a805121c: crates/refsim/src/lib.rs crates/refsim/src/link.rs crates/refsim/src/machine.rs crates/refsim/src/route.rs
+
+crates/refsim/src/lib.rs:
+crates/refsim/src/link.rs:
+crates/refsim/src/machine.rs:
+crates/refsim/src/route.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/extrap_refsim-cb66cc80006fc9e0.d: crates/refsim/src/lib.rs crates/refsim/src/link.rs crates/refsim/src/machine.rs crates/refsim/src/route.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrap_refsim-cb66cc80006fc9e0.rmeta: crates/refsim/src/lib.rs crates/refsim/src/link.rs crates/refsim/src/machine.rs crates/refsim/src/route.rs Cargo.toml
+
+crates/refsim/src/lib.rs:
+crates/refsim/src/link.rs:
+crates/refsim/src/machine.rs:
+crates/refsim/src/route.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extrap_refsim-f34995ead2b06f45.d: crates/refsim/src/lib.rs crates/refsim/src/link.rs crates/refsim/src/machine.rs crates/refsim/src/route.rs
+
+/root/repo/target/debug/deps/libextrap_refsim-f34995ead2b06f45.rlib: crates/refsim/src/lib.rs crates/refsim/src/link.rs crates/refsim/src/machine.rs crates/refsim/src/route.rs
+
+/root/repo/target/debug/deps/libextrap_refsim-f34995ead2b06f45.rmeta: crates/refsim/src/lib.rs crates/refsim/src/link.rs crates/refsim/src/machine.rs crates/refsim/src/route.rs
+
+crates/refsim/src/lib.rs:
+crates/refsim/src/link.rs:
+crates/refsim/src/machine.rs:
+crates/refsim/src/route.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extrap_sim-093257fc318fc693.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fifo.rs crates/sim/src/rng.rs
+
+/root/repo/target/debug/deps/libextrap_sim-093257fc318fc693.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fifo.rs crates/sim/src/rng.rs
+
+/root/repo/target/debug/deps/libextrap_sim-093257fc318fc693.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fifo.rs crates/sim/src/rng.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/rng.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/extrap_sim-22e7602b93af29a3.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fifo.rs crates/sim/src/rng.rs
+
+/root/repo/target/debug/deps/extrap_sim-22e7602b93af29a3: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fifo.rs crates/sim/src/rng.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/rng.rs:

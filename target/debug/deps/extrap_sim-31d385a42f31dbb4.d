@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/extrap_sim-31d385a42f31dbb4.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fifo.rs crates/sim/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrap_sim-31d385a42f31dbb4.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fifo.rs crates/sim/src/rng.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extrap_time-0e2208294a1eb097.d: crates/time/src/lib.rs crates/time/src/ids.rs crates/time/src/rate.rs crates/time/src/time.rs
+
+/root/repo/target/debug/deps/libextrap_time-0e2208294a1eb097.rlib: crates/time/src/lib.rs crates/time/src/ids.rs crates/time/src/rate.rs crates/time/src/time.rs
+
+/root/repo/target/debug/deps/libextrap_time-0e2208294a1eb097.rmeta: crates/time/src/lib.rs crates/time/src/ids.rs crates/time/src/rate.rs crates/time/src/time.rs
+
+crates/time/src/lib.rs:
+crates/time/src/ids.rs:
+crates/time/src/rate.rs:
+crates/time/src/time.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/extrap_time-1ed220337b4efc91.d: crates/time/src/lib.rs crates/time/src/ids.rs crates/time/src/rate.rs crates/time/src/time.rs
+
+/root/repo/target/debug/deps/extrap_time-1ed220337b4efc91: crates/time/src/lib.rs crates/time/src/ids.rs crates/time/src/rate.rs crates/time/src/time.rs
+
+crates/time/src/lib.rs:
+crates/time/src/ids.rs:
+crates/time/src/rate.rs:
+crates/time/src/time.rs:

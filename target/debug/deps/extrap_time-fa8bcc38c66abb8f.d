@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/extrap_time-fa8bcc38c66abb8f.d: crates/time/src/lib.rs crates/time/src/ids.rs crates/time/src/rate.rs crates/time/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrap_time-fa8bcc38c66abb8f.rmeta: crates/time/src/lib.rs crates/time/src/ids.rs crates/time/src/rate.rs crates/time/src/time.rs Cargo.toml
+
+crates/time/src/lib.rs:
+crates/time/src/ids.rs:
+crates/time/src/rate.rs:
+crates/time/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

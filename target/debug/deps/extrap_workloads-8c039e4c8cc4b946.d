@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/extrap_workloads-8c039e4c8cc4b946.d: crates/workloads/src/lib.rs crates/workloads/src/cyclic.rs crates/workloads/src/embar.rs crates/workloads/src/grid.rs crates/workloads/src/matmul.rs crates/workloads/src/mgrid.rs crates/workloads/src/poisson.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/sparse.rs crates/workloads/src/util.rs
+
+/root/repo/target/debug/deps/extrap_workloads-8c039e4c8cc4b946: crates/workloads/src/lib.rs crates/workloads/src/cyclic.rs crates/workloads/src/embar.rs crates/workloads/src/grid.rs crates/workloads/src/matmul.rs crates/workloads/src/mgrid.rs crates/workloads/src/poisson.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/sparse.rs crates/workloads/src/util.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cyclic.rs:
+crates/workloads/src/embar.rs:
+crates/workloads/src/grid.rs:
+crates/workloads/src/matmul.rs:
+crates/workloads/src/mgrid.rs:
+crates/workloads/src/poisson.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/sparse.rs:
+crates/workloads/src/util.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/extrap_workloads-f5b27bff8a115646.d: crates/workloads/src/lib.rs crates/workloads/src/cyclic.rs crates/workloads/src/embar.rs crates/workloads/src/grid.rs crates/workloads/src/matmul.rs crates/workloads/src/mgrid.rs crates/workloads/src/poisson.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/sparse.rs crates/workloads/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrap_workloads-f5b27bff8a115646.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cyclic.rs crates/workloads/src/embar.rs crates/workloads/src/grid.rs crates/workloads/src/matmul.rs crates/workloads/src/mgrid.rs crates/workloads/src/poisson.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/sparse.rs crates/workloads/src/util.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cyclic.rs:
+crates/workloads/src/embar.rs:
+crates/workloads/src/grid.rs:
+crates/workloads/src/matmul.rs:
+crates/workloads/src/mgrid.rs:
+crates/workloads/src/poisson.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/sparse.rs:
+crates/workloads/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

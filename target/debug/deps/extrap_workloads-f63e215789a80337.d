@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/extrap_workloads-f63e215789a80337.d: crates/workloads/src/lib.rs crates/workloads/src/cyclic.rs crates/workloads/src/embar.rs crates/workloads/src/grid.rs crates/workloads/src/matmul.rs crates/workloads/src/mgrid.rs crates/workloads/src/poisson.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/sparse.rs crates/workloads/src/util.rs
+
+/root/repo/target/debug/deps/libextrap_workloads-f63e215789a80337.rlib: crates/workloads/src/lib.rs crates/workloads/src/cyclic.rs crates/workloads/src/embar.rs crates/workloads/src/grid.rs crates/workloads/src/matmul.rs crates/workloads/src/mgrid.rs crates/workloads/src/poisson.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/sparse.rs crates/workloads/src/util.rs
+
+/root/repo/target/debug/deps/libextrap_workloads-f63e215789a80337.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cyclic.rs crates/workloads/src/embar.rs crates/workloads/src/grid.rs crates/workloads/src/matmul.rs crates/workloads/src/mgrid.rs crates/workloads/src/poisson.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/sparse.rs crates/workloads/src/util.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cyclic.rs:
+crates/workloads/src/embar.rs:
+crates/workloads/src/grid.rs:
+crates/workloads/src/matmul.rs:
+crates/workloads/src/mgrid.rs:
+crates/workloads/src/poisson.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/sparse.rs:
+crates/workloads/src/util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-01d22431903a4449.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-01d22431903a4449: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_robustness-846f32afd4fd0ce8.d: crates/trace/tests/format_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_robustness-846f32afd4fd0ce8.rmeta: crates/trace/tests/format_robustness.rs Cargo.toml
+
+crates/trace/tests/format_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_robustness-9573d7689cfbcace.d: crates/trace/tests/format_robustness.rs
+
+/root/repo/target/debug/deps/format_robustness-9573d7689cfbcace: crates/trace/tests/format_robustness.rs
+
+crates/trace/tests/format_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-233e95a79f778f5d.d: crates/workloads/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-233e95a79f778f5d: crates/workloads/tests/golden.rs
+
+crates/workloads/tests/golden.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-7c0a842a035784bd.d: crates/workloads/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-7c0a842a035784bd.rmeta: crates/workloads/tests/golden.rs Cargo.toml
+
+crates/workloads/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

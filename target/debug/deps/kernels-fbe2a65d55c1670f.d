@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-fbe2a65d55c1670f.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-fbe2a65d55c1670f: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

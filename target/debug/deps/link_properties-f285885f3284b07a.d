@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/link_properties-f285885f3284b07a.d: crates/refsim/tests/link_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblink_properties-f285885f3284b07a.rmeta: crates/refsim/tests/link_properties.rs Cargo.toml
+
+crates/refsim/tests/link_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

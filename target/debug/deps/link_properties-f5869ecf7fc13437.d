@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/link_properties-f5869ecf7fc13437.d: crates/refsim/tests/link_properties.rs
+
+/root/repo/target/debug/deps/link_properties-f5869ecf7fc13437: crates/refsim/tests/link_properties.rs
+
+crates/refsim/tests/link_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_equations-877827896c79ed5b.d: crates/core/tests/model_equations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_equations-877827896c79ed5b.rmeta: crates/core/tests/model_equations.rs Cargo.toml
+
+crates/core/tests/model_equations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

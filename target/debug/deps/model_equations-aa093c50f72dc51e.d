@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_equations-aa093c50f72dc51e.d: crates/core/tests/model_equations.rs
+
+/root/repo/target/debug/deps/model_equations-aa093c50f72dc51e: crates/core/tests/model_equations.rs
+
+crates/core/tests/model_equations.rs:

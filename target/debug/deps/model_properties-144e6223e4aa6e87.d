@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-144e6223e4aa6e87.d: tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-144e6223e4aa6e87: tests/model_properties.rs
+
+tests/model_properties.rs:

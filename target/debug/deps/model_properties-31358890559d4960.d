@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-31358890559d4960.d: tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-31358890559d4960.rmeta: tests/model_properties.rs Cargo.toml
+
+tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_results-bb1fdc84dc4adae9.d: tests/paper_results.rs
+
+/root/repo/target/debug/deps/paper_results-bb1fdc84dc4adae9: tests/paper_results.rs
+
+tests/paper_results.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pcpp_rt-19e863be7d8a5675.d: crates/pcpp/src/lib.rs crates/pcpp/src/clock.rs crates/pcpp/src/collection.rs crates/pcpp/src/collective.rs crates/pcpp/src/distribution.rs crates/pcpp/src/element.rs crates/pcpp/src/instrument.rs crates/pcpp/src/program.rs crates/pcpp/src/scheduler.rs crates/pcpp/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcpp_rt-19e863be7d8a5675.rmeta: crates/pcpp/src/lib.rs crates/pcpp/src/clock.rs crates/pcpp/src/collection.rs crates/pcpp/src/collective.rs crates/pcpp/src/distribution.rs crates/pcpp/src/element.rs crates/pcpp/src/instrument.rs crates/pcpp/src/program.rs crates/pcpp/src/scheduler.rs crates/pcpp/src/sync.rs Cargo.toml
+
+crates/pcpp/src/lib.rs:
+crates/pcpp/src/clock.rs:
+crates/pcpp/src/collection.rs:
+crates/pcpp/src/collective.rs:
+crates/pcpp/src/distribution.rs:
+crates/pcpp/src/element.rs:
+crates/pcpp/src/instrument.rs:
+crates/pcpp/src/program.rs:
+crates/pcpp/src/scheduler.rs:
+crates/pcpp/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

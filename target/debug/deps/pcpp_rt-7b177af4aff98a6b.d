@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcpp_rt-7b177af4aff98a6b.d: crates/pcpp/src/lib.rs crates/pcpp/src/clock.rs crates/pcpp/src/collection.rs crates/pcpp/src/collective.rs crates/pcpp/src/distribution.rs crates/pcpp/src/element.rs crates/pcpp/src/instrument.rs crates/pcpp/src/program.rs crates/pcpp/src/scheduler.rs crates/pcpp/src/sync.rs
+
+/root/repo/target/debug/deps/pcpp_rt-7b177af4aff98a6b: crates/pcpp/src/lib.rs crates/pcpp/src/clock.rs crates/pcpp/src/collection.rs crates/pcpp/src/collective.rs crates/pcpp/src/distribution.rs crates/pcpp/src/element.rs crates/pcpp/src/instrument.rs crates/pcpp/src/program.rs crates/pcpp/src/scheduler.rs crates/pcpp/src/sync.rs
+
+crates/pcpp/src/lib.rs:
+crates/pcpp/src/clock.rs:
+crates/pcpp/src/collection.rs:
+crates/pcpp/src/collective.rs:
+crates/pcpp/src/distribution.rs:
+crates/pcpp/src/element.rs:
+crates/pcpp/src/instrument.rs:
+crates/pcpp/src/program.rs:
+crates/pcpp/src/scheduler.rs:
+crates/pcpp/src/sync.rs:

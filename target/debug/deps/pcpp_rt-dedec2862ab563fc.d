@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pcpp_rt-dedec2862ab563fc.d: crates/pcpp/src/lib.rs crates/pcpp/src/clock.rs crates/pcpp/src/collection.rs crates/pcpp/src/collective.rs crates/pcpp/src/distribution.rs crates/pcpp/src/element.rs crates/pcpp/src/instrument.rs crates/pcpp/src/program.rs crates/pcpp/src/scheduler.rs crates/pcpp/src/sync.rs
+
+/root/repo/target/debug/deps/libpcpp_rt-dedec2862ab563fc.rlib: crates/pcpp/src/lib.rs crates/pcpp/src/clock.rs crates/pcpp/src/collection.rs crates/pcpp/src/collective.rs crates/pcpp/src/distribution.rs crates/pcpp/src/element.rs crates/pcpp/src/instrument.rs crates/pcpp/src/program.rs crates/pcpp/src/scheduler.rs crates/pcpp/src/sync.rs
+
+/root/repo/target/debug/deps/libpcpp_rt-dedec2862ab563fc.rmeta: crates/pcpp/src/lib.rs crates/pcpp/src/clock.rs crates/pcpp/src/collection.rs crates/pcpp/src/collective.rs crates/pcpp/src/distribution.rs crates/pcpp/src/element.rs crates/pcpp/src/instrument.rs crates/pcpp/src/program.rs crates/pcpp/src/scheduler.rs crates/pcpp/src/sync.rs
+
+crates/pcpp/src/lib.rs:
+crates/pcpp/src/clock.rs:
+crates/pcpp/src/collection.rs:
+crates/pcpp/src/collective.rs:
+crates/pcpp/src/distribution.rs:
+crates/pcpp/src/element.rs:
+crates/pcpp/src/instrument.rs:
+crates/pcpp/src/program.rs:
+crates/pcpp/src/scheduler.rs:
+crates/pcpp/src/sync.rs:

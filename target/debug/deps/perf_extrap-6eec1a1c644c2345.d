@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_extrap-6eec1a1c644c2345.d: src/lib.rs
+
+/root/repo/target/debug/deps/perf_extrap-6eec1a1c644c2345: src/lib.rs
+
+src/lib.rs:

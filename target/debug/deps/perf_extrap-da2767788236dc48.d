@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/perf_extrap-da2767788236dc48.d: src/lib.rs
+
+/root/repo/target/debug/deps/libperf_extrap-da2767788236dc48.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libperf_extrap-da2767788236dc48.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-629f97d994d89948.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-629f97d994d89948: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-228e4d1b177248f6.d: crates/bench/benches/sweep.rs
+
+/root/repo/target/debug/deps/sweep-228e4d1b177248f6: crates/bench/benches/sweep.rs
+
+crates/bench/benches/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clustered_machine-f693961ba45223bb.d: examples/clustered_machine.rs
+
+/root/repo/target/debug/examples/clustered_machine-f693961ba45223bb: examples/clustered_machine.rs
+
+examples/clustered_machine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matmul_distributions-1d0fd1c845fac497.d: examples/matmul_distributions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatmul_distributions-1d0fd1c845fac497.rmeta: examples/matmul_distributions.rs Cargo.toml
+
+examples/matmul_distributions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matmul_distributions-dac63cd12a0e1c12.d: examples/matmul_distributions.rs
+
+/root/repo/target/debug/examples/matmul_distributions-dac63cd12a0e1c12: examples/matmul_distributions.rs
+
+examples/matmul_distributions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multithreaded_target-ddf1de28caaebf54.d: examples/multithreaded_target.rs
+
+/root/repo/target/debug/examples/multithreaded_target-ddf1de28caaebf54: examples/multithreaded_target.rs
+
+examples/multithreaded_target.rs:

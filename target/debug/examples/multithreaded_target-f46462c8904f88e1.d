@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multithreaded_target-f46462c8904f88e1.d: examples/multithreaded_target.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultithreaded_target-f46462c8904f88e1.rmeta: examples/multithreaded_target.rs Cargo.toml
+
+examples/multithreaded_target.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/performance_debugging-cb8d074a5500256b.d: examples/performance_debugging.rs
+
+/root/repo/target/debug/examples/performance_debugging-cb8d074a5500256b: examples/performance_debugging.rs
+
+examples/performance_debugging.rs:

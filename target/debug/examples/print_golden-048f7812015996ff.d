@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/print_golden-048f7812015996ff.d: crates/workloads/examples/print_golden.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprint_golden-048f7812015996ff.rmeta: crates/workloads/examples/print_golden.rs Cargo.toml
+
+crates/workloads/examples/print_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/print_golden-cb19b958df72e06c.d: crates/workloads/examples/print_golden.rs
+
+/root/repo/target/debug/examples/print_golden-cb19b958df72e06c: crates/workloads/examples/print_golden.rs
+
+crates/workloads/examples/print_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7514ff06d028a535.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7514ff06d028a535: examples/quickstart.rs
+
+examples/quickstart.rs:

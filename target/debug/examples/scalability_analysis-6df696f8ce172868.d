@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability_analysis-6df696f8ce172868.d: examples/scalability_analysis.rs
+
+/root/repo/target/debug/examples/scalability_analysis-6df696f8ce172868: examples/scalability_analysis.rs
+
+examples/scalability_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scalability_analysis-d333c4ea84019c57.d: examples/scalability_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscalability_analysis-d333c4ea84019c57.rmeta: examples/scalability_analysis.rs Cargo.toml
+
+examples/scalability_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sweep-e18af4cdb9c4c1ee.d: examples/sweep.rs
+
+/root/repo/target/debug/examples/sweep-e18af4cdb9c4c1ee: examples/sweep.rs
+
+examples/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_policies-a24b6b9b6cfb3d38.d: examples/whatif_policies.rs
+
+/root/repo/target/debug/examples/whatif_policies-a24b6b9b6cfb3d38: examples/whatif_policies.rs
+
+examples/whatif_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-6b44286e98f21ed3.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-6b44286e98f21ed3: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extrap-2c51a59dc25ffd7f.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/extrap-2c51a59dc25ffd7f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/extrap_bench-d532ee758903e7e3.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libextrap_bench-d532ee758903e7e3.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libextrap_bench-d532ee758903e7e3.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extrap_exp-49fcdf2d86efed44.d: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+/root/repo/target/release/deps/libextrap_exp-49fcdf2d86efed44.rlib: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+/root/repo/target/release/deps/libextrap_exp-49fcdf2d86efed44.rmeta: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+crates/exp/src/lib.rs:
+crates/exp/src/experiments.rs:
+crates/exp/src/series.rs:

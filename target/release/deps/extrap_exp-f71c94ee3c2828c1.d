@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extrap_exp-f71c94ee3c2828c1.d: crates/exp/src/main.rs
+
+/root/repo/target/release/deps/extrap_exp-f71c94ee3c2828c1: crates/exp/src/main.rs
+
+crates/exp/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/extrap_refsim-4a82ff5e2ac0df3e.d: crates/refsim/src/lib.rs crates/refsim/src/link.rs crates/refsim/src/machine.rs crates/refsim/src/route.rs
+
+/root/repo/target/release/deps/libextrap_refsim-4a82ff5e2ac0df3e.rlib: crates/refsim/src/lib.rs crates/refsim/src/link.rs crates/refsim/src/machine.rs crates/refsim/src/route.rs
+
+/root/repo/target/release/deps/libextrap_refsim-4a82ff5e2ac0df3e.rmeta: crates/refsim/src/lib.rs crates/refsim/src/link.rs crates/refsim/src/machine.rs crates/refsim/src/route.rs
+
+crates/refsim/src/lib.rs:
+crates/refsim/src/link.rs:
+crates/refsim/src/machine.rs:
+crates/refsim/src/route.rs:

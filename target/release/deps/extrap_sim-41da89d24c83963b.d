@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/extrap_sim-41da89d24c83963b.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fifo.rs crates/sim/src/rng.rs
+
+/root/repo/target/release/deps/libextrap_sim-41da89d24c83963b.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fifo.rs crates/sim/src/rng.rs
+
+/root/repo/target/release/deps/libextrap_sim-41da89d24c83963b.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/fifo.rs crates/sim/src/rng.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/fifo.rs:
+crates/sim/src/rng.rs:

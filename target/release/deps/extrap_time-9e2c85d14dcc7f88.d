@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/extrap_time-9e2c85d14dcc7f88.d: crates/time/src/lib.rs crates/time/src/ids.rs crates/time/src/rate.rs crates/time/src/time.rs
+
+/root/repo/target/release/deps/libextrap_time-9e2c85d14dcc7f88.rlib: crates/time/src/lib.rs crates/time/src/ids.rs crates/time/src/rate.rs crates/time/src/time.rs
+
+/root/repo/target/release/deps/libextrap_time-9e2c85d14dcc7f88.rmeta: crates/time/src/lib.rs crates/time/src/ids.rs crates/time/src/rate.rs crates/time/src/time.rs
+
+crates/time/src/lib.rs:
+crates/time/src/ids.rs:
+crates/time/src/rate.rs:
+crates/time/src/time.rs:

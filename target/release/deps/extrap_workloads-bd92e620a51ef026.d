@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/extrap_workloads-bd92e620a51ef026.d: crates/workloads/src/lib.rs crates/workloads/src/cyclic.rs crates/workloads/src/embar.rs crates/workloads/src/grid.rs crates/workloads/src/matmul.rs crates/workloads/src/mgrid.rs crates/workloads/src/poisson.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/sparse.rs crates/workloads/src/util.rs
+
+/root/repo/target/release/deps/libextrap_workloads-bd92e620a51ef026.rlib: crates/workloads/src/lib.rs crates/workloads/src/cyclic.rs crates/workloads/src/embar.rs crates/workloads/src/grid.rs crates/workloads/src/matmul.rs crates/workloads/src/mgrid.rs crates/workloads/src/poisson.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/sparse.rs crates/workloads/src/util.rs
+
+/root/repo/target/release/deps/libextrap_workloads-bd92e620a51ef026.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cyclic.rs crates/workloads/src/embar.rs crates/workloads/src/grid.rs crates/workloads/src/matmul.rs crates/workloads/src/mgrid.rs crates/workloads/src/poisson.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/sparse.rs crates/workloads/src/util.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cyclic.rs:
+crates/workloads/src/embar.rs:
+crates/workloads/src/grid.rs:
+crates/workloads/src/matmul.rs:
+crates/workloads/src/mgrid.rs:
+crates/workloads/src/poisson.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/sparse.rs:
+crates/workloads/src/util.rs:

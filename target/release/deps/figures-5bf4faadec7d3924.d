@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-5bf4faadec7d3924.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-5bf4faadec7d3924: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

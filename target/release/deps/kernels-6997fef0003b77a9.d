@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-6997fef0003b77a9.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-6997fef0003b77a9: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

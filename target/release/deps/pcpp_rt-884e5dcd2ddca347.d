@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pcpp_rt-884e5dcd2ddca347.d: crates/pcpp/src/lib.rs crates/pcpp/src/clock.rs crates/pcpp/src/collection.rs crates/pcpp/src/collective.rs crates/pcpp/src/distribution.rs crates/pcpp/src/element.rs crates/pcpp/src/instrument.rs crates/pcpp/src/program.rs crates/pcpp/src/scheduler.rs crates/pcpp/src/sync.rs
+
+/root/repo/target/release/deps/libpcpp_rt-884e5dcd2ddca347.rlib: crates/pcpp/src/lib.rs crates/pcpp/src/clock.rs crates/pcpp/src/collection.rs crates/pcpp/src/collective.rs crates/pcpp/src/distribution.rs crates/pcpp/src/element.rs crates/pcpp/src/instrument.rs crates/pcpp/src/program.rs crates/pcpp/src/scheduler.rs crates/pcpp/src/sync.rs
+
+/root/repo/target/release/deps/libpcpp_rt-884e5dcd2ddca347.rmeta: crates/pcpp/src/lib.rs crates/pcpp/src/clock.rs crates/pcpp/src/collection.rs crates/pcpp/src/collective.rs crates/pcpp/src/distribution.rs crates/pcpp/src/element.rs crates/pcpp/src/instrument.rs crates/pcpp/src/program.rs crates/pcpp/src/scheduler.rs crates/pcpp/src/sync.rs
+
+crates/pcpp/src/lib.rs:
+crates/pcpp/src/clock.rs:
+crates/pcpp/src/collection.rs:
+crates/pcpp/src/collective.rs:
+crates/pcpp/src/distribution.rs:
+crates/pcpp/src/element.rs:
+crates/pcpp/src/instrument.rs:
+crates/pcpp/src/program.rs:
+crates/pcpp/src/scheduler.rs:
+crates/pcpp/src/sync.rs:

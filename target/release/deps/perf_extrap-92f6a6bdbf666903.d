@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/perf_extrap-92f6a6bdbf666903.d: src/lib.rs
+
+/root/repo/target/release/deps/libperf_extrap-92f6a6bdbf666903.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libperf_extrap-92f6a6bdbf666903.rmeta: src/lib.rs
+
+src/lib.rs:

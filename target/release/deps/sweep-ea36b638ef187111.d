@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-ea36b638ef187111.d: crates/bench/benches/sweep.rs
+
+/root/repo/target/release/deps/sweep-ea36b638ef187111: crates/bench/benches/sweep.rs
+
+crates/bench/benches/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sweep-2e432abe139f9d08.d: examples/sweep.rs
+
+/root/repo/target/release/examples/sweep-2e432abe139f9d08: examples/sweep.rs
+
+examples/sweep.rs:

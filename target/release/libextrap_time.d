@@ -1,0 +1,1 @@
+/root/repo/target/release/libextrap_time.rlib: /root/repo/crates/time/src/ids.rs /root/repo/crates/time/src/lib.rs /root/repo/crates/time/src/rate.rs /root/repo/crates/time/src/time.rs

@@ -42,7 +42,11 @@ fn fig4_grid_idle_processor_artifact() {
 #[test]
 fn fig5_grid_investigation_ordering() {
     let n = 16;
-    let traces = translate(&Bench::Grid.trace(n, Scale::Tiny), TranslateOptions::default()).unwrap();
+    let traces = translate(
+        &Bench::Grid.trace(n, Scale::Tiny),
+        TranslateOptions::default(),
+    )
+    .unwrap();
     let base = machine::default_distributed();
     let mut high_bw = base.clone();
     high_bw.comm = high_bw.comm.with_bandwidth_mbps(200.0);
@@ -60,7 +64,10 @@ fn fig5_grid_investigation_ordering() {
         t(&machine::ideal()),
     );
     assert!(t_bw < t_base, "bandwidth helps: {t_bw} vs {t_base}");
-    assert!(t_actual < t_base, "actual sizes help: {t_actual} vs {t_base}");
+    assert!(
+        t_actual < t_base,
+        "actual sizes help: {t_actual} vs {t_base}"
+    );
     // The paper's punchline: fixing the recorded size is comparable to
     // the 10x-bandwidth experiment.
     let ratio = t_actual.as_ns() as f64 / t_bw.as_ns() as f64;
@@ -71,15 +78,27 @@ fn fig5_grid_investigation_ordering() {
 
 #[test]
 fn fig6_mips_ratio_scales_compute_bound_programs() {
-    let traces = translate(&Bench::Embar.trace(8, Scale::Tiny), TranslateOptions::default()).unwrap();
+    let traces = translate(
+        &Bench::Embar.trace(8, Scale::Tiny),
+        TranslateOptions::default(),
+    )
+    .unwrap();
     let time_at = |ratio: f64| {
         let mut params = machine::default_distributed();
         params.mips_ratio = ratio;
         extrapolate(&traces, &params).unwrap().exec_time().as_ns() as f64
     };
     let (slow, base, fast) = (time_at(2.0), time_at(1.0), time_at(0.5));
-    assert!((slow / base - 2.0).abs() < 0.05, "slow/base = {}", slow / base);
-    assert!((base / fast - 2.0).abs() < 0.1, "base/fast = {}", base / fast);
+    assert!(
+        (slow / base - 2.0).abs() < 0.05,
+        "slow/base = {}",
+        slow / base
+    );
+    assert!(
+        (base / fast - 2.0).abs() < 0.1,
+        "base/fast = {}",
+        base / fast
+    );
 }
 
 #[test]
@@ -139,8 +158,7 @@ fn fig7_min_time_processor_count_shifts_down() {
 #[test]
 fn fig8_no_interrupt_is_never_best() {
     for bench in [Bench::Cyclic, Bench::Grid] {
-        let traces =
-            translate(&bench.trace(16, Scale::Tiny), TranslateOptions::default()).unwrap();
+        let traces = translate(&bench.trace(16, Scale::Tiny), TranslateOptions::default()).unwrap();
         let time_with = |policy: ServicePolicy| {
             let mut params = machine::default_distributed();
             params.comm = params.comm.with_startup_us(100.0);
@@ -198,7 +216,10 @@ fn validation_reference_machine_is_slower_or_equal_under_hot_spots() {
     .unwrap();
     let params = machine::cm5();
     let analytic = extrapolate(&traces, &params).unwrap().exec_time();
-    let detailed = RefMachine::new(params).measure(&traces).unwrap().exec_time();
+    let detailed = RefMachine::new(params)
+        .measure(&traces)
+        .unwrap()
+        .exec_time();
     assert!(
         detailed.as_ns() as f64 >= analytic.as_ns() as f64 * 0.85,
         "analytic {analytic} vs detailed {detailed}"
