@@ -3,7 +3,7 @@
 
 use extrap_bench::harness::{Harness, Throughput};
 use extrap_bench::{ring_program, ring_traces};
-use extrap_core::{extrapolate, machine};
+use extrap_core::{extrapolate, machine, CompiledProgram, RecordMode, SimScratch};
 use extrap_time::DurationNs;
 use std::hint::black_box;
 
@@ -54,10 +54,55 @@ fn main() {
         );
     }
 
+    // The sweep hot path in isolation: compile once, replay with reused
+    // scratch buffers, metrics only.
+    {
+        let ts = ring_traces(32, 32, 20.0, 1_024);
+        let program = CompiledProgram::compile(&ts).unwrap();
+        let mut params = machine::default_distributed();
+        params.record_mode = RecordMode::MetricsOnly;
+        let events = extrapolate(&ts, &machine::default_distributed())
+            .unwrap()
+            .events_dispatched;
+        let mut scratch = SimScratch::default();
+        h.bench_throughput(
+            "run_compiled_scratch_ring_32t",
+            Throughput::Elements(events),
+            || {
+                black_box(
+                    extrap_core::run_compiled_scratch(&program, &params, &mut scratch)
+                        .unwrap()
+                        .exec_time(),
+                )
+            },
+        );
+    }
+
     h.bench("event_queue_schedule_dispatch_10k", || {
         let mut eng: extrap_sim::Engine<u64> = extrap_sim::Engine::new();
         for i in 0..10_000u64 {
             eng.schedule(extrap_time::TimeNs(i % 977), i);
+        }
+        let mut count = 0u64;
+        while eng.next().is_some() {
+            count += 1;
+        }
+        black_box(count)
+    });
+
+    h.bench("event_queue_schedule_cancel_dispatch_10k", || {
+        // Every other event is cancelled — the slab queue's O(1) cancel
+        // and lazy tombstone purge under churn.
+        let mut eng: extrap_sim::Engine<u64> = extrap_sim::Engine::new();
+        let mut tokens = Vec::with_capacity(5_000);
+        for i in 0..10_000u64 {
+            let tok = eng.schedule(extrap_time::TimeNs(i % 977), i);
+            if i % 2 == 0 {
+                tokens.push(tok);
+            }
+        }
+        for tok in tokens.drain(..) {
+            eng.cancel(tok);
         }
         let mut count = 0u64;
         while eng.next().is_some() {

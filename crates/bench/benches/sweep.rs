@@ -6,7 +6,7 @@
 //! measured parallel speedup.
 
 use extrap_bench::harness::Harness;
-use extrap_core::{machine, sweep, SharedTraceCache, SweepGrid};
+use extrap_core::{machine, sweep, RecordMode, SharedTraceCache, SweepGrid};
 use extrap_trace::translate;
 use extrap_workloads::{Bench, Scale};
 use std::hint::black_box;
@@ -14,20 +14,30 @@ use std::time::Instant;
 
 const PROCS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
-fn fig4_grid() -> Vec<extrap_core::SweepJob<(Bench, usize)>> {
+fn fig4_grid(record_mode: RecordMode) -> Vec<extrap_core::SweepJob<(Bench, usize)>> {
+    let mut params = machine::default_distributed();
+    params.record_mode = record_mode;
     SweepGrid::new()
         .workloads(Bench::all())
         .procs(PROCS)
-        .params(machine::default_distributed())
+        .params(params)
         .jobs()
 }
 
-fn run_grid(workers: usize, cache: &SharedTraceCache<(Bench, usize)>) -> usize {
-    let jobs = fig4_grid();
+fn run_grid_mode(
+    workers: usize,
+    cache: &SharedTraceCache<(Bench, usize)>,
+    record_mode: RecordMode,
+) -> usize {
+    let jobs = fig4_grid(record_mode);
     let results = sweep(&jobs, workers, cache, |(bench, n)| {
         translate(&bench.trace(*n, Scale::Small), Default::default())
     });
     results.iter().filter(|r| r.is_ok()).count()
+}
+
+fn run_grid(workers: usize, cache: &SharedTraceCache<(Bench, usize)>) -> usize {
+    run_grid_mode(workers, cache, RecordMode::Full)
 }
 
 fn timed(label: &str, runs: usize, mut f: impl FnMut() -> usize) -> f64 {
@@ -85,11 +95,18 @@ fn main() {
         serial_warm / parallel_warm
     );
 
-    // The harness-based rows, for the uniform report format.
+    // The harness-based rows, for the uniform report format (and the
+    // `--json` trajectory file the CI regression gate reads).
     let mut h = Harness::from_args("sweep");
     let warm2 = SharedTraceCache::new();
     run_grid(1, &warm2);
     h.bench("fig4_grid_warm_serial", || run_grid(1, &warm2));
     h.bench("fig4_grid_warm_pool", || run_grid(workers, &warm2));
+    h.bench("fig4_grid_warm_serial_metrics_only", || {
+        run_grid_mode(1, &warm2, RecordMode::MetricsOnly)
+    });
+    h.bench("fig4_grid_warm_pool_metrics_only", || {
+        run_grid_mode(workers, &warm2, RecordMode::MetricsOnly)
+    });
     h.finish();
 }

@@ -7,8 +7,12 @@
 //! sample count and a minimum total measurement time, and reports the
 //! median/mean/min time per iteration (plus derived throughput when a
 //! [`Throughput`] is given).  Positional command-line arguments act as
-//! substring filters, matching `cargo bench -- <filter>` usage.
+//! substring filters, matching `cargo bench -- <filter>` usage, and
+//! `--json <path>` additionally writes the results as machine-readable
+//! JSON (hand-rolled; the build container has no serde) for trend
+//! tracking and the CI regression gate.
 
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// What one iteration processes, for derived throughput reporting.
@@ -31,29 +35,37 @@ struct Record {
 
 /// The benchmark runner for one bench target.
 pub struct Harness {
+    target: String,
     filters: Vec<String>,
     min_samples: usize,
     min_total: Duration,
+    quick: bool,
+    json_path: Option<String>,
     results: Vec<Record>,
 }
 
 impl Harness {
     /// A harness configured from the process arguments: positional
     /// arguments are substring filters, `--quick` cuts the measurement
-    /// budget, and cargo's own `--bench` flag is ignored.
+    /// budget, `--json <path>` writes machine-readable results, and
+    /// cargo's own `--bench` flag is ignored.
     pub fn from_args(target: &str) -> Harness {
         let mut filters = Vec::new();
         let mut quick = false;
-        for arg in std::env::args().skip(1) {
+        let mut json_path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--bench" | "--exact" => {}
                 "--quick" => quick = true,
+                "--json" => json_path = args.next(),
                 a if a.starts_with("--") => {}
                 other => filters.push(other.to_string()),
             }
         }
         println!("## {target}");
         Harness {
+            target: target.to_string(),
             filters,
             min_samples: if quick { 5 } else { 20 },
             min_total: if quick {
@@ -61,6 +73,8 @@ impl Harness {
             } else {
                 Duration::from_millis(300)
             },
+            quick,
+            json_path,
             results: Vec::new(),
         }
     }
@@ -122,7 +136,8 @@ impl Harness {
         });
     }
 
-    /// Prints the result table.  Call once, last.
+    /// Prints the result table (and writes the JSON file when `--json`
+    /// was given).  Call once, last.
     pub fn finish(self) {
         println!(
             "{:44} {:>12} {:>12} {:>12} {:>8}  throughput",
@@ -149,7 +164,68 @@ impl Harness {
             );
         }
         println!();
+        if let Some(path) = &self.json_path {
+            match std::fs::write(path, self.to_json()) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
     }
+
+    /// The results as a JSON document: target, measurement mode, and one
+    /// object per benchmark with median/mean/min ns, sample count, and
+    /// derived throughput (elements or bytes per second) when declared.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"target\": \"{}\",", escape_json(&self.target));
+        let _ = writeln!(s, "  \"quick\": {},", self.quick);
+        let _ = writeln!(s, "  \"benches\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = writeln!(s, "    {{");
+            let _ = writeln!(s, "      \"name\": \"{}\",", escape_json(&r.name));
+            let _ = writeln!(s, "      \"median_ns\": {:.1},", r.median_ns);
+            let _ = writeln!(s, "      \"mean_ns\": {:.1},", r.mean_ns);
+            let _ = writeln!(s, "      \"min_ns\": {:.1},", r.min_ns);
+            let _ = writeln!(s, "      \"samples\": {},", r.samples);
+            match r.throughput {
+                None => {
+                    let _ = writeln!(s, "      \"throughput\": null");
+                }
+                Some(Throughput::Elements(n)) => {
+                    let _ = writeln!(
+                        s,
+                        "      \"throughput\": {{ \"unit\": \"elements_per_s\", \"value\": {:.1} }}",
+                        n as f64 / r.median_ns * 1e9
+                    );
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let _ = writeln!(
+                        s,
+                        "      \"throughput\": {{ \"unit\": \"bytes_per_s\", \"value\": {:.1} }}",
+                        n as f64 / r.median_ns * 1e9
+                    );
+                }
+            }
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let _ = writeln!(s, "    }}{comma}");
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -168,14 +244,21 @@ fn fmt_ns(ns: f64) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn harness_times_and_reports() {
-        let mut h = Harness {
-            filters: vec![],
+    fn test_harness(filters: Vec<String>) -> Harness {
+        Harness {
+            target: "test".into(),
+            filters,
             min_samples: 3,
             min_total: Duration::from_millis(1),
+            quick: true,
+            json_path: None,
             results: Vec::new(),
-        };
+        }
+    }
+
+    #[test]
+    fn harness_times_and_reports() {
+        let mut h = test_harness(vec![]);
         let mut count = 0u64;
         h.bench("spin", || {
             count += 1;
@@ -189,16 +272,62 @@ mod tests {
 
     #[test]
     fn filters_skip_unmatched_names() {
-        let mut h = Harness {
-            filters: vec!["match-me".into()],
-            min_samples: 1,
-            min_total: Duration::ZERO,
-            results: Vec::new(),
-        };
+        let mut h = test_harness(vec!["match-me".into()]);
+        h.min_samples = 1;
+        h.min_total = Duration::ZERO;
         h.bench("something-else", || 1);
         assert!(h.results.is_empty());
         h.bench("does match-me indeed", || 1);
         assert_eq!(h.results.len(), 1);
+    }
+
+    #[test]
+    fn json_output_has_one_object_per_bench() {
+        let mut h = test_harness(vec![]);
+        h.results.push(Record {
+            name: "alpha".into(),
+            median_ns: 1234.5,
+            mean_ns: 1300.0,
+            min_ns: 1200.0,
+            samples: 17,
+            throughput: Some(Throughput::Elements(1000)),
+        });
+        h.results.push(Record {
+            name: "beta \"quoted\"".into(),
+            median_ns: 5.0,
+            mean_ns: 6.0,
+            min_ns: 4.0,
+            samples: 3,
+            throughput: None,
+        });
+        let json = h.to_json();
+        assert!(json.contains("\"target\": \"test\""));
+        assert!(json.contains("\"name\": \"alpha\""));
+        assert!(json.contains("\"median_ns\": 1234.5"));
+        assert!(json.contains("\"unit\": \"elements_per_s\""));
+        assert!(json.contains("\"beta \\\"quoted\\\"\""));
+        assert!(json.contains("\"throughput\": null"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces balance"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_writes_to_the_requested_path() {
+        let path = std::env::temp_dir().join("extrap_bench_harness_test.json");
+        let mut h = test_harness(vec![]);
+        h.json_path = Some(path.to_string_lossy().into_owned());
+        h.min_samples = 1;
+        h.min_total = Duration::ZERO;
+        h.bench("one", || 1);
+        h.finish();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"name\": \"one\""));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

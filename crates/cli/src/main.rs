@@ -283,6 +283,9 @@ fn cmd_sweep(mut args: Vec<String>) -> Result<(), String> {
         })
         .collect::<Result<_, _>>()?;
 
+    // The sweep report only prints times, so skip the predicted traces.
+    let mut params = params;
+    params.record_mode = extrap_core::RecordMode::MetricsOnly;
     let grid = SweepGrid::new()
         .workloads(benches.iter().map(|b| b.name().to_string()))
         .procs(procs.iter().copied())

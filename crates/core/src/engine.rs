@@ -19,18 +19,30 @@
 //! Threads waiting at a barrier or for a remote reply always continue to
 //! service incoming requests (the pC++ runtime behaviour §3.3.3 calls
 //! out), so request/reply chains can never deadlock.
+//!
+//! # Hot path
+//!
+//! The engine executes a borrowed [`CompiledProgram`] — the scripts are
+//! compiled once per trace and shared across every parameter set of a
+//! sweep, with `MipsRatio` applied to compute durations at dispatch
+//! time.  All mutable simulation state (event queue, message log,
+//! per-thread and per-processor records) lives in a [`SimScratch`] that
+//! callers may reuse across runs, so a steady-state sweep job performs
+//! no allocation beyond the predicted trace — and none at all under
+//! [`RecordMode::MetricsOnly`].
 
 use crate::barrier::{BarrierAction, BarrierCoordinator, BarrierMsg};
 use crate::metrics::{Prediction, ProcBreakdown};
 use crate::network::state::NetModel;
 use crate::network::NetworkState;
-use crate::params::{ServicePolicy, SimParams, SizeMode};
-use crate::processor::{compile_thread, Op};
+use crate::params::{RecordMode, ServicePolicy, SimParams, SizeMode};
+use crate::processor::{CompiledProgram, Op};
 use extrap_sim::Engine as EventQueue;
 use extrap_time::{BarrierId, DurationNs, ProcId, ThreadId, TimeNs};
 use extrap_trace::{EventKind, ThreadTrace, TraceError, TraceRecord, TraceSet};
 use std::collections::VecDeque;
 use std::fmt;
+use std::mem;
 
 /// Errors from the extrapolation pipeline.
 #[derive(Debug)]
@@ -119,7 +131,6 @@ enum TState {
 }
 
 struct Th {
-    ops: Vec<Op>,
     pc: usize,
     state: TState,
     gen: u64,
@@ -144,15 +155,31 @@ struct Pr {
     last: Option<u32>,
 }
 
+/// Reusable simulation state: the event queue, message log, and
+/// per-thread/per-processor bookkeeping vectors.
+///
+/// A fresh `SimScratch` is just empty buffers; passing the same one to
+/// [`run_compiled_scratch`] for every job of a sweep lets steady-state
+/// jobs reuse all of them.  The sweep engine keeps one per worker
+/// thread.  Contents are opaque — the engine resets everything it reads.
+#[derive(Default)]
+pub struct SimScratch {
+    queue: EventQueue<Ev>,
+    threads: Vec<Th>,
+    procs: Vec<Pr>,
+    msgs: Vec<Msg>,
+}
+
 /// Runs the extrapolation of `traces` on the machine described by
 /// `params`, using the paper's analytic network contention model.
+///
+/// Convenience wrapper over [`CompiledProgram::compile`] +
+/// [`run_compiled`]; sweeps should compile once and call
+/// [`run_compiled_scratch`] per parameter set instead.
 pub fn run(traces: &TraceSet, params: &SimParams) -> Result<Prediction, ExtrapError> {
-    let n_procs = params
-        .multithread
-        .mapping
-        .n_procs(traces.n_threads().max(1));
-    let net = NetworkState::new(n_procs, params.network, params.comm.byte_transfer);
-    run_with_network(traces, params, net)
+    params.validate().map_err(ExtrapError::Params)?;
+    let program = CompiledProgram::compile(traces)?;
+    run_compiled(&program, params)
 }
 
 /// Runs the extrapolation with a caller-supplied network model (used by
@@ -164,17 +191,55 @@ pub fn run_with_network<N: NetModel>(
     net: N,
 ) -> Result<Prediction, ExtrapError> {
     params.validate().map_err(ExtrapError::Params)?;
-    traces.validate()?;
-    if traces.threads.is_empty() {
-        return Ok(Prediction::empty());
-    }
-    let mut sim = Sim::new(traces, params, net);
-    sim.run()?;
-    Ok(sim.into_prediction())
+    let program = CompiledProgram::compile(traces)?;
+    run_compiled_with_network(&program, params, net, &mut SimScratch::default())
 }
 
-struct Sim<N> {
-    params: SimParams,
+/// Runs the extrapolation of an already-compiled program.
+pub fn run_compiled(
+    program: &CompiledProgram,
+    params: &SimParams,
+) -> Result<Prediction, ExtrapError> {
+    run_compiled_scratch(program, params, &mut SimScratch::default())
+}
+
+/// Runs the extrapolation of a compiled program, reusing the caller's
+/// scratch buffers (the zero-allocation sweep hot path).
+pub fn run_compiled_scratch(
+    program: &CompiledProgram,
+    params: &SimParams,
+    scratch: &mut SimScratch,
+) -> Result<Prediction, ExtrapError> {
+    let n_procs = params
+        .multithread
+        .mapping
+        .n_procs(program.n_threads().max(1));
+    let net = NetworkState::new(n_procs, params.network, params.comm.byte_transfer);
+    run_compiled_with_network(program, params, net, scratch)
+}
+
+/// Runs a compiled program with a caller-supplied network model and
+/// scratch buffers.  Every other entry point funnels here.
+pub fn run_compiled_with_network<N: NetModel>(
+    program: &CompiledProgram,
+    params: &SimParams,
+    net: N,
+    scratch: &mut SimScratch,
+) -> Result<Prediction, ExtrapError> {
+    params.validate().map_err(ExtrapError::Params)?;
+    if program.is_empty() {
+        return Ok(Prediction::empty());
+    }
+    let mut sim = Sim::new(program, params, net, scratch);
+    sim.run()?;
+    Ok(sim.into_prediction(scratch))
+}
+
+struct Sim<'p, N> {
+    program: &'p CompiledProgram,
+    params: &'p SimParams,
+    /// Materialize the predicted trace? (`RecordMode::Full`)
+    record: bool,
     n_threads: usize,
     n_procs: usize,
     queue: EventQueue<Ev>,
@@ -185,46 +250,88 @@ struct Sim<N> {
     msgs: Vec<Msg>,
 }
 
-impl<N: NetModel> Sim<N> {
-    fn new(traces: &TraceSet, params: &SimParams, net: N) -> Sim<N> {
-        let n_threads = traces.n_threads();
+impl<'p, N: NetModel> Sim<'p, N> {
+    fn new(
+        program: &'p CompiledProgram,
+        params: &'p SimParams,
+        net: N,
+        scratch: &mut SimScratch,
+    ) -> Sim<'p, N> {
+        let n_threads = program.n_threads();
         let mapping = params.multithread.mapping;
         let n_procs = mapping.n_procs(n_threads);
-        let threads = traces
-            .threads
-            .iter()
-            .map(|tt: &ThreadTrace| Th {
-                ops: compile_thread(tt, params),
-                pc: 0,
-                state: TState::WaitCpu,
-                gen: 0,
-                proc: mapping.proc_of(tt.thread, n_threads),
-                compute_until: TimeNs::ZERO,
-                pending: VecDeque::new(),
-                svc_avail: TimeNs::ZERO,
-                waiting_since: TimeNs::ZERO,
-                ready_since: TimeNs::ZERO,
-                stats: ProcBreakdown::default(),
-                predicted: Vec::with_capacity(tt.records.len()),
-            })
-            .collect();
-        let procs = (0..n_procs)
-            .map(|_| Pr {
+        let record = params.record_mode == RecordMode::Full;
+
+        let mut queue = mem::take(&mut scratch.queue);
+        queue.reset();
+        let mut msgs = mem::take(&mut scratch.msgs);
+        msgs.clear();
+
+        let mut threads = mem::take(&mut scratch.threads);
+        threads.truncate(n_threads);
+        for (i, ct) in program.threads().iter().enumerate() {
+            let proc = mapping.proc_of(ct.thread, n_threads);
+            // Full mode reserves the exact predicted-trace capacity the
+            // compiler counted; MetricsOnly never touches the vec.
+            let cap = if record { ct.predicted_records } else { 0 };
+            match threads.get_mut(i) {
+                Some(th) => {
+                    th.pc = 0;
+                    th.state = TState::WaitCpu;
+                    th.gen = 0;
+                    th.proc = proc;
+                    th.compute_until = TimeNs::ZERO;
+                    th.pending.clear();
+                    th.svc_avail = TimeNs::ZERO;
+                    th.waiting_since = TimeNs::ZERO;
+                    th.ready_since = TimeNs::ZERO;
+                    th.stats = ProcBreakdown::default();
+                    th.predicted.clear();
+                    th.predicted.reserve_exact(cap);
+                }
+                None => threads.push(Th {
+                    pc: 0,
+                    state: TState::WaitCpu,
+                    gen: 0,
+                    proc,
+                    compute_until: TimeNs::ZERO,
+                    pending: VecDeque::new(),
+                    svc_avail: TimeNs::ZERO,
+                    waiting_since: TimeNs::ZERO,
+                    ready_since: TimeNs::ZERO,
+                    stats: ProcBreakdown::default(),
+                    predicted: Vec::with_capacity(cap),
+                }),
+            }
+        }
+
+        let mut procs = mem::take(&mut scratch.procs);
+        procs.truncate(n_procs);
+        for p in &mut procs {
+            p.occupant = None;
+            p.queue.clear();
+            p.last = None;
+        }
+        while procs.len() < n_procs {
+            procs.push(Pr {
                 occupant: None,
                 queue: VecDeque::new(),
                 last: None,
-            })
-            .collect();
+            });
+        }
+
         Sim {
+            program,
+            params,
+            record,
             n_threads,
             n_procs,
-            queue: EventQueue::new(),
+            queue,
             threads,
             procs,
             net,
             coord: BarrierCoordinator::new(n_threads, params.barrier, params.comm),
-            msgs: Vec::new(),
-            params: params.clone(),
+            msgs,
         }
     }
 
@@ -255,31 +362,49 @@ impl<N: NetModel> Sim<N> {
         }
     }
 
-    fn into_prediction(self) -> Prediction {
-        Prediction {
-            n_threads: self.n_threads,
-            n_procs: self.n_procs,
-            per_thread: self.threads.iter().map(|t| t.stats).collect(),
-            network: self.net.stats(),
-            barriers: self.coord.completed(),
-            events_dispatched: self.queue.dispatched(),
-            predicted: TraceSet {
+    /// Harvests the prediction and returns every buffer to `scratch` for
+    /// the next run.
+    fn into_prediction(mut self, scratch: &mut SimScratch) -> Prediction {
+        let per_thread = self.threads.iter().map(|t| t.stats).collect();
+        let predicted = if self.record {
+            TraceSet {
                 threads: self
                     .threads
-                    .into_iter()
+                    .iter_mut()
                     .enumerate()
                     .map(|(i, th)| ThreadTrace {
                         thread: ThreadId::from_index(i),
-                        records: th.predicted,
+                        records: mem::take(&mut th.predicted),
                     })
                     .collect(),
-            },
-        }
+            }
+        } else {
+            TraceSet {
+                threads: Vec::new(),
+            }
+        };
+        let prediction = Prediction {
+            n_threads: self.n_threads,
+            n_procs: self.n_procs,
+            per_thread,
+            network: self.net.stats(),
+            barriers: self.coord.completed(),
+            events_dispatched: self.queue.dispatched(),
+            predicted,
+        };
+        scratch.queue = self.queue;
+        scratch.threads = self.threads;
+        scratch.procs = self.procs;
+        scratch.msgs = self.msgs;
+        prediction
     }
 
     // ----- predicted-trace helper -------------------------------------
 
     fn emit(&mut self, t: usize, time: TimeNs, kind: EventKind) {
+        if !self.record {
+            return;
+        }
         self.threads[t].predicted.push(TraceRecord {
             time,
             thread: ThreadId::from_index(t),
@@ -332,11 +457,15 @@ impl<N: NetModel> Sim<N> {
     // ----- script execution -------------------------------------------
 
     fn run_next(&mut self, t: usize, mut now: TimeNs) {
+        let ops: &[Op] = &self.program.threads()[t].ops;
         loop {
-            let op = self.threads[t].ops[self.threads[t].pc];
+            let op = ops[self.threads[t].pc];
             match op {
                 Op::Compute(d) => {
                     self.threads[t].pc += 1;
+                    // Scripts carry host time; the target's speed ratio
+                    // applies here, at dispatch.
+                    let d = d.scale(self.params.mips_ratio);
                     if d.is_zero() {
                         continue;
                     }
@@ -710,9 +839,9 @@ impl<N: NetModel> Sim<N> {
     /// The barrier the thread is currently waiting in: the `Barrier` op
     /// just before its program counter.
     fn current_barrier_of(&self, t: usize) -> BarrierId {
-        let th = &self.threads[t];
-        debug_assert!(th.pc > 0);
-        match th.ops[th.pc - 1] {
+        let pc = self.threads[t].pc;
+        debug_assert!(pc > 0);
+        match self.program.threads()[t].ops[pc - 1] {
             Op::Barrier(b) => b,
             other => panic!("thread {t} at barrier but previous op is {other:?}"),
         }

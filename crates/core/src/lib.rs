@@ -44,16 +44,23 @@ pub mod sweep;
 
 pub use cluster::{extrapolate_clustered, ClusterParams, ClusteredNetwork};
 pub use compare::{diff, DeltaNs, PredictionDiff};
-pub use engine::{run_with_network, ExtrapError};
+pub use engine::{
+    run_compiled, run_compiled_scratch, run_compiled_with_network, run_with_network, ExtrapError,
+    SimScratch,
+};
 pub use extrapolate::{extrapolate, extrapolate_program};
 pub use metrics::{Prediction, ProcBreakdown};
 pub use multithread::{MultithreadParams, ThreadMapping};
 pub use network::state::NetModel;
 pub use network::topology::Topology;
 pub use params::{
-    BarrierAlgorithm, BarrierParams, CommParams, ContentionParams, NetworkParams, ServicePolicy,
-    SimParams, SizeMode,
+    BarrierAlgorithm, BarrierParams, CommParams, ContentionParams, NetworkParams, RecordMode,
+    ServicePolicy, SimParams, SizeMode,
 };
+pub use processor::{CompiledProgram, CompiledThread};
 pub use scalability::{Scalability, ScalePoint};
 pub use session::Extrapolator;
-pub use sweep::{parallel_map, sweep, SharedTraceCache, SweepError, SweepGrid, SweepJob};
+pub use sweep::{
+    parallel_map, parallel_map_with, sweep, CachedTrace, SharedTraceCache, SweepError, SweepGrid,
+    SweepJob,
+};

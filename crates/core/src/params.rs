@@ -60,6 +60,24 @@ pub enum SizeMode {
     Actual,
 }
 
+/// Whether a run materializes the full predicted event trace or only the
+/// scalar metrics.
+///
+/// Building `Prediction::predicted` costs one `TraceRecord` push per
+/// simulated event per thread; sweep grids that only read `exec_time`
+/// and the per-thread breakdowns pay that allocation for nothing, so
+/// they run `MetricsOnly`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RecordMode {
+    /// Build the full predicted trace (the paper's `PI₂ᵖ`) with exact
+    /// capacity pre-reservation from the compiled program's stats.
+    #[default]
+    Full,
+    /// Skip the predicted trace entirely; `Prediction::predicted` comes
+    /// back empty.  Timing and metrics are bit-identical to `Full`.
+    MetricsOnly,
+}
+
 /// Remote data access model parameters (§3.3.2).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct CommParams {
@@ -267,6 +285,8 @@ pub struct SimParams {
     pub policy: ServicePolicy,
     /// Which recorded access size the communication model uses.
     pub size_mode: SizeMode,
+    /// Whether to materialize the predicted trace or only the metrics.
+    pub record_mode: RecordMode,
     /// Remote data access model parameters.
     pub comm: CommParams,
     /// Network parameters.
@@ -283,6 +303,7 @@ impl Default for SimParams {
             mips_ratio: 1.0,
             policy: ServicePolicy::default(),
             size_mode: SizeMode::default(),
+            record_mode: RecordMode::default(),
             comm: CommParams::default(),
             network: NetworkParams::default(),
             barrier: BarrierParams::default(),
@@ -338,6 +359,14 @@ impl SimParams {
             match self.size_mode {
                 SizeMode::Declared => "declared",
                 SizeMode::Actual => "actual",
+            }
+        );
+        let _ = writeln!(
+            s,
+            "RecordMode = {}",
+            match self.record_mode {
+                RecordMode::Full => "full",
+                RecordMode::MetricsOnly => "metrics-only",
             }
         );
         let _ = writeln!(s, "CommStartupTime = {}", self.comm.startup.as_us());
@@ -441,6 +470,15 @@ impl SimParams {
                         "actual" => SizeMode::Actual,
                         other => {
                             return Err(format!("line {}: bad size mode {other:?}", lineno + 1))
+                        }
+                    }
+                }
+                "RecordMode" => {
+                    p.record_mode = match value {
+                        "full" => RecordMode::Full,
+                        "metrics-only" => RecordMode::MetricsOnly,
+                        other => {
+                            return Err(format!("line {}: bad record mode {other:?}", lineno + 1))
                         }
                     }
                 }

@@ -16,7 +16,7 @@
 
 use crate::params::SimParams;
 use extrap_time::{BarrierId, DurationNs, ElementId, ThreadId, TimeNs};
-use extrap_trace::{EventKind, ThreadTrace};
+use extrap_trace::{EventKind, ThreadTrace, TraceError, TraceSet};
 
 /// One step of a thread's script.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -53,8 +53,27 @@ pub enum Op {
     End,
 }
 
-/// Compiles one thread's translated trace into an op script.
+/// Compiles one thread's translated trace into an op script with the
+/// parameter set's `MipsRatio` baked into every `Compute` op.
+///
+/// Sweeps should prefer [`CompiledProgram::compile`], which compiles once
+/// per trace (compute durations stay *unscaled*; the engine applies
+/// `MipsRatio` at execution time) and is shared across parameter sets.
 pub fn compile_thread(trace: &ThreadTrace, params: &SimParams) -> Vec<Op> {
+    let mut ops = compile_thread_raw(trace);
+    for op in &mut ops {
+        if let Op::Compute(d) = op {
+            *d = d.scale(params.mips_ratio);
+        }
+    }
+    ops
+}
+
+/// Compiles one thread's translated trace into an op script with
+/// **unscaled** compute durations (host time).  `MipsRatio` is a
+/// per-parameter-set concern applied at execution time, which is what
+/// lets one compilation serve a whole sweep grid.
+pub fn compile_thread_raw(trace: &ThreadTrace) -> Vec<Op> {
     let mut ops = Vec::with_capacity(trace.records.len());
     let mut prev: Option<TimeNs> = None;
     for rec in &trace.records {
@@ -64,7 +83,7 @@ pub fn compile_thread(trace: &ThreadTrace, params: &SimParams) -> Vec<Op> {
             let is_exit = matches!(rec.kind, EventKind::BarrierExit { .. });
             let delta = rec.time.since(p);
             if !is_exit && !delta.is_zero() {
-                ops.push(Op::Compute(delta.scale(params.mips_ratio)));
+                ops.push(Op::Compute(delta));
             }
         }
         prev = Some(rec.time);
@@ -111,6 +130,80 @@ pub fn total_compute(ops: &[Op]) -> DurationNs {
             _ => None,
         })
         .sum()
+}
+
+/// One thread of a [`CompiledProgram`]: the op script (unscaled compute)
+/// plus the counts the engine uses for exact buffer pre-reservation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledThread {
+    /// The thread this script belongs to (drives processor placement).
+    pub thread: ThreadId,
+    /// The op script, compute durations in **host** (unscaled) time.
+    pub ops: Vec<Op>,
+    /// Exactly how many records this thread's predicted trace will hold
+    /// (begin + end + one per remote op + two per barrier), so `Full`
+    /// record mode reserves once and never regrows.
+    pub predicted_records: usize,
+}
+
+/// A whole trace set compiled once into per-thread op scripts.
+///
+/// Compilation is parameter-independent (`MipsRatio` scaling happens at
+/// execution time), so a sweep over P traces × K parameter sets compiles
+/// P times instead of P×K times.  Wrap it in an `Arc` — the sweep cache
+/// does — and hand it to `Extrapolator::run_compiled` as many times as
+/// you like.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledProgram {
+    threads: Vec<CompiledThread>,
+}
+
+impl CompiledProgram {
+    /// Validates `traces` and compiles every thread's script.
+    pub fn compile(traces: &TraceSet) -> Result<CompiledProgram, TraceError> {
+        traces.validate()?;
+        let threads = traces
+            .threads
+            .iter()
+            .map(|tt| {
+                let ops = compile_thread_raw(tt);
+                let predicted_records = 2 + ops
+                    .iter()
+                    .map(|op| match op {
+                        Op::RemoteRead { .. } | Op::RemoteWrite { .. } => 1,
+                        Op::Barrier(_) => 2,
+                        Op::Compute(_) | Op::End => 0,
+                    })
+                    .sum::<usize>();
+                CompiledThread {
+                    thread: tt.thread,
+                    ops,
+                    predicted_records,
+                }
+            })
+            .collect();
+        Ok(CompiledProgram { threads })
+    }
+
+    /// The compiled per-thread scripts, in thread-index order.
+    pub fn threads(&self) -> &[CompiledThread] {
+        &self.threads
+    }
+
+    /// Number of threads in the program.
+    pub fn n_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// True for the empty (zero-thread) program.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Total ops across all threads (a work-size metric).
+    pub fn total_ops(&self) -> usize {
+        self.threads.iter().map(|t| t.ops.len()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +317,57 @@ mod tests {
                 Op::End
             ]
         );
+    }
+
+    #[test]
+    fn compiled_program_is_parameter_independent() {
+        let mut p = PhaseProgram::new(2);
+        p.push_uniform_phase(DurationNs(1_000));
+        let ts = extrap_trace::translate(&p.record(), Default::default()).unwrap();
+        let program = CompiledProgram::compile(&ts).unwrap();
+        assert_eq!(program.n_threads(), 2);
+        // Raw scripts carry host-time compute; scaling is execution-time.
+        assert_eq!(
+            program.threads()[0].ops[0],
+            Op::Compute(DurationNs(1_000)),
+            "compiled compute is unscaled"
+        );
+        // The per-params compiler is exactly raw + scale.
+        let mut params = SimParams::default();
+        params.mips_ratio = 0.5;
+        let scaled = compile_thread(&ts.threads[0], &params);
+        let raw = compile_thread_raw(&ts.threads[0]);
+        assert_eq!(scaled.len(), raw.len());
+        assert_eq!(scaled[0], Op::Compute(DurationNs(500)));
+    }
+
+    #[test]
+    fn compiled_program_counts_predicted_records_exactly() {
+        let params = SimParams::default();
+        let ops = compile_first(&params);
+        // compile_first's program: 1 read + 1 barrier + begin/end = 5.
+        let mut p = PhaseProgram::new(2);
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs(1_000),
+                accesses: vec![PhaseAccess {
+                    after: DurationNs(400),
+                    owner: ThreadId(1),
+                    element: ElementId(3),
+                    declared_bytes: 2048,
+                    actual_bytes: 16,
+                    write: false,
+                }],
+            },
+            PhaseWork {
+                compute: DurationNs(1_000),
+                accesses: vec![],
+            },
+        ]);
+        let ts = extrap_trace::translate(&p.record(), Default::default()).unwrap();
+        let program = CompiledProgram::compile(&ts).unwrap();
+        assert_eq!(program.threads()[0].predicted_records, 5);
+        assert!(program.total_ops() >= ops.len());
     }
 
     #[test]

@@ -26,9 +26,10 @@
 //! wrappers over this type, and the [`sweep`](crate::sweep) engine runs
 //! whole grids of sessions in parallel.
 
-use crate::engine::{self, ExtrapError};
+use crate::engine::{self, ExtrapError, SimScratch};
 use crate::metrics::Prediction;
-use crate::params::{BarrierParams, CommParams, ServicePolicy, SimParams, SizeMode};
+use crate::params::{BarrierParams, CommParams, RecordMode, ServicePolicy, SimParams, SizeMode};
+use crate::processor::CompiledProgram;
 use extrap_trace::{ProgramTrace, TraceSet, TranslateOptions};
 
 /// A configured extrapolation session: target-machine parameters plus
@@ -74,6 +75,13 @@ impl Extrapolator {
         self
     }
 
+    /// Sets whether the predicted trace is materialized
+    /// ([`RecordMode::MetricsOnly`] skips it; metrics stay identical).
+    pub fn record_mode(mut self, mode: RecordMode) -> Extrapolator {
+        self.params.record_mode = mode;
+        self
+    }
+
     /// Replaces the remote data access model parameters.
     pub fn comm(mut self, comm: CommParams) -> Extrapolator {
         self.params.comm = comm;
@@ -106,6 +114,22 @@ impl Extrapolator {
     /// Extrapolates already-translated per-thread traces.
     pub fn run(&self, traces: &TraceSet) -> Result<Prediction, ExtrapError> {
         engine::run(traces, &self.params)
+    }
+
+    /// Extrapolates an already-compiled program (compile once with
+    /// [`CompiledProgram::compile`], replay under many sessions).
+    pub fn run_compiled(&self, program: &CompiledProgram) -> Result<Prediction, ExtrapError> {
+        engine::run_compiled(program, &self.params)
+    }
+
+    /// Like [`run_compiled`](Extrapolator::run_compiled), reusing the
+    /// caller's scratch buffers — the sweep hot path.
+    pub fn run_compiled_scratch(
+        &self,
+        program: &CompiledProgram,
+        scratch: &mut SimScratch,
+    ) -> Result<Prediction, ExtrapError> {
+        engine::run_compiled_scratch(program, &self.params, scratch)
     }
 
     /// Translates a raw 1-processor program trace with the session's

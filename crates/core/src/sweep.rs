@@ -10,12 +10,17 @@
 //! * [`SweepGrid`] — a cartesian builder producing `(workload, n_procs,
 //!   SimParams)` jobs in a deterministic order;
 //! * [`SharedTraceCache`] — a concurrent, share-by-`&self` memo table
-//!   that translates each `(workload, n)` trace **exactly once**
-//!   (single-flight: two workers never translate the same trace twice);
-//! * [`sweep`] / [`parallel_map`] — scoped worker threads over
-//!   `std::sync::mpsc`, with results collected **by job index**, never by
-//!   completion order, so the output is bit-identical to the serial loop
-//!   (`workers = 1` *is* the serial loop).
+//!   that translates **and compiles** each `(workload, n)` trace exactly
+//!   once (single-flight: two workers never build the same
+//!   [`CachedTrace`] twice), so a P×params grid compiles P programs, not
+//!   P×|params|;
+//! * [`sweep`] / [`parallel_map`] / [`parallel_map_with`] — scoped worker
+//!   threads over `std::sync::mpsc`, with results collected **by job
+//!   index**, never by completion order, so the output is bit-identical
+//!   to the serial loop (`workers = 1` *is* the serial loop).  The
+//!   `_with` variant gives each worker a private scratch value; the sweep
+//!   engine uses it to recycle one [`SimScratch`] of simulation buffers
+//!   per worker across all of its jobs.
 //!
 //! The build container has no crates.io access, so the pool is plain
 //! `std::thread::scope` + `std::sync::mpsc` and the cache uses
@@ -44,14 +49,15 @@
 //! assert_eq!(cache.translations(), 3); // one per distinct (workload, n)
 //! ```
 
-use crate::engine::ExtrapError;
+use crate::engine::{self, ExtrapError, SimScratch};
 use crate::metrics::Prediction;
 use crate::params::SimParams;
-use crate::session::Extrapolator;
+use crate::processor::CompiledProgram;
 use extrap_trace::{TraceError, TraceSet};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, OnceLock, RwLock};
 
@@ -59,20 +65,59 @@ use std::sync::{mpsc, Arc, OnceLock, RwLock};
 // Concurrent trace cache
 // ---------------------------------------------------------------------
 
+/// A translated trace set together with its compiled op scripts.
+///
+/// Compilation is parameter-independent (see [`CompiledProgram`]), so
+/// the cache builds both halves once per key and every parameter set of
+/// the grid replays the same `Arc<CachedTrace>`.  Derefs to the
+/// [`TraceSet`] so trace-only consumers keep reading naturally.
+#[derive(Debug)]
+pub struct CachedTrace {
+    traces: TraceSet,
+    program: CompiledProgram,
+}
+
+impl CachedTrace {
+    /// Translates nothing — wraps an already-translated trace set,
+    /// compiling its program.
+    pub fn new(traces: TraceSet) -> Result<CachedTrace, TraceError> {
+        let program = CompiledProgram::compile(&traces)?;
+        Ok(CachedTrace { traces, program })
+    }
+
+    /// The translated per-thread traces.
+    pub fn traces(&self) -> &TraceSet {
+        &self.traces
+    }
+
+    /// The compiled per-thread op scripts.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+}
+
+impl Deref for CachedTrace {
+    type Target = TraceSet;
+
+    fn deref(&self) -> &TraceSet {
+        &self.traces
+    }
+}
+
 /// A memoized translation outcome.  Translation errors are memoized as
 /// their rendered message (the error types own `io::Error`s and cannot
 /// be cloned); every later hit resurfaces the same failure.
-type CacheSlot = Arc<OnceLock<Result<Arc<TraceSet>, String>>>;
+type CacheSlot = Arc<OnceLock<Result<Arc<CachedTrace>, String>>>;
 
 /// A concurrent translate-once trace cache, shared by `&self`.
 ///
 /// Workers race for the same `(workload, n)` all the time — a Fig-4 grid
 /// asks for every benchmark's trace at six processor counts under one
-/// parameter set per series.  Each distinct key is translated exactly
-/// once: the per-key [`OnceLock`] makes initialization single-flight
-/// (losers of the race block until the winner's value lands), and the
-/// outer [`RwLock`] is held only to look up or insert the slot, never
-/// during translation.
+/// parameter set per series.  Each distinct key is translated (and its
+/// program compiled) exactly once: the per-key [`OnceLock`] makes
+/// initialization single-flight (losers of the race block until the
+/// winner's value lands), and the outer [`RwLock`] is held only to look
+/// up or insert the slot, never during translation.
 pub struct SharedTraceCache<K = (&'static str, usize)> {
     entries: RwLock<HashMap<K, CacheSlot>>,
     translations: AtomicUsize,
@@ -87,17 +132,21 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
         }
     }
 
-    /// The translated trace for `key`, building it with `translate` on
-    /// the first request (all concurrent requesters share that one run).
+    /// The translated-and-compiled trace for `key`, building it with
+    /// `translate` on the first request (all concurrent requesters share
+    /// that one run).
     pub fn get_or_translate(
         &self,
         key: K,
         translate: impl FnOnce() -> Result<TraceSet, TraceError>,
-    ) -> Result<Arc<TraceSet>, ExtrapError> {
+    ) -> Result<Arc<CachedTrace>, ExtrapError> {
         let slot = self.slot(key);
         let outcome = slot.get_or_init(|| {
             self.translations.fetch_add(1, Ordering::Relaxed);
-            translate().map(Arc::new).map_err(|e| e.to_string())
+            translate()
+                .and_then(CachedTrace::new)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
         });
         match outcome {
             Ok(ts) => Ok(Arc::clone(ts)),
@@ -166,9 +215,36 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_with(items, workers, || (), |_scratch, i, t| f(i, t))
+}
+
+/// [`parallel_map`] with a per-worker scratch value.
+///
+/// Each worker thread builds one `S` via `scratch` when it starts and
+/// threads it through every job it picks up, so per-job state (buffers,
+/// arenas, simulator scratch) is allocated once per *worker* rather than
+/// once per *item*.  `scratch` must not influence results — the output
+/// contract is still "whatever the serial loop produces", and the serial
+/// path uses a single scratch for all items.
+pub fn parallel_map_with<T, R, S, F>(
+    items: &[T],
+    workers: usize,
+    scratch: impl Fn() -> S + Sync,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let workers = workers.clamp(1, items.len().max(1));
     if workers == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut s = scratch();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut s, i, t))
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
@@ -178,16 +254,20 @@ where
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
-            s.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                // The receiver outlives the workers unless a sibling
-                // panicked; stop quietly in that case and let the scope
-                // propagate the panic.
-                if tx.send((i, f(i, &items[i]))).is_err() {
-                    break;
+            let scratch = &scratch;
+            s.spawn(move || {
+                let mut sc = scratch();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    // The receiver outlives the workers unless a sibling
+                    // panicked; stop quietly in that case and let the scope
+                    // propagate the panic.
+                    if tx.send((i, f(&mut sc, i, &items[i]))).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -323,19 +403,19 @@ where
     K: Eq + Hash + Clone + Send + Sync,
     F: Fn(&K) -> Result<TraceSet, TraceError> + Sync,
 {
-    parallel_map(jobs, workers, |_, job| {
-        let traces = cache
+    parallel_map_with(jobs, workers, SimScratch::default, |scratch, _, job| {
+        let cached = cache
             .get_or_translate(job.key.clone(), || source(&job.key))
             .map_err(|error| SweepError {
                 key: job.key.clone(),
                 error,
             })?;
-        Extrapolator::new(job.params.clone())
-            .run(&traces)
-            .map_err(|error| SweepError {
+        engine::run_compiled_scratch(cached.program(), &job.params, scratch).map_err(|error| {
+            SweepError {
                 key: job.key.clone(),
                 error,
-            })
+            }
+        })
     })
 }
 

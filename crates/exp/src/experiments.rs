@@ -6,8 +6,8 @@
 
 use crate::series::Series;
 use extrap_core::{
-    machine, parallel_map, sweep, ExtrapError, Prediction, ServicePolicy, SharedTraceCache,
-    SimParams, SizeMode, SweepJob,
+    machine, parallel_map, sweep, CachedTrace, ExtrapError, Prediction, RecordMode, ServicePolicy,
+    SharedTraceCache, SimParams, SizeMode, SweepJob,
 };
 use extrap_trace::{translate, TraceError, TraceSet};
 use extrap_workloads::{matmul, Bench, Scale};
@@ -95,8 +95,8 @@ impl TraceCache {
         self.scale
     }
 
-    /// The translated trace of `bench` at `n` threads.
-    pub fn get(&self, bench: Bench, n: usize) -> Result<Arc<TraceSet>, ExpError> {
+    /// The translated-and-compiled trace of `bench` at `n` threads.
+    pub fn get(&self, bench: Bench, n: usize) -> Result<Arc<CachedTrace>, ExpError> {
         let scale = self.scale;
         self.inner
             .get_or_translate((bench.name().to_string(), n), || {
@@ -188,7 +188,17 @@ impl Harness {
     }
 
     /// Runs one sweep over explicit `(workload-key, params)` jobs.
-    fn run_jobs(&self, jobs: Vec<SweepJob<(String, usize)>>) -> Result<Vec<Prediction>, ExpError> {
+    ///
+    /// Figures only consume scalar metrics (times, speedups), so every
+    /// job runs `MetricsOnly` — the predicted traces would be built and
+    /// immediately dropped.
+    fn run_jobs(
+        &self,
+        mut jobs: Vec<SweepJob<(String, usize)>>,
+    ) -> Result<Vec<Prediction>, ExpError> {
+        for job in &mut jobs {
+            job.params.record_mode = RecordMode::MetricsOnly;
+        }
         let results = sweep(&jobs, self.jobs, &self.cache.inner, |key| {
             self.translate_key(key)
         });
@@ -266,7 +276,7 @@ pub fn predict(
 ) -> Result<Prediction, ExpError> {
     let traces = h.cache.get(bench, n)?;
     extrap_core::Extrapolator::new(params.clone())
-        .run(&traces)
+        .run_compiled(traces.program())
         .map_err(|e| ExpError::new(bench.name(), n, params, e))
 }
 
@@ -648,7 +658,7 @@ pub fn ablation_contention(h: &Harness) -> Result<(ContentionRows, f64), ExpErro
     let computed: Vec<Result<Row, ExpError>> = parallel_map(&benches, h.jobs, |_, bench| {
         let ts = h.cache.get(*bench, 16)?;
         let analytic = extrap_core::Extrapolator::new(params.clone())
-            .run(&ts)
+            .run_compiled(ts.program())
             .map_err(|e| ExpError::new(bench.name(), 16, &params, e))?
             .exec_time();
         let detailed = reference

@@ -29,6 +29,37 @@ fn eight_workers_render_byte_identical_csv() {
     assert!(serial.lines().count() > 20, "sanity: CSV is non-trivial");
 }
 
+/// The figure sweeps run `MetricsOnly` over compiled programs; the
+/// classic full-record trace path must predict the exact same numbers.
+#[test]
+fn figure_sweeps_match_the_classic_full_record_path() {
+    use extrap_core::{machine, Extrapolator, RecordMode};
+    use extrap_workloads::Bench;
+
+    let h = Harness::serial(Scale::Tiny);
+    let params = machine::cm5();
+    for n in [2usize, 8] {
+        // What the sweep engine computes (compiled + scratch + lean).
+        let via_harness = experiments::predict(&h, Bench::Grid, n, &params).expect("predict");
+        // The same job, classic path: translate → validate → run, Full.
+        let traces = h.cache().get(Bench::Grid, n).expect("trace");
+        let classic = Extrapolator::new(params.clone())
+            .run(traces.traces())
+            .expect("classic run");
+        assert_eq!(classic.per_thread, via_harness.per_thread);
+        assert_eq!(classic.exec_time(), via_harness.exec_time());
+        assert_eq!(classic.events_dispatched, via_harness.events_dispatched);
+        // And MetricsOnly over the same compiled program: same numbers,
+        // no trace.
+        let lean = Extrapolator::new(params.clone())
+            .record_mode(RecordMode::MetricsOnly)
+            .run_compiled(traces.program())
+            .expect("lean run");
+        assert_eq!(lean.per_thread, classic.per_thread);
+        assert!(lean.predicted.threads.is_empty());
+    }
+}
+
 #[test]
 fn shared_cache_translates_each_key_once_across_figures() {
     let h = Harness::new(Scale::Tiny, 8);

@@ -1,32 +1,60 @@
 //! The event queue and simulation clock.
+//!
+//! The queue is a binary heap of `(time, seq, payload)` entries — keys
+//! and payloads inline, so scheduling and dispatching never leave the
+//! heap's contiguous storage — paired with a tiny slab of per-event
+//! cancellation state (`gen` + flag) addressed by recycled slot indices.
+//! Cancellation is O(1) — it flags the slot and goes through no heap
+//! surgery and no side table — and cancelled entries are purged lazily
+//! when they surface at the top, so the per-pop cost is a flag check
+//! instead of the `HashSet` probe the first implementation paid on every
+//! event.  Tokens are generation-stamped: a slot's generation is bumped
+//! whenever its event fires or is cancelled, so stale tokens can never
+//! cancel a recycled slot.
 
 use extrap_time::{DurationNs, TimeNs};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
 
 /// A handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Tokens are generation-stamped: once the event fires or is cancelled
+/// the token goes stale, and cancelling a stale token is a `false` no-op
+/// even if its slab slot has been reused by a later event.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventToken(u64);
+pub struct EventToken {
+    slot: u32,
+    gen: u32,
+}
 
-#[derive(PartialEq, Eq)]
-struct Scheduled<E> {
+/// One heap entry: the ordering key, the slab slot carrying the event's
+/// cancellation state, and the payload itself.  Everything a dispatch
+/// needs is inline, so sift_up/sift_down stay within the heap's own
+/// (contiguous) storage.
+#[derive(Clone, Copy)]
+struct HeapEntry<E> {
     time: TimeNs,
     seq: u64,
+    slot: u32,
     payload: E,
 }
 
-impl<E: Eq> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Order by (time, seq) only; payload never participates, so equal
-        // timestamps pop strictly in schedule order.
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+impl<E> HeapEntry<E> {
+    /// The `(time, seq)` ordering key packed into one `u128` so a sift
+    /// comparison is a single wide compare.  `TimeNs` is a transparent
+    /// `u64` with derived (numeric) ordering, so the packing is exactly
+    /// lexicographic.
+    #[inline]
+    fn key(&self) -> u128 {
+        ((self.time.0 as u128) << 64) | self.seq as u128
     }
 }
 
-impl<E: Eq> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// Per-event cancellation state, one per outstanding heap entry.  Slots
+/// are recycled through a free list once their entry leaves the heap;
+/// the generation stamp stales every token handed out for the slot's
+/// previous occupants.
+struct Slot {
+    gen: u32,
+    cancelled: bool,
 }
 
 /// A deterministic discrete-event engine over payloads of type `E`.
@@ -50,25 +78,35 @@ impl<E: Eq> PartialOrd for Scheduled<E> {
 pub struct Engine<E> {
     now: TimeNs,
     next_seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<E>>>,
-    cancelled: HashSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Min-heap ordered by `(time, seq)`, keys and payloads inline.
+    heap: Vec<HeapEntry<E>>,
+    live: usize,
+    tombstones: usize,
     dispatched: u64,
 }
 
-impl<E: Eq> Default for Engine<E> {
+impl<E: Copy> Default for Engine<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E: Eq> Engine<E> {
+// Payloads are `Copy`: simulator events are small value types, and the
+// bound lets the sifts move elements hole-style (one write per level)
+// like `std::collections::BinaryHeap`.
+impl<E: Copy> Engine<E> {
     /// Creates an engine with the clock at zero.
     pub fn new() -> Engine<E> {
         Engine {
             now: TimeNs::ZERO,
             next_seq: 0,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            live: 0,
+            tombstones: 0,
             dispatched: 0,
         }
     }
@@ -86,6 +124,21 @@ impl<E: Eq> Engine<E> {
         self.dispatched
     }
 
+    /// Clears the clock, the queue, and all counters while keeping the
+    /// slab/heap allocations, so one engine can be recycled across many
+    /// simulations (the sweep engine's per-worker scratch does exactly
+    /// this).
+    pub fn reset(&mut self) {
+        self.now = TimeNs::ZERO;
+        self.next_seq = 0;
+        self.slots.clear();
+        self.free.clear();
+        self.heap.clear();
+        self.live = 0;
+        self.tombstones = 0;
+        self.dispatched = 0;
+    }
+
     /// Schedules `payload` at absolute time `at`.
     ///
     /// # Panics
@@ -99,12 +152,30 @@ impl<E: Eq> Engine<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled {
+        let (slot, gen) = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.cancelled = false;
+                (slot, s.gen)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event slab exhausted u32 slots");
+                self.slots.push(Slot {
+                    gen: 0,
+                    cancelled: false,
+                });
+                (slot, 0)
+            }
+        };
+        self.live += 1;
+        self.heap.push(HeapEntry {
             time: at,
             seq,
+            slot,
             payload,
-        }));
-        EventToken(seq)
+        });
+        self.sift_up(self.heap.len() - 1);
+        EventToken { slot, gen }
     }
 
     /// Schedules `payload` after `delay` from now.
@@ -112,52 +183,151 @@ impl<E: Eq> Engine<E> {
         self.schedule(self.now + delay, payload)
     }
 
-    /// Cancels a scheduled event.  Returns `true` if the event had not yet
-    /// fired (or been cancelled).
+    /// Cancels a scheduled event in O(1).  Returns `true` if the event
+    /// had not yet fired (or been cancelled); tokens of already-fired
+    /// events are stale and report `false` without leaving any residue.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if token.0 >= self.next_seq {
+        let Some(slot) = self.slots.get_mut(token.slot as usize) else {
+            return false;
+        };
+        // A matching generation means the token's event is still pending:
+        // firing, cancelling, and recycling all bump the stamp, and a new
+        // token is only handed out (with the bumped stamp) once the slot
+        // is occupied again.
+        if slot.gen != token.gen {
             return false;
         }
-        self.cancelled.insert(token.0)
+        debug_assert!(!slot.cancelled);
+        slot.cancelled = true;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.live -= 1;
+        self.tombstones += 1;
+        true
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
     #[allow(clippy::should_implement_trait)] // the driver loop reads naturally as `while eng.next()`
     pub fn next(&mut self) -> Option<(TimeNs, E)> {
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            if self.cancelled.remove(&ev.seq) {
+        while let Some(entry) = self.pop_entry() {
+            if self.release(entry.slot) {
+                self.tombstones -= 1;
                 continue;
             }
-            debug_assert!(ev.time >= self.now);
-            self.now = ev.time;
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            self.live -= 1;
             self.dispatched += 1;
-            return Some((ev.time, ev.payload));
+            return Some((entry.time, entry.payload));
         }
         None
     }
 
     /// The timestamp of the next live event, without dispatching it.
     pub fn peek_time(&mut self) -> Option<TimeNs> {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if self.cancelled.contains(&ev.seq) {
-                let seq = ev.seq;
-                self.queue.pop();
-                self.cancelled.remove(&seq);
-                continue;
+        loop {
+            let entry = self.heap.first()?;
+            let (time, slot) = (entry.time, entry.slot);
+            if !self.slots[slot as usize].cancelled {
+                return Some(time);
             }
-            return Some(ev.time);
+            self.pop_entry();
+            self.release(slot);
+            self.tombstones -= 1;
         }
-        None
     }
 
     /// Count of pending (live) events.
     pub fn len(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.live
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Cancelled events still occupying queue slots (drained lazily as
+    /// they surface).  Diagnostic: after the queue runs dry this is
+    /// always zero.
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    // ----- slab + heap internals --------------------------------------
+
+    /// Returns `slot` to the free list once its heap entry has been
+    /// popped, staling any outstanding token.  Reports whether the event
+    /// had been cancelled (cancellation already bumped the stamp).
+    fn release(&mut self, slot: u32) -> bool {
+        let s = &mut self.slots[slot as usize];
+        let cancelled = s.cancelled;
+        if !cancelled {
+            s.gen = s.gen.wrapping_add(1);
+        }
+        s.cancelled = false;
+        self.free.push(slot);
+        cancelled
+    }
+
+    /// Removes and returns the root (minimum) heap entry.
+    fn pop_entry(&mut self) -> Option<HeapEntry<E>> {
+        let last = self.heap.pop()?;
+        if self.heap.is_empty() {
+            return Some(last);
+        }
+        let top = std::mem::replace(&mut self.heap[0], last);
+        self.sift_down(0);
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let moved = self.heap[i];
+        let key = moved.key();
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[parent].key() <= key {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = moved;
+    }
+
+    /// Restores the heap after the root was replaced, `BinaryHeap`-style:
+    /// walk a hole all the way to a leaf, always promoting the smaller
+    /// child (one comparison per level instead of two), then sift the
+    /// displaced element back up.  The displaced element came from the
+    /// bottom of the heap, so the trailing sift-up almost always stops
+    /// immediately.
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let moved = self.heap[i];
+        let start = i;
+        loop {
+            let child = 2 * i + 1;
+            if child >= len {
+                break;
+            }
+            let right = child + 1;
+            let smaller = if right < len && self.heap[right].key() < self.heap[child].key() {
+                right
+            } else {
+                child
+            };
+            self.heap[i] = self.heap[smaller];
+            i = smaller;
+        }
+        let key = moved.key();
+        while i > start {
+            let parent = (i - 1) / 2;
+            if self.heap[parent].key() <= key {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = moved;
     }
 }
 
@@ -199,7 +369,52 @@ mod tests {
     #[test]
     fn cancel_unknown_token_is_false() {
         let mut eng: Engine<u8> = Engine::new();
-        assert!(!eng.cancel(EventToken(42)));
+        assert!(!eng.cancel(EventToken { slot: 42, gen: 0 }));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false_and_leaves_no_tombstone() {
+        // Regression: the HashSet-based queue recorded a tombstone for
+        // events cancelled *after* they fired and never drained it.
+        let mut eng: Engine<u8> = Engine::new();
+        let t = eng.schedule(TimeNs(1), 1);
+        assert_eq!(eng.next(), Some((TimeNs(1), 1)));
+        assert!(!eng.cancel(t), "event already fired");
+        assert_eq!(eng.tombstones(), 0);
+    }
+
+    #[test]
+    fn tombstones_drain_to_zero_on_pop() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut tokens = Vec::new();
+        for i in 0..64 {
+            tokens.push(eng.schedule(TimeNs(i % 9), i as u32));
+        }
+        for t in tokens.iter().step_by(2) {
+            assert!(eng.cancel(*t));
+        }
+        assert_eq!(eng.tombstones(), 32);
+        assert_eq!(eng.len(), 32);
+        let mut popped = 0;
+        while eng.next().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 32);
+        assert_eq!(eng.tombstones(), 0, "cancelled slots are purged lazily");
+        assert_eq!(eng.len(), 0);
+    }
+
+    #[test]
+    fn stale_token_cannot_cancel_a_recycled_slot() {
+        let mut eng: Engine<&str> = Engine::new();
+        let stale = eng.schedule(TimeNs(1), "first");
+        eng.next();
+        // The slab now recycles the freed slot for a new event; the old
+        // token must not be able to cancel it.
+        let fresh = eng.schedule(TimeNs(2), "second");
+        assert!(!eng.cancel(stale));
+        assert_eq!(eng.next(), Some((TimeNs(2), "second")));
+        assert!(!eng.cancel(fresh), "fresh token is stale after dispatch");
     }
 
     #[test]
@@ -240,6 +455,23 @@ mod tests {
         eng.next();
         eng.schedule_after(DurationNs(50), 2);
         assert_eq!(eng.next(), Some((TimeNs(150), 2)));
+    }
+
+    #[test]
+    fn reset_recycles_the_engine() {
+        let mut eng: Engine<u8> = Engine::new();
+        let t = eng.schedule(TimeNs(10), 1);
+        eng.schedule(TimeNs(20), 2);
+        eng.cancel(t);
+        eng.next();
+        eng.reset();
+        assert_eq!(eng.now(), TimeNs::ZERO);
+        assert_eq!(eng.dispatched(), 0);
+        assert_eq!(eng.len(), 0);
+        assert_eq!(eng.tombstones(), 0);
+        // A full re-run behaves exactly like a fresh engine.
+        eng.schedule(TimeNs(5), 7);
+        assert_eq!(eng.next(), Some((TimeNs(5), 7)));
     }
 
     #[test]

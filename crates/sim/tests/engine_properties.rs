@@ -1,0 +1,162 @@
+//! Property tests of the slab event queue: random schedule / cancel /
+//! dispatch interleavings must pop in exactly the order a naive
+//! sorted-vec reference model produces, and lazy tombstone purging must
+//! always drain to zero once the queue runs dry.
+//!
+//! Driven by a deterministic SplitMix64 case generator instead of
+//! `proptest` (crates.io is unreachable in the build environment).
+
+use extrap_sim::{Engine, EventToken, SplitMix64};
+use extrap_time::TimeNs;
+
+const CASES: u64 = 64;
+const STEPS: usize = 400;
+
+/// The naive reference model: a flat vector of `(time, seq, payload)`
+/// scanned linearly for the minimum on every pop.
+#[derive(Default)]
+struct NaiveQueue {
+    now: u64,
+    next_seq: u64,
+    pending: Vec<(u64, u64, u32)>,
+}
+
+/// A naive token is just the event's sequence number.
+struct NaiveToken(u64);
+
+impl NaiveQueue {
+    fn schedule(&mut self, at: u64, payload: u32) -> NaiveToken {
+        assert!(at >= self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push((at, seq, payload));
+        NaiveToken(seq)
+    }
+
+    fn cancel(&mut self, token: &NaiveToken) -> bool {
+        match self.pending.iter().position(|&(_, seq, _)| seq == token.0) {
+            Some(i) => {
+                self.pending.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn next(&mut self) -> Option<(u64, u32)> {
+        let i = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(time, seq, _))| (time, seq))
+            .map(|(i, _)| i)?;
+        let (time, _, payload) = self.pending.remove(i);
+        self.now = time;
+        Some((time, payload))
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.pending
+            .iter()
+            .min_by_key(|&&(time, seq, _)| (time, seq))
+            .map(|&(time, _, _)| time)
+    }
+}
+
+fn for_all(seed: u64, check: impl Fn(&mut SplitMix64)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+        check(&mut rng);
+    }
+}
+
+#[test]
+fn random_interleavings_match_the_naive_reference_model() {
+    for_all(0x51AB, |rng| {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut naive = NaiveQueue::default();
+        // Outstanding (token, naive-token) pairs; cancellation picks one
+        // at random, sometimes an already-consumed (stale) one.
+        let mut tokens: Vec<(EventToken, NaiveToken)> = Vec::new();
+        let mut payload = 0u32;
+
+        for _ in 0..STEPS {
+            match rng.next_below(10) {
+                // ~50%: schedule at now + random delay (0 allowed —
+                // equal-time FIFO ordering is part of the contract).
+                0..=4 => {
+                    let delay = rng.next_below(50);
+                    let at = naive.now + delay;
+                    payload += 1;
+                    let t = eng.schedule(TimeNs(at), payload);
+                    let n = naive.schedule(at, payload);
+                    tokens.push((t, n));
+                }
+                // ~20%: cancel a random outstanding token (may be stale).
+                5..=6 => {
+                    if !tokens.is_empty() {
+                        let i = rng.next_below(tokens.len() as u64) as usize;
+                        let (t, n) = tokens.swap_remove(i);
+                        assert_eq!(eng.cancel(t), naive.cancel(&n));
+                    }
+                }
+                // ~20%: dispatch one event.
+                7..=8 => {
+                    assert_eq!(eng.peek_time().map(TimeNs::as_ns), naive.peek_time());
+                    let got = eng.next();
+                    let want = naive.next();
+                    assert_eq!(got.map(|(t, p)| (t.as_ns(), p)), want);
+                }
+                // ~10%: check the live-event count invariant.
+                _ => {
+                    assert_eq!(eng.len(), naive.pending.len());
+                    assert_eq!(eng.is_empty(), naive.pending.is_empty());
+                }
+            }
+        }
+
+        // Drain both queues: the tails must agree element-for-element.
+        loop {
+            let got = eng.next();
+            let want = naive.next();
+            assert_eq!(got.map(|(t, p)| (t.as_ns(), p)), want);
+            if got.is_none() {
+                break;
+            }
+        }
+        assert_eq!(
+            eng.tombstones(),
+            0,
+            "tombstones must fully drain once the queue is dry"
+        );
+        assert_eq!(eng.len(), 0);
+    });
+}
+
+#[test]
+fn dispatch_order_is_stable_across_identical_runs() {
+    let run = |seed: u64| {
+        let mut rng = SplitMix64::new(seed);
+        let mut eng: Engine<u64> = Engine::new();
+        let mut out = Vec::new();
+        for i in 0..200u64 {
+            eng.schedule(TimeNs(rng.next_below(40)), i);
+        }
+        let mut cancels: Vec<EventToken> = Vec::new();
+        while let Some((t, e)) = eng.next() {
+            out.push((t, e));
+            if e % 3 == 0 && out.len() < 400 {
+                let tok = eng.schedule(TimeNs(t.as_ns() + rng.next_below(20)), e + 10_000);
+                cancels.push(tok);
+            }
+            if e % 7 == 0 {
+                if let Some(tok) = cancels.pop() {
+                    eng.cancel(tok);
+                }
+            }
+        }
+        out
+    };
+    assert_eq!(run(0xDEAD), run(0xDEAD));
+    assert_ne!(run(0xDEAD), run(0xBEEF), "different seeds diverge");
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [MAX_RATIO]
+
+Both files are the `--json` output of the extrap-bench harness.  The
+check fails (exit 1) if any benchmark present in both files has a fresh
+median more than MAX_RATIO times the baseline median (default 2.0 — wide
+enough to absorb machine differences between the baseline host and CI,
+tight enough to catch algorithmic regressions).  Benchmarks that appear
+in only one file are reported but never fail the check, so adding or
+renaming benches doesn't require touching the baseline in the same
+commit.
+"""
+
+import json
+import sys
+
+
+def medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: float(b["median_ns"]) for b in doc["benches"]}
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_path, fresh_path = argv[1], argv[2]
+    max_ratio = float(argv[3]) if len(argv) > 3 else 2.0
+
+    baseline = medians(baseline_path)
+    fresh = medians(fresh_path)
+
+    failed = []
+    for name in sorted(baseline.keys() | fresh.keys()):
+        if name not in baseline:
+            print(f"NEW      {name}: {fresh[name]:,.0f} ns (no baseline)")
+            continue
+        if name not in fresh:
+            print(f"MISSING  {name}: in baseline but not in fresh run")
+            continue
+        ratio = fresh[name] / baseline[name]
+        verdict = "FAIL" if ratio > max_ratio else "ok"
+        print(
+            f"{verdict:8} {name}: {baseline[name]:,.0f} ns -> "
+            f"{fresh[name]:,.0f} ns ({ratio:.2f}x)"
+        )
+        if ratio > max_ratio:
+            failed.append((name, ratio))
+
+    if failed:
+        print(
+            f"\n{len(failed)} benchmark(s) regressed beyond {max_ratio:.1f}x:",
+            file=sys.stderr,
+        )
+        for name, ratio in failed:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nall shared benchmarks within {max_ratio:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

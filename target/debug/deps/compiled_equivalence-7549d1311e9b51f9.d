@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiled_equivalence-7549d1311e9b51f9.d: crates/core/tests/compiled_equivalence.rs
+
+/root/repo/target/debug/deps/compiled_equivalence-7549d1311e9b51f9: crates/core/tests/compiled_equivalence.rs
+
+crates/core/tests/compiled_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiled_equivalence-b6b87f5ee743f9db.d: crates/core/tests/compiled_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiled_equivalence-b6b87f5ee743f9db.rmeta: crates/core/tests/compiled_equivalence.rs Cargo.toml
+
+crates/core/tests/compiled_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

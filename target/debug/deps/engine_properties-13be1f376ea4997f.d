@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_properties-13be1f376ea4997f.d: crates/sim/tests/engine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_properties-13be1f376ea4997f.rmeta: crates/sim/tests/engine_properties.rs Cargo.toml
+
+crates/sim/tests/engine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

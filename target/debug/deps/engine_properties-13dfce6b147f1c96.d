@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-13dfce6b147f1c96.d: crates/sim/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-13dfce6b147f1c96: crates/sim/tests/engine_properties.rs
+
+crates/sim/tests/engine_properties.rs:

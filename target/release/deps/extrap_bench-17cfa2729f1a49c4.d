@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/extrap_bench-17cfa2729f1a49c4.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/extrap_bench-17cfa2729f1a49c4: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
