@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Shared fixtures and the std-only timing harness for the bench
 //! targets.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `extrap` — the ExtraP command-line tool.
 //!
 //! ```text
@@ -6,6 +7,7 @@
 //! extrap simulate  traces.xtps [--machine M | --params FILE] [--set KEY=VALUE]... [--predicted OUT]
 //! extrap sweep     <bench>[,<bench>...] [--procs 1,2,...] [--jobs N] [--csv]
 //! extrap report    traces.xtps            # trace statistics
+//! extrap lint      FILE... [--format json]  # static trace/config verification
 //! extrap params    [--machine M]          # print a parameter file
 //! extrap benches                          # list benchmarks
 //! ```
@@ -40,6 +42,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "report" => cmd_report(rest),
         "timeline" => cmd_timeline(rest),
         "check" => cmd_check(rest),
+        "lint" => cmd_lint(rest),
         "diff" => cmd_diff(rest),
         "params" => cmd_params(rest),
         "benches" => {
@@ -57,7 +60,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  extrap sweep <bench>[,<bench>...] [--procs 1,2,4,8,16,32] [--scale S] \
                  [--machine M] [--params FILE] [--set KEY=VALUE]... [--jobs N] [--csv]\n  \
                  extrap report FILE\n  extrap timeline FILE [--width N]\n  \
-                 extrap check FILE\n  extrap diff FILE <machineA> <machineB>\n  \
+                 extrap check FILE\n  \
+                 extrap lint FILE... [--machine M] [--format text|json] | extrap lint --codes\n  \
+                 extrap diff FILE <machineA> <machineB>\n  \
                  extrap params [--machine M]\n  extrap benches"
             );
             Ok(())
@@ -392,6 +397,117 @@ fn cmd_check(args: Vec<String>) -> Result<(), String> {
         }
         Err("trace may not transfer between environments (see SS5)".to_string())
     }
+}
+
+/// `extrap lint`: run the static verification passes over trace files
+/// and/or parameter configs *before* spending simulation time on them.
+///
+/// Inputs are sniffed by content: the `XTRP`/`XTPS` magic selects the
+/// program-trace or trace-set linter (decoded **raw**, so a corrupted
+/// file is inspected in full instead of failing at the first broken
+/// invariant); anything else is parsed as a `key = value` parameter
+/// file.  `--machine M` additionally lints a named preset.  Exits
+/// nonzero when any error-severity diagnostic is found.
+fn cmd_lint(mut args: Vec<String>) -> Result<(), String> {
+    if let Some(pos) = args.iter().position(|a| a == "--codes") {
+        args.remove(pos);
+        if !args.is_empty() {
+            return Err("lint: --codes takes no other arguments".to_string());
+        }
+        for code in extrap_lint::Code::all() {
+            println!(
+                "{} [{}] {}",
+                code.as_str(),
+                code.severity().label(),
+                code.title()
+            );
+        }
+        return Ok(());
+    }
+    let json = match take_flag(&mut args, "--format")?.as_deref() {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => return Err(format!("lint: unknown format {other:?} (text|json)")),
+    };
+    let machine = take_flag(&mut args, "--machine")?;
+    if args.is_empty() && machine.is_none() {
+        return Err("usage: extrap lint FILE... [--machine M] [--format text|json]".to_string());
+    }
+
+    // (label, report) per linted input.
+    let mut reports: Vec<(String, extrap_lint::Report)> = Vec::new();
+    if let Some(name) = machine {
+        let params = parse_machine(Some(name.clone()))?;
+        reports.push((format!("machine:{name}"), extrap_lint::lint_params(&params)));
+    }
+    for path in &args {
+        let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = match data.get(..4) {
+            Some(b"XTRP") => {
+                let trace = extrap_trace::format::decode_program_raw(&data)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                extrap_lint::lint_program(&trace)
+            }
+            Some(b"XTPS") => {
+                let set = extrap_trace::format::decode_set_raw(&data)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                extrap_lint::lint_set(&set)
+            }
+            _ => {
+                let text = String::from_utf8(data)
+                    .map_err(|_| format!("{path}: not a trace file and not UTF-8 config text"))?;
+                let params = SimParams::from_config_text_unvalidated(&text)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                extrap_lint::lint_params(&params)
+            }
+        };
+        reports.push((path.clone(), report));
+    }
+
+    let errors: usize = reports.iter().map(|(_, r)| r.error_count()).sum();
+    if json {
+        let mut out = String::from("{\"files\":[");
+        for (i, (label, report)) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"path\":\"");
+            out.push_str(&json_escape(label));
+            out.push_str("\",");
+            // Splice the per-report object's fields into this file entry.
+            out.push_str(&extrap_lint::render_json(report)[1..]);
+        }
+        let warnings: usize = reports.iter().map(|(_, r)| r.warning_count()).sum();
+        out.push_str(&format!("],\"errors\":{errors},\"warnings\":{warnings}}}"));
+        println!("{out}");
+    } else {
+        for (label, report) in &reports {
+            println!("{label}:");
+            print!("{}", extrap_lint::render_text(report));
+        }
+    }
+    if errors > 0 {
+        Err(format!(
+            "lint found {errors} error{}",
+            if errors == 1 { "" } else { "s" }
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Minimal JSON string escaping for file paths embedded in lint output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn cmd_diff(args: Vec<String>) -> Result<(), String> {

@@ -210,6 +210,104 @@ fn bad_inputs_fail_cleanly() {
 }
 
 #[test]
+fn lint_accepts_clean_traces_and_configs() {
+    let dir = tmpdir("lint-clean");
+    let xtrp = dir.join("c.xtrp");
+    let xtps = dir.join("c.xtps");
+    extrap(&[
+        "trace",
+        "grid",
+        "4",
+        "--scale",
+        "tiny",
+        "-o",
+        xtrp.to_str().unwrap(),
+    ]);
+    extrap(&[
+        "translate",
+        xtrp.to_str().unwrap(),
+        "-o",
+        xtps.to_str().unwrap(),
+    ]);
+    let cfg = dir.join("machine.cfg");
+    std::fs::write(&cfg, stdout(&extrap(&["params", "--machine", "cm5"]))).unwrap();
+
+    let out = extrap(&[
+        "lint",
+        xtrp.to_str().unwrap(),
+        xtps.to_str().unwrap(),
+        cfg.to_str().unwrap(),
+        "--machine",
+        "ideal",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert_eq!(text.matches("clean: no diagnostics").count(), 4);
+
+    let out = extrap(&["lint", xtps.to_str().unwrap(), "--format", "json"]);
+    assert!(out.status.success(), "{out:?}");
+    let json = stdout(&out);
+    assert!(json.contains("\"diagnostics\":[]"), "{json}");
+    assert!(
+        json.trim_end().ends_with("\"errors\":0,\"warnings\":0}"),
+        "{json}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_flags_corruption_and_exits_nonzero() {
+    let dir = tmpdir("lint-bad");
+    let cfg = dir.join("bad.cfg");
+    std::fs::write(&cfg, "MipsRatio = 0\n").unwrap();
+    let out = extrap(&["lint", cfg.to_str().unwrap()]);
+    assert!(!out.status.success(), "out-of-range param must fail lint");
+    assert!(stdout(&out).contains("error[E008]"));
+
+    let out = extrap(&["lint", cfg.to_str().unwrap(), "--format", "json"]);
+    assert!(!out.status.success());
+    let json = stdout(&out);
+    assert!(json.contains("\"code\":\"E008\""), "{json}");
+    assert!(json.contains("\"errors\":1"), "{json}");
+
+    // A corrupted binary trace: the strict reader would refuse it, but
+    // `lint` decodes raw and must diagnose it with a stable code.
+    let xtrp = dir.join("t.xtrp");
+    extrap(&[
+        "trace",
+        "embar",
+        "2",
+        "--scale",
+        "tiny",
+        "-o",
+        xtrp.to_str().unwrap(),
+    ]);
+    let mut bytes = std::fs::read(&xtrp).unwrap();
+    // Zero the (little-endian u64) timestamp of the last record: each
+    // record is 8 (time) + 4 (thread) + 1 (kind) + payload; the final
+    // record is thread-end (no payload), 13 bytes from the stream's tail.
+    let n = bytes.len();
+    for b in &mut bytes[n - 13..n - 5] {
+        *b = 0;
+    }
+    std::fs::write(&xtrp, &bytes).unwrap();
+    let out = extrap(&["lint", xtrp.to_str().unwrap()]);
+    assert!(!out.status.success(), "time regression must fail lint");
+    assert!(stdout(&out).contains("error[E001]"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_codes_listing() {
+    let out = extrap(&["lint", "--codes"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for code in ["E001", "E005", "E007", "E008", "W001", "W004"] {
+        assert!(text.contains(code), "missing {code} in listing");
+    }
+}
+
+#[test]
 fn sweep_is_deterministic_across_worker_counts() {
     let args = |jobs: &'static str| {
         [

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # extrap-core — the ExtraP performance-extrapolation models
 //!
@@ -62,5 +63,5 @@ pub use scalability::{Scalability, ScalePoint};
 pub use session::Extrapolator;
 pub use sweep::{
     parallel_map, parallel_map_with, sweep, CachedTrace, SharedTraceCache, SweepError, SweepGrid,
-    SweepJob,
+    SweepJob, TraceValidator,
 };

@@ -424,6 +424,22 @@ impl SimParams {
     /// Parses the `key = value` config text form.  Unknown keys are
     /// errors; omitted keys keep their defaults.
     pub fn from_config_text(text: &str) -> Result<SimParams, String> {
+        let p = SimParams::from_config_text_unvalidated(text)?;
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Parses the config text form **without** running [`validate`].
+    ///
+    /// Syntax errors (malformed lines, unknown keys, unparsable values)
+    /// are still rejected, but semantically out-of-range values (zero
+    /// `MipsRatio`, negative contention alpha, …) parse successfully —
+    /// this is the entry point for `extrap-lint`, which wants to report
+    /// every range violation as a diagnostic rather than stop at the
+    /// first.
+    ///
+    /// [`validate`]: SimParams::validate
+    pub fn from_config_text_unvalidated(text: &str) -> Result<SimParams, String> {
         let mut p = SimParams::default();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -541,7 +557,6 @@ impl SimParams {
                 }
             }
         }
-        p.validate()?;
         Ok(p)
     }
 }
@@ -613,6 +628,18 @@ mod tests {
         let mut p = SimParams::default();
         p.network.contention.alpha = -1.0;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn unvalidated_parse_accepts_out_of_range_values() {
+        // Validation rejects MipsRatio = 0 …
+        assert!(SimParams::from_config_text("MipsRatio = 0\n").is_err());
+        // … but the lenient parse hands it over for linting.
+        let p = SimParams::from_config_text_unvalidated("MipsRatio = 0\n").unwrap();
+        assert_eq!(p.mips_ratio, 0.0);
+        assert!(p.validate().is_err());
+        // Syntax errors stay errors in both forms.
+        assert!(SimParams::from_config_text_unvalidated("Bogus = 1\n").is_err());
     }
 
     #[test]

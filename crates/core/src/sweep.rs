@@ -109,6 +109,13 @@ impl Deref for CachedTrace {
 /// be cloned); every later hit resurfaces the same failure.
 type CacheSlot = Arc<OnceLock<Result<Arc<CachedTrace>, String>>>;
 
+/// An opt-in validate-on-translate hook: runs over every freshly
+/// translated [`TraceSet`] before it is compiled and cached.  Returning
+/// `Err(detail)` fails the job (and every later job sharing the key)
+/// with [`TraceError::Validation`] instead of feeding a bad trace to the
+/// simulator.  `extrap-lint` provides the canonical implementation.
+pub type TraceValidator = Arc<dyn Fn(&TraceSet) -> Result<(), String> + Send + Sync>;
+
 /// A concurrent translate-once trace cache, shared by `&self`.
 ///
 /// Workers race for the same `(workload, n)` all the time — a Fig-4 grid
@@ -121,6 +128,7 @@ type CacheSlot = Arc<OnceLock<Result<Arc<CachedTrace>, String>>>;
 pub struct SharedTraceCache<K = (&'static str, usize)> {
     entries: RwLock<HashMap<K, CacheSlot>>,
     translations: AtomicUsize,
+    validator: Option<TraceValidator>,
 }
 
 impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
@@ -129,7 +137,20 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
         SharedTraceCache {
             entries: RwLock::new(HashMap::new()),
             translations: AtomicUsize::new(0),
+            validator: None,
         }
+    }
+
+    /// Installs a validate-on-translate hook (see [`TraceValidator`]).
+    /// Every trace translated through this cache must pass the check
+    /// before it is compiled; sweeps over a failing key fail fast with
+    /// the hook's diagnostic instead of producing garbage metrics.
+    pub fn with_validator(
+        mut self,
+        validator: impl Fn(&TraceSet) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        self.validator = Some(Arc::new(validator));
+        self
     }
 
     /// The translated-and-compiled trace for `key`, building it with
@@ -144,6 +165,13 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
         let outcome = slot.get_or_init(|| {
             self.translations.fetch_add(1, Ordering::Relaxed);
             translate()
+                .and_then(|ts| match &self.validator {
+                    Some(check) => match check(&ts) {
+                        Ok(()) => Ok(ts),
+                        Err(detail) => Err(TraceError::Validation { detail }),
+                    },
+                    None => Ok(ts),
+                })
                 .and_then(CachedTrace::new)
                 .map(Arc::new)
                 .map_err(|e| e.to_string())
@@ -509,6 +537,41 @@ mod tests {
             calls.load(Ordering::Relaxed),
             1,
             "failures are memoized too"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_and_memoizes() {
+        let cache: SharedTraceCache<u32> = SharedTraceCache::new().with_validator(|ts| {
+            if ts.n_threads() > 2 {
+                Err(format!("too many threads: {}", ts.n_threads()))
+            } else {
+                Ok(())
+            }
+        });
+        let calls = AtomicUsize::new(0);
+        assert!(cache
+            .get_or_translate(2, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                uniform(2)
+            })
+            .is_ok());
+        for _ in 0..2 {
+            let err = cache
+                .get_or_translate(4, || {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    uniform(4)
+                })
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("too many threads: 4"),
+                "got: {err}"
+            );
+        }
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            2,
+            "validator rejections are memoized like translation failures"
         );
     }
 

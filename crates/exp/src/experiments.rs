@@ -76,6 +76,11 @@ impl std::error::Error for ExpError {
 /// parameter sets (the whole point of extrapolation).  Concurrent and
 /// shared by `&self`; each `(workload, n)` translates exactly once even
 /// when every worker of a sweep demands it simultaneously.
+///
+/// Every translation is gated by the `extrap-lint` validator: a workload
+/// whose translated trace is not lint-clean fails its jobs immediately
+/// with the rendered diagnostics instead of feeding a questionable trace
+/// to every figure that shares the cache entry.
 pub struct TraceCache {
     inner: SharedTraceCache<(String, usize)>,
     scale: Scale,
@@ -85,7 +90,7 @@ impl TraceCache {
     /// A cache for one problem scale.
     pub fn new(scale: Scale) -> TraceCache {
         TraceCache {
-            inner: SharedTraceCache::new(),
+            inner: SharedTraceCache::new().with_validator(extrap_lint::validate_set),
             scale,
         }
     }
@@ -549,7 +554,10 @@ pub fn fig9(h: &Harness) -> Result<(Vec<Series>, Vec<Series>), ExpError> {
 
     // The "measured" side replays the identical cached traces on the
     // link-level reference machine, fanned out over the same pool.
-    let refmachine = extrap_refsim::RefMachine::new(params.clone());
+    // Only execution times are read, so skip the predicted traces.
+    let mut ref_params = params.clone();
+    ref_params.record_mode = RecordMode::MetricsOnly;
+    let refmachine = extrap_refsim::RefMachine::new(ref_params);
     let measured_preds: Vec<Result<Prediction, ExpError>> =
         parallel_map(&jobs, h.jobs, |_, job| {
             let traces = h
@@ -652,7 +660,10 @@ pub type ContentionRows = Vec<(String, f64, f64)>;
 /// processors on the CM-5 parameters.
 pub fn ablation_contention(h: &Harness) -> Result<(ContentionRows, f64), ExpError> {
     let params = machine::cm5();
-    let reference = extrap_refsim::RefMachine::new(params.clone());
+    // The rows only report times; neither side needs predicted traces.
+    let mut ref_params = params.clone();
+    ref_params.record_mode = RecordMode::MetricsOnly;
+    let reference = extrap_refsim::RefMachine::new(ref_params);
     let benches = Bench::all();
     type Row = ((String, f64, f64), f64);
     let computed: Vec<Result<Row, ExpError>> = parallel_map(&benches, h.jobs, |_, bench| {
@@ -769,6 +780,25 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(h.cache().len(), 1);
         assert_eq!(h.cache().translations(), 1);
+    }
+
+    #[test]
+    fn every_bench_translation_is_lint_clean() {
+        // The cache's validator already rejects unclean traces, so a
+        // successful get() proves cleanliness; re-lint explicitly anyway
+        // so a regression reports the diagnostics instead of an Err.
+        let h = harness();
+        for bench in Bench::all() {
+            for n in [2, 4] {
+                let cached = h.cache().get(bench, n).unwrap();
+                let report = extrap_lint::lint_set(cached.traces());
+                assert!(
+                    report.is_clean(),
+                    "{bench:?} x{n}: {}",
+                    extrap_lint::render_text(&report)
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Model sanity: range and consistency checks on [`SimParams`].
+//!
+//! `E008` mirrors (and extends) [`SimParams::validate`], but reports
+//! **every** violation instead of stopping at the first, so a config
+//! file full of typos is diagnosed in one run.  `W004` flags parameter
+//! combinations that parse and validate but almost certainly do not
+//! model what the user intended (a contention model with zero slope, a
+//! bus with contention disabled, …).
+
+use super::{Pass, Target};
+use crate::diag::{Code, Report, Span};
+use extrap_core::{BarrierAlgorithm, ServicePolicy, SimParams, Topology};
+
+/// The model-sanity pass (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModelSanity;
+
+impl Pass for ModelSanity {
+    fn name(&self) -> &'static str {
+        "model-sanity"
+    }
+
+    fn run(&self, target: &Target<'_>, report: &mut Report) {
+        let Target::Params(p) = target else { return };
+        check_ranges(p, report);
+        check_consistency(p, report);
+    }
+}
+
+/// `E008`: hard range violations.
+fn check_ranges(p: &SimParams, report: &mut Report) {
+    let err = |report: &mut Report, msg: String| {
+        report.push(Code::E008ParamOutOfRange, Span::none(), msg);
+    };
+    if !(p.mips_ratio.is_finite() && p.mips_ratio > 0.0) {
+        err(
+            report,
+            format!(
+                "MipsRatio must be positive and finite, got {}",
+                p.mips_ratio
+            ),
+        );
+    }
+    if let ServicePolicy::Poll { interval } = p.policy {
+        if interval.is_zero() {
+            err(report, "poll interval must be nonzero".to_string());
+        }
+    }
+    if let BarrierAlgorithm::Tree { arity } = p.barrier.algorithm {
+        if arity < 2 {
+            err(
+                report,
+                format!("tree barrier arity must be >= 2, got {arity}"),
+            );
+        }
+    }
+    if let Topology::FatTree { arity } = p.network.topology {
+        if arity < 2 {
+            err(
+                report,
+                format!("fat-tree topology arity must be >= 2, got {arity}"),
+            );
+        }
+    }
+    let alpha = p.network.contention.alpha;
+    if !alpha.is_finite() || alpha < 0.0 {
+        err(
+            report,
+            format!("ContentionAlpha must be non-negative and finite, got {alpha}"),
+        );
+    }
+    if let Err(detail) = p.multithread.validate() {
+        err(report, detail);
+    }
+}
+
+/// `W004`: legal-but-suspicious combinations.
+fn check_consistency(p: &SimParams, report: &mut Report) {
+    let warn = |report: &mut Report, msg: String| {
+        report.push(Code::W004ParamSuspicious, Span::none(), msg);
+    };
+    if p.network.contention.enabled && p.network.contention.alpha == 0.0 {
+        warn(
+            report,
+            "contention is enabled but ContentionAlpha = 0 makes it a no-op; \
+             disable contention or set a positive alpha"
+                .to_string(),
+        );
+    }
+    if p.network.topology == Topology::Bus && !p.network.contention.enabled {
+        warn(
+            report,
+            "bus topology with contention disabled models an infinitely scalable \
+             shared medium; enable contention for a meaningful bus"
+                .to_string(),
+        );
+    }
+    if p.barrier.by_msgs && p.barrier.msg_size == 0 {
+        warn(
+            report,
+            "BarrierByMsgs is on but BarrierMsgSize = 0; barrier messages cost \
+             startup only, which is rarely intended"
+                .to_string(),
+        );
+    }
+    if let ServicePolicy::Poll { interval } = p.policy {
+        let per_message = p.comm.receive + p.comm.service;
+        if !per_message.is_zero() && interval < per_message {
+            warn(
+                report,
+                format!(
+                    "poll interval ({} us) is shorter than per-message handling time \
+                     ({} us); the processor would spend every chunk servicing messages",
+                    interval.as_us(),
+                    per_message.as_us()
+                ),
+            );
+        }
+    }
+}

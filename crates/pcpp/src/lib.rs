@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # pcpp-rt — an object-parallel runtime in the style of pC++
 //!

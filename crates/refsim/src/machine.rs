@@ -97,6 +97,23 @@ mod tests {
     }
 
     #[test]
+    fn metrics_only_changes_nothing_but_the_predicted_trace() {
+        // The record-mode split applies to the link-level simulator too:
+        // "measured" sides of validation runs only consume exec_time().
+        let ts = ring(8, 3, 50.0, 4_096);
+        let full = RefMachine::new(machine::cm5()).measure(&ts).unwrap();
+        let mut params = machine::cm5();
+        params.record_mode = extrap_core::RecordMode::MetricsOnly;
+        let lean = RefMachine::new(params).measure(&ts).unwrap();
+        assert_eq!(full.exec_time(), lean.exec_time());
+        assert_eq!(full.per_thread, lean.per_thread);
+        assert_eq!(full.barriers, lean.barriers);
+        assert_eq!(full.network, lean.network);
+        assert!(lean.predicted.threads.is_empty(), "no predicted trace");
+        assert!(!full.predicted.threads.is_empty());
+    }
+
+    #[test]
     fn link_level_and_analytic_agree_on_order_of_magnitude() {
         // The two simulators model the same machine; on a lightly loaded
         // pattern their predictions should be close (within 2x), since

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! A small, deterministic discrete-event simulation kernel.
 //!

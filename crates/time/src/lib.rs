@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Fixed-point simulation time and identifier types shared by every
 //! ExtraP-rs crate.

@@ -56,6 +56,12 @@ pub enum TraceError {
         /// Description of the corruption.
         detail: String,
     },
+    /// A caller-supplied validation hook rejected the trace (e.g. a lint
+    /// pass found errors on load).
+    Validation {
+        /// Rendered description of the rejection.
+        detail: String,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -92,6 +98,9 @@ impl fmt::Display for TraceError {
                 write!(f, "barrier protocol violation in {thread}: {detail}")
             }
             TraceError::Format { detail } => write!(f, "malformed trace: {detail}"),
+            TraceError::Validation { detail } => {
+                write!(f, "trace rejected by validation: {detail}")
+            }
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
         }
     }

@@ -151,7 +151,21 @@ pub fn encode_program(trace: &ProgramTrace) -> Vec<u8> {
 }
 
 /// Decodes a program trace from bytes and validates it.
-pub fn decode_program(mut data: &[u8]) -> Result<ProgramTrace, TraceError> {
+pub fn decode_program(data: &[u8]) -> Result<ProgramTrace, TraceError> {
+    let pt = decode_program_raw(data)?;
+    pt.validate()?;
+    Ok(pt)
+}
+
+/// Decodes a program trace without checking semantic invariants.
+///
+/// Structural errors (bad magic/version, truncation, unknown kinds,
+/// trailing bytes) are still rejected, but timestamp ordering and
+/// thread-range invariants are **not** enforced — this is the entry
+/// point for diagnostic tools (`extrap-lint`) that want to see the whole
+/// record stream of a corrupted trace rather than fail at the first
+/// violation.
+pub fn decode_program_raw(mut data: &[u8]) -> Result<ProgramTrace, TraceError> {
     check_header(&mut data, PROGRAM_MAGIC)?;
     let n_threads = get_u32(&mut data, "thread count")? as usize;
     let n_records = get_u64(&mut data, "record count")? as usize;
@@ -164,9 +178,7 @@ pub fn decode_program(mut data: &[u8]) -> Result<ProgramTrace, TraceError> {
             detail: format!("{} trailing bytes after records", data.remaining()),
         });
     }
-    let pt = ProgramTrace { n_threads, records };
-    pt.validate()?;
-    Ok(pt)
+    Ok(ProgramTrace { n_threads, records })
 }
 
 /// Encodes a translated trace set to bytes.
@@ -187,7 +199,15 @@ pub fn encode_set(set: &TraceSet) -> Vec<u8> {
 }
 
 /// Decodes a trace set from bytes and validates it.
-pub fn decode_set(mut data: &[u8]) -> Result<TraceSet, TraceError> {
+pub fn decode_set(data: &[u8]) -> Result<TraceSet, TraceError> {
+    let set = decode_set_raw(data)?;
+    set.validate()?;
+    Ok(set)
+}
+
+/// Decodes a trace set without checking semantic invariants (the
+/// [`decode_program_raw`] counterpart for translated traces).
+pub fn decode_set_raw(mut data: &[u8]) -> Result<TraceSet, TraceError> {
     check_header(&mut data, SET_MAGIC)?;
     let n_threads = get_u32(&mut data, "thread count")? as usize;
     let mut threads = Vec::with_capacity(n_threads.min(1 << 16));
@@ -205,9 +225,7 @@ pub fn decode_set(mut data: &[u8]) -> Result<TraceSet, TraceError> {
             detail: format!("{} trailing bytes after records", data.remaining()),
         });
     }
-    let set = TraceSet { threads };
-    set.validate()?;
-    Ok(set)
+    Ok(TraceSet { threads })
 }
 
 fn check_header(data: &mut &[u8], magic: &[u8; 4]) -> Result<(), TraceError> {

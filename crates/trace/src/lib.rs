@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! High-level event tracing for ExtraP-rs.
 //!

@@ -1,4 +1,18 @@
 //! Reading traces from streams and files.
+//!
+//! Every reader comes in three flavours:
+//!
+//! * the plain form (`read_program`, …) — decodes and enforces the
+//!   structural invariants ([`ProgramTrace::validate`] /
+//!   [`TraceSet::validate`]);
+//! * a `_raw` form — decodes without invariant checks, for diagnostic
+//!   tools (`extrap-lint`) that want to inspect a corrupted trace in
+//!   full instead of failing at the first violation;
+//! * a `_with` form — the plain form plus an **opt-in validate-on-load
+//!   hook**: a caller-supplied check (typically a lint pass) runs on the
+//!   decoded value and its rejection surfaces as
+//!   [`TraceError::Validation`], so a bad trace fails fast at the I/O
+//!   boundary instead of producing garbage downstream.
 
 use crate::error::TraceError;
 use crate::event::{ProgramTrace, TraceSet};
@@ -7,11 +21,15 @@ use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::Path;
 
-/// Reads a program trace from any `Read` source.
-pub fn read_program(r: &mut impl Read) -> Result<ProgramTrace, TraceError> {
+fn slurp(r: &mut impl Read) -> Result<Vec<u8>, TraceError> {
     let mut data = Vec::new();
     r.read_to_end(&mut data)?;
-    format::decode_program(&data)
+    Ok(data)
+}
+
+/// Reads a program trace from any `Read` source.
+pub fn read_program(r: &mut impl Read) -> Result<ProgramTrace, TraceError> {
+    format::decode_program(&slurp(r)?)
 }
 
 /// Reads a program trace from a file.
@@ -19,11 +37,41 @@ pub fn read_program_file(path: impl AsRef<Path>) -> Result<ProgramTrace, TraceEr
     read_program(&mut BufReader::new(File::open(path)?))
 }
 
+/// Reads a program trace without enforcing structural invariants.
+pub fn read_program_raw(r: &mut impl Read) -> Result<ProgramTrace, TraceError> {
+    format::decode_program_raw(&slurp(r)?)
+}
+
+/// Reads a program trace from a file without enforcing structural
+/// invariants.
+pub fn read_program_file_raw(path: impl AsRef<Path>) -> Result<ProgramTrace, TraceError> {
+    read_program_raw(&mut BufReader::new(File::open(path)?))
+}
+
+/// Reads a program trace and applies a validate-on-load hook.
+///
+/// The hook runs after decoding and the built-in invariant checks; a
+/// rejection (`Err(detail)`) surfaces as [`TraceError::Validation`].
+pub fn read_program_with(
+    r: &mut impl Read,
+    check: impl FnOnce(&ProgramTrace) -> Result<(), String>,
+) -> Result<ProgramTrace, TraceError> {
+    let trace = read_program(r)?;
+    check(&trace).map_err(|detail| TraceError::Validation { detail })?;
+    Ok(trace)
+}
+
+/// Reads a program trace from a file and applies a validate-on-load hook.
+pub fn read_program_file_with(
+    path: impl AsRef<Path>,
+    check: impl FnOnce(&ProgramTrace) -> Result<(), String>,
+) -> Result<ProgramTrace, TraceError> {
+    read_program_with(&mut BufReader::new(File::open(path)?), check)
+}
+
 /// Reads a translated trace set from any `Read` source.
 pub fn read_set(r: &mut impl Read) -> Result<TraceSet, TraceError> {
-    let mut data = Vec::new();
-    r.read_to_end(&mut data)?;
-    format::decode_set(&data)
+    format::decode_set(&slurp(r)?)
 }
 
 /// Reads a translated trace set from a file.
@@ -31,9 +79,47 @@ pub fn read_set_file(path: impl AsRef<Path>) -> Result<TraceSet, TraceError> {
     read_set(&mut BufReader::new(File::open(path)?))
 }
 
+/// Reads a trace set without enforcing structural invariants.
+pub fn read_set_raw(r: &mut impl Read) -> Result<TraceSet, TraceError> {
+    format::decode_set_raw(&slurp(r)?)
+}
+
+/// Reads a trace set from a file without enforcing structural invariants.
+pub fn read_set_file_raw(path: impl AsRef<Path>) -> Result<TraceSet, TraceError> {
+    read_set_raw(&mut BufReader::new(File::open(path)?))
+}
+
+/// Reads a trace set and applies a validate-on-load hook (see
+/// [`read_program_with`]).
+pub fn read_set_with(
+    r: &mut impl Read,
+    check: impl FnOnce(&TraceSet) -> Result<(), String>,
+) -> Result<TraceSet, TraceError> {
+    let set = read_set(r)?;
+    check(&set).map_err(|detail| TraceError::Validation { detail })?;
+    Ok(set)
+}
+
+/// Reads a trace set from a file and applies a validate-on-load hook.
+pub fn read_set_file_with(
+    path: impl AsRef<Path>,
+    check: impl FnOnce(&TraceSet) -> Result<(), String>,
+) -> Result<TraceSet, TraceError> {
+    read_set_with(&mut BufReader::new(File::open(path)?), check)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::PhaseProgram;
+    use crate::event::{EventKind, TraceRecord};
+    use extrap_time::{DurationNs, ThreadId, TimeNs};
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut p = PhaseProgram::new(2);
+        p.push_uniform_phase(DurationNs(100));
+        format::encode_program(&p.record())
+    }
 
     #[test]
     fn missing_file_is_io_error() {
@@ -45,5 +131,36 @@ mod tests {
     fn empty_stream_is_format_error() {
         let err = read_program(&mut &b""[..]).unwrap_err();
         assert!(matches!(err, TraceError::Format { .. }));
+    }
+
+    #[test]
+    fn validate_hook_accepts_and_rejects() {
+        let bytes = sample_bytes();
+        let ok = read_program_with(&mut &bytes[..], |_| Ok(()));
+        assert!(ok.is_ok());
+        let err = read_program_with(&mut &bytes[..], |_| Err("nope".to_string())).unwrap_err();
+        assert!(matches!(err, TraceError::Validation { ref detail } if detail == "nope"));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn raw_read_accepts_invariant_violations() {
+        // A trace with a global timestamp regression: the strict reader
+        // rejects it, the raw reader hands it over for diagnosis.
+        let mut pt = crate::event::ProgramTrace::new(1);
+        let rec = |t: u64, kind| TraceRecord {
+            time: TimeNs(t),
+            thread: ThreadId(0),
+            kind,
+        };
+        pt.records.push(rec(5, EventKind::ThreadBegin));
+        pt.records.push(rec(3, EventKind::ThreadEnd));
+        let bytes = format::encode_program(&pt);
+        assert!(matches!(
+            read_program(&mut &bytes[..]),
+            Err(TraceError::TimeRegression { .. })
+        ));
+        let raw = read_program_raw(&mut &bytes[..]).unwrap();
+        assert_eq!(raw.records.len(), 2);
     }
 }

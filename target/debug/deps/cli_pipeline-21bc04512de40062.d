@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_pipeline-21bc04512de40062.d: crates/cli/tests/cli_pipeline.rs
+
+/root/repo/target/debug/deps/cli_pipeline-21bc04512de40062: crates/cli/tests/cli_pipeline.rs
+
+crates/cli/tests/cli_pipeline.rs:
+
+# env-dep:CARGO_BIN_EXE_extrap=/root/repo/target/debug/extrap

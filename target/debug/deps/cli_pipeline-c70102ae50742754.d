@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_pipeline-c70102ae50742754.d: crates/cli/tests/cli_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_pipeline-c70102ae50742754.rmeta: crates/cli/tests/cli_pipeline.rs Cargo.toml
+
+crates/cli/tests/cli_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_extrap=placeholder:extrap
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

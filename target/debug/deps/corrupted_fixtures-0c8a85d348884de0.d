@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corrupted_fixtures-0c8a85d348884de0.d: crates/lint/tests/corrupted_fixtures.rs
+
+/root/repo/target/debug/deps/corrupted_fixtures-0c8a85d348884de0: crates/lint/tests/corrupted_fixtures.rs
+
+crates/lint/tests/corrupted_fixtures.rs:

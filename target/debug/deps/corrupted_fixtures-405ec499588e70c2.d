@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corrupted_fixtures-405ec499588e70c2.d: crates/lint/tests/corrupted_fixtures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrupted_fixtures-405ec499588e70c2.rmeta: crates/lint/tests/corrupted_fixtures.rs Cargo.toml
+
+crates/lint/tests/corrupted_fixtures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a629a211d9840d71.d: crates/exp/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a629a211d9840d71: crates/exp/tests/determinism.rs
+
+crates/exp/tests/determinism.rs:

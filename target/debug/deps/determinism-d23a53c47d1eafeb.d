@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-d23a53c47d1eafeb.d: crates/exp/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-d23a53c47d1eafeb.rmeta: crates/exp/tests/determinism.rs Cargo.toml
+
+crates/exp/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

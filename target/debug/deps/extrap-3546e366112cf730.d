@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extrap-3546e366112cf730.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrap-3546e366112cf730.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

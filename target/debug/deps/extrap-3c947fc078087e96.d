@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrap-3c947fc078087e96.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/extrap-3c947fc078087e96: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

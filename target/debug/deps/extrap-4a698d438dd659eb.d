@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrap-4a698d438dd659eb.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/extrap-4a698d438dd659eb: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/extrap_exp-1652bcc86ef7748e.d: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrap_exp-1652bcc86ef7748e.rmeta: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs Cargo.toml
+
+crates/exp/src/lib.rs:
+crates/exp/src/experiments.rs:
+crates/exp/src/series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

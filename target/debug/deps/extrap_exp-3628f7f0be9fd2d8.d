@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrap_exp-3628f7f0be9fd2d8.d: crates/exp/src/main.rs
+
+/root/repo/target/debug/deps/extrap_exp-3628f7f0be9fd2d8: crates/exp/src/main.rs
+
+crates/exp/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/extrap_exp-7de8d746f720530f.d: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrap_exp-7de8d746f720530f.rmeta: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs Cargo.toml
+
+crates/exp/src/lib.rs:
+crates/exp/src/experiments.rs:
+crates/exp/src/series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/extrap_exp-84e1dbc331da41ae.d: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+/root/repo/target/debug/deps/extrap_exp-84e1dbc331da41ae: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+crates/exp/src/lib.rs:
+crates/exp/src/experiments.rs:
+crates/exp/src/series.rs:

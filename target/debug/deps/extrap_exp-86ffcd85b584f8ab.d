@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extrap_exp-86ffcd85b584f8ab.d: crates/exp/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextrap_exp-86ffcd85b584f8ab.rmeta: crates/exp/src/main.rs Cargo.toml
+
+crates/exp/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

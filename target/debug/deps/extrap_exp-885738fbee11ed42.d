@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extrap_exp-885738fbee11ed42.d: crates/exp/src/main.rs
+
+/root/repo/target/debug/deps/extrap_exp-885738fbee11ed42: crates/exp/src/main.rs
+
+crates/exp/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extrap_exp-d1666072641d06f2.d: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+/root/repo/target/debug/deps/libextrap_exp-d1666072641d06f2.rlib: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+/root/repo/target/debug/deps/libextrap_exp-d1666072641d06f2.rmeta: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+crates/exp/src/lib.rs:
+crates/exp/src/experiments.rs:
+crates/exp/src/series.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-46ee988c8375700a.d: tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-46ee988c8375700a.rmeta: tests/model_properties.rs Cargo.toml
+
+tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-affa5d88f9d36970.d: tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-affa5d88f9d36970: tests/model_properties.rs
+
+tests/model_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_results-1ca9b0ea897a49da.d: tests/paper_results.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_results-1ca9b0ea897a49da.rmeta: tests/paper_results.rs Cargo.toml
+
+tests/paper_results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_results-ccf768d423618ec2.d: tests/paper_results.rs
+
+/root/repo/target/debug/deps/paper_results-ccf768d423618ec2: tests/paper_results.rs
+
+tests/paper_results.rs:

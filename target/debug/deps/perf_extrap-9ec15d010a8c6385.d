@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_extrap-9ec15d010a8c6385.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_extrap-9ec15d010a8c6385.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

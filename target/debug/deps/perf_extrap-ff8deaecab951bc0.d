@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_extrap-ff8deaecab951bc0.d: src/lib.rs
+
+/root/repo/target/debug/deps/perf_extrap-ff8deaecab951bc0: src/lib.rs
+
+src/lib.rs:

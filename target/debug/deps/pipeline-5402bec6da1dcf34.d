@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-5402bec6da1dcf34.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-5402bec6da1dcf34.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-88cd56e5980c5420.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-88cd56e5980c5420: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/translate_clean_property-991a7d0cad8a35f2.d: crates/lint/tests/translate_clean_property.rs
+
+/root/repo/target/debug/deps/translate_clean_property-991a7d0cad8a35f2: crates/lint/tests/translate_clean_property.rs
+
+crates/lint/tests/translate_clean_property.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/translate_clean_property-c2b25fa7101b5fa8.d: crates/lint/tests/translate_clean_property.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtranslate_clean_property-c2b25fa7101b5fa8.rmeta: crates/lint/tests/translate_clean_property.rs Cargo.toml
+
+crates/lint/tests/translate_clean_property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

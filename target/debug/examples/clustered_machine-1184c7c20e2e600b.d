@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clustered_machine-1184c7c20e2e600b.d: examples/clustered_machine.rs
+
+/root/repo/target/debug/examples/clustered_machine-1184c7c20e2e600b: examples/clustered_machine.rs
+
+examples/clustered_machine.rs:

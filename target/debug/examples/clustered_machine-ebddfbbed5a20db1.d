@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/clustered_machine-ebddfbbed5a20db1.d: examples/clustered_machine.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclustered_machine-ebddfbbed5a20db1.rmeta: examples/clustered_machine.rs Cargo.toml
+
+examples/clustered_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

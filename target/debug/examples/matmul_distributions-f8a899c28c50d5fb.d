@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matmul_distributions-f8a899c28c50d5fb.d: examples/matmul_distributions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatmul_distributions-f8a899c28c50d5fb.rmeta: examples/matmul_distributions.rs Cargo.toml
+
+examples/matmul_distributions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matmul_distributions-fb6be6790f4c053e.d: examples/matmul_distributions.rs
+
+/root/repo/target/debug/examples/matmul_distributions-fb6be6790f4c053e: examples/matmul_distributions.rs
+
+examples/matmul_distributions.rs:

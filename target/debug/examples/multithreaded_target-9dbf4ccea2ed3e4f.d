@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multithreaded_target-9dbf4ccea2ed3e4f.d: examples/multithreaded_target.rs
+
+/root/repo/target/debug/examples/multithreaded_target-9dbf4ccea2ed3e4f: examples/multithreaded_target.rs
+
+examples/multithreaded_target.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multithreaded_target-d97920688cdb5dae.d: examples/multithreaded_target.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultithreaded_target-d97920688cdb5dae.rmeta: examples/multithreaded_target.rs Cargo.toml
+
+examples/multithreaded_target.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/performance_debugging-28853cde1a399ca7.d: examples/performance_debugging.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperformance_debugging-28853cde1a399ca7.rmeta: examples/performance_debugging.rs Cargo.toml
+
+examples/performance_debugging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/performance_debugging-ce0603f63a5467b1.d: examples/performance_debugging.rs
+
+/root/repo/target/debug/examples/performance_debugging-ce0603f63a5467b1: examples/performance_debugging.rs
+
+examples/performance_debugging.rs:

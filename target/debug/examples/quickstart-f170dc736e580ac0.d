@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f170dc736e580ac0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f170dc736e580ac0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scalability_analysis-1257cc0f346ddba4.d: examples/scalability_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscalability_analysis-1257cc0f346ddba4.rmeta: examples/scalability_analysis.rs Cargo.toml
+
+examples/scalability_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability_analysis-80559f084a134459.d: examples/scalability_analysis.rs
+
+/root/repo/target/debug/examples/scalability_analysis-80559f084a134459: examples/scalability_analysis.rs
+
+examples/scalability_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sweep-0c7bbae51d41100b.d: examples/sweep.rs
+
+/root/repo/target/debug/examples/sweep-0c7bbae51d41100b: examples/sweep.rs
+
+examples/sweep.rs:

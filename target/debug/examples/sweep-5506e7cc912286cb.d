@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sweep-5506e7cc912286cb.d: examples/sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsweep-5506e7cc912286cb.rmeta: examples/sweep.rs Cargo.toml
+
+examples/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/whatif_policies-0286278bf61f6e95.d: examples/whatif_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwhatif_policies-0286278bf61f6e95.rmeta: examples/whatif_policies.rs Cargo.toml
+
+examples/whatif_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_policies-ceda2fb7c859b201.d: examples/whatif_policies.rs
+
+/root/repo/target/debug/examples/whatif_policies-ceda2fb7c859b201: examples/whatif_policies.rs
+
+examples/whatif_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extrap-bb5bce1f2b4c9916.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/extrap-bb5bce1f2b4c9916: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

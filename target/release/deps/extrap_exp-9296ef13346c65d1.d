@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extrap_exp-9296ef13346c65d1.d: crates/exp/src/main.rs
+
+/root/repo/target/release/deps/extrap_exp-9296ef13346c65d1: crates/exp/src/main.rs
+
+crates/exp/src/main.rs:

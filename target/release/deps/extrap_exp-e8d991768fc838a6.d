@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extrap_exp-e8d991768fc838a6.d: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+/root/repo/target/release/deps/libextrap_exp-e8d991768fc838a6.rlib: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+/root/repo/target/release/deps/libextrap_exp-e8d991768fc838a6.rmeta: crates/exp/src/lib.rs crates/exp/src/experiments.rs crates/exp/src/series.rs
+
+crates/exp/src/lib.rs:
+crates/exp/src/experiments.rs:
+crates/exp/src/series.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sweep-057bdc79d4c0048b.d: examples/sweep.rs
+
+/root/repo/target/release/examples/sweep-057bdc79d4c0048b: examples/sweep.rs
+
+examples/sweep.rs:
