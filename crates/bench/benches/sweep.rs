@@ -5,7 +5,7 @@
 //! Run with `cargo bench --bench sweep`; the trailing summary prints the
 //! measured parallel speedup.
 
-use extrap_bench::harness::Harness;
+use extrap_bench::harness::{Harness, Throughput};
 use extrap_core::{machine, sweep, RecordMode, SharedTraceCache, SweepGrid};
 use extrap_trace::translate;
 use extrap_workloads::{Bench, Scale};
@@ -108,5 +108,26 @@ fn main() {
     h.bench("fig4_grid_warm_pool_metrics_only", || {
         run_grid_mode(workers, &warm2, RecordMode::MetricsOnly)
     });
+
+    // Streaming lint: the chunked-reader + incremental-pass hot path
+    // behind `extrap lint`, over an in-memory Fig-4-sized program trace
+    // (arena recycled across iterations, as the CLI does across files).
+    let lint_trace = Bench::Grid.trace(8, Scale::Small);
+    let lint_bytes = extrap_trace::format::encode_program(&lint_trace);
+    let mut lint_arena = extrap_trace::stream::StreamArena::new();
+    h.bench_throughput(
+        "lint_stream",
+        Throughput::Bytes(lint_bytes.len() as u64),
+        || {
+            let src = extrap_trace::stream::SliceSource(&lint_bytes);
+            let arena =
+                std::mem::replace(&mut lint_arena, extrap_trace::stream::StreamArena::new());
+            let mut s = extrap_trace::stream::ProgramStream::with_arena(src, arena).unwrap();
+            let report = extrap_lint::lint_program_stream(&mut s).unwrap();
+            let n = report.diagnostics.len();
+            lint_arena = s.into_arena();
+            n
+        },
+    );
     h.finish();
 }

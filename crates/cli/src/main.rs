@@ -7,7 +7,8 @@
 //! extrap simulate  traces.xtps [--machine M | --params FILE] [--set KEY=VALUE]... [--predicted OUT]
 //! extrap sweep     <bench>[,<bench>...] [--procs 1,2,...] [--jobs N] [--csv]
 //! extrap report    traces.xtps            # trace statistics
-//! extrap lint      FILE... [--format json]  # static trace/config verification
+//! extrap lint      FILE|DIR... [--jobs N] [--format json] [--deny-warnings] [--allow CODE]...
+//! extrap lint      --fix FILE [--out FILE] [--dry-run]   # repair fixable diagnostics
 //! extrap params    [--machine M]          # print a parameter file
 //! extrap benches                          # list benchmarks
 //! ```
@@ -61,7 +62,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  [--machine M] [--params FILE] [--set KEY=VALUE]... [--jobs N] [--csv]\n  \
                  extrap report FILE\n  extrap timeline FILE [--width N]\n  \
                  extrap check FILE\n  \
-                 extrap lint FILE... [--machine M] [--format text|json] | extrap lint --codes\n  \
+                 extrap lint FILE|DIR... [--machine M] [--format text|json] [--jobs N] \
+                 [--deny-warnings] [--allow CODE]...\n  \
+                 extrap lint --fix FILE [--out FILE] [--dry-run] | extrap lint --codes\n  \
                  extrap diff FILE <machineA> <machineB>\n  \
                  extrap params [--machine M]\n  extrap benches"
             );
@@ -90,6 +93,15 @@ fn take_all_flags(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, Str
         out.push(v);
     }
     Ok(out)
+}
+
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
 }
 
 fn parse_scale(s: Option<String>) -> Result<Scale, String> {
@@ -269,12 +281,7 @@ fn cmd_sweep(mut args: Vec<String>) -> Result<(), String> {
             _ => return Err(format!("--jobs needs a positive integer, got {v:?}")),
         },
     };
-    let csv = if let Some(pos) = args.iter().position(|a| a == "--csv") {
-        args.remove(pos);
-        true
-    } else {
-        false
-    };
+    let csv = take_bool_flag(&mut args, "--csv");
     let [bench_list]: [String; 1] = args
         .try_into()
         .map_err(|_| "usage: extrap sweep <bench>[,<bench>...] [--procs LIST]".to_string())?;
@@ -403,23 +410,30 @@ fn cmd_check(args: Vec<String>) -> Result<(), String> {
 /// and/or parameter configs *before* spending simulation time on them.
 ///
 /// Inputs are sniffed by content: the `XTRP`/`XTPS` magic selects the
-/// program-trace or trace-set linter (decoded **raw**, so a corrupted
-/// file is inspected in full instead of failing at the first broken
-/// invariant); anything else is parsed as a `key = value` parameter
-/// file.  `--machine M` additionally lints a named preset.  Exits
-/// nonzero when any error-severity diagnostic is found.
+/// program-trace or trace-set linter (decoded **raw** through the
+/// streaming reader, so a corrupted file is inspected in full instead
+/// of failing at the first broken invariant); anything else is parsed
+/// as a `key = value` parameter file.  Directories are recursed for
+/// `.xtrp`/`.xtps`/`.cfg` files; the expanded list is path-sorted so
+/// the output is deterministic regardless of worker count.  Files are
+/// linted in parallel (`--jobs N`), each worker recycling one stream
+/// arena.  `--machine M` additionally lints a named preset.  Exits
+/// nonzero when any error-severity diagnostic survives `--allow CODE`
+/// filtering, or — under `--deny-warnings` — any warning does.
+///
+/// `--fix` switches to repair mode: see [`cmd_lint_fix`].
 fn cmd_lint(mut args: Vec<String>) -> Result<(), String> {
-    if let Some(pos) = args.iter().position(|a| a == "--codes") {
-        args.remove(pos);
+    if take_bool_flag(&mut args, "--codes") {
         if !args.is_empty() {
             return Err("lint: --codes takes no other arguments".to_string());
         }
         for code in extrap_lint::Code::all() {
             println!(
-                "{} [{}] {}",
+                "{} [{}] {}{}",
                 code.as_str(),
                 code.severity().label(),
-                code.title()
+                code.title(),
+                if code.fixable() { " (fixable)" } else { "" }
             );
         }
         return Ok(());
@@ -430,41 +444,69 @@ fn cmd_lint(mut args: Vec<String>) -> Result<(), String> {
         Some(other) => return Err(format!("lint: unknown format {other:?} (text|json)")),
     };
     let machine = take_flag(&mut args, "--machine")?;
+    let jobs = match take_flag(&mut args, "--jobs")? {
+        None => extrap_core::sweep::default_workers(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("--jobs needs a positive integer, got {v:?}")),
+        },
+    };
+    let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
+    let allow: Vec<extrap_lint::Code> = take_all_flags(&mut args, "--allow")?
+        .iter()
+        .map(|s| {
+            extrap_lint::Code::parse(s)
+                .ok_or_else(|| format!("--allow: unknown code {s:?} (see `extrap lint --codes`)"))
+        })
+        .collect::<Result<_, _>>()?;
+    let fix = take_bool_flag(&mut args, "--fix");
+    let dry_run = take_bool_flag(&mut args, "--dry-run");
+    let out_path = take_flag(&mut args, "--out")?;
+    if !fix && (dry_run || out_path.is_some()) {
+        return Err("lint: --dry-run/--out only make sense with --fix".to_string());
+    }
+    if fix {
+        if json {
+            return Err("lint: --fix supports text output only".to_string());
+        }
+        if machine.is_some() {
+            return Err("lint: --fix repairs trace files; drop --machine".to_string());
+        }
+        let [input]: [String; 1] = args
+            .try_into()
+            .map_err(|_| "usage: extrap lint --fix FILE [--out FILE] [--dry-run]".to_string())?;
+        return cmd_lint_fix(&input, out_path, dry_run, &allow, deny_warnings);
+    }
     if args.is_empty() && machine.is_none() {
-        return Err("usage: extrap lint FILE... [--machine M] [--format text|json]".to_string());
+        return Err(
+            "usage: extrap lint FILE|DIR... [--machine M] [--format text|json]".to_string(),
+        );
     }
 
-    // (label, report) per linted input.
+    let files = expand_lint_inputs(&args)?;
+
+    // (label, report) per linted input: the machine preset first
+    // (serially), then every file in path order.
     let mut reports: Vec<(String, extrap_lint::Report)> = Vec::new();
     if let Some(name) = machine {
         let params = parse_machine(Some(name.clone()))?;
-        reports.push((format!("machine:{name}"), extrap_lint::lint_params(&params)));
+        reports.push((
+            format!("machine:{name}"),
+            apply_allow(extrap_lint::lint_params(&params), &allow),
+        ));
     }
-    for path in &args {
-        let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-        let report = match data.get(..4) {
-            Some(b"XTRP") => {
-                let trace = extrap_trace::format::decode_program_raw(&data)
-                    .map_err(|e| format!("{path}: {e}"))?;
-                extrap_lint::lint_program(&trace)
-            }
-            Some(b"XTPS") => {
-                let set = extrap_trace::format::decode_set_raw(&data)
-                    .map_err(|e| format!("{path}: {e}"))?;
-                extrap_lint::lint_set(&set)
-            }
-            _ => {
-                let text = String::from_utf8(data)
-                    .map_err(|_| format!("{path}: not a trace file and not UTF-8 config text"))?;
-                let params = SimParams::from_config_text_unvalidated(&text)
-                    .map_err(|e| format!("{path}: {e}"))?;
-                extrap_lint::lint_params(&params)
-            }
-        };
-        reports.push((path.clone(), report));
+    let results = extrap_core::sweep::parallel_map_with(
+        &files,
+        jobs,
+        extrap_trace::stream::StreamArena::new,
+        |arena, _i, path| lint_one(path, arena),
+    );
+    for (path, result) in files.iter().zip(results) {
+        reports.push((path.clone(), apply_allow(result?, &allow)));
     }
 
     let errors: usize = reports.iter().map(|(_, r)| r.error_count()).sum();
+    let warnings: usize = reports.iter().map(|(_, r)| r.warning_count()).sum();
     if json {
         let mut out = String::from("{\"files\":[");
         for (i, (label, report)) in reports.iter().enumerate() {
@@ -477,7 +519,6 @@ fn cmd_lint(mut args: Vec<String>) -> Result<(), String> {
             // Splice the per-report object's fields into this file entry.
             out.push_str(&extrap_lint::render_json(report)[1..]);
         }
-        let warnings: usize = reports.iter().map(|(_, r)| r.warning_count()).sum();
         out.push_str(&format!("],\"errors\":{errors},\"warnings\":{warnings}}}"));
         println!("{out}");
     } else {
@@ -491,9 +532,182 @@ fn cmd_lint(mut args: Vec<String>) -> Result<(), String> {
             "lint found {errors} error{}",
             if errors == 1 { "" } else { "s" }
         ))
+    } else if deny_warnings && warnings > 0 {
+        Err(format!(
+            "lint found {warnings} warning{} (--deny-warnings)",
+            if warnings == 1 { "" } else { "s" }
+        ))
     } else {
         Ok(())
     }
+}
+
+/// Lints one input file: binary traces go through the streaming linter
+/// (bounded memory, arena recycled across files by the caller);
+/// anything else is treated as UTF-8 parameter config text.
+fn lint_one(
+    path: &str,
+    arena: &mut extrap_trace::stream::StreamArena,
+) -> Result<extrap_lint::Report, String> {
+    match extrap_lint::lint_trace_file(path, arena) {
+        Ok(Some(report)) => Ok(report),
+        Ok(None) => {
+            let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            let text = String::from_utf8(data)
+                .map_err(|_| format!("{path}: not a trace file and not UTF-8 config text"))?;
+            let params = SimParams::from_config_text_unvalidated(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            Ok(extrap_lint::lint_params(&params))
+        }
+        Err(e) => Err(format!("{path}: {e}")),
+    }
+}
+
+/// Expands lint inputs: files pass through as given (whatever their
+/// extension — content sniffing decides how to lint them), directories
+/// are recursed for `.xtrp`/`.xtps`/`.cfg` files.  The result is
+/// sorted and deduplicated so output order is deterministic.
+fn expand_lint_inputs(args: &[String]) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    for arg in args {
+        let path = std::path::Path::new(arg);
+        if path.is_dir() {
+            collect_trace_files(path, &mut files)?;
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn collect_trace_files(dir: &std::path::Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_trace_files(&path, out)?;
+        } else if matches!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("xtrp" | "xtps" | "cfg")
+        ) {
+            out.push(path.to_string_lossy().into_owned());
+        }
+    }
+    Ok(())
+}
+
+/// Drops diagnostics whose code the user `--allow`ed.
+fn apply_allow(report: extrap_lint::Report, allow: &[extrap_lint::Code]) -> extrap_lint::Report {
+    if allow.is_empty() {
+        return report;
+    }
+    extrap_lint::Report {
+        diagnostics: report
+            .diagnostics
+            .into_iter()
+            .filter(|d| !allow.contains(&d.code))
+            .collect(),
+    }
+}
+
+/// `extrap lint --fix`: mechanically repair the fixable diagnostics in
+/// one binary trace file (`E001`/`E002` timestamp dips, `E003` bad
+/// thread ids, `E006` dangling owners, `W003` missing frames), then
+/// **re-lint the repaired trace and refuse to write unless it is
+/// error-free** — unfixable corruption (`E004`, `E005`, `E007`,
+/// `E009`) never silently produces a "fixed" file that still lies.
+/// `--dry-run` reports the repairs without writing; `--out FILE`
+/// redirects the output (default: in place).
+fn cmd_lint_fix(
+    input: &str,
+    out_path: Option<String>,
+    dry_run: bool,
+    allow: &[extrap_lint::Code],
+    deny_warnings: bool,
+) -> Result<(), String> {
+    use extrap_lint::Severity;
+
+    let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    enum Fixed {
+        Program(extrap_trace::ProgramTrace),
+        Set(extrap_trace::TraceSet),
+    }
+    let (fixed, notes, report) = match data.get(..4) {
+        Some(b"XTRP") => {
+            let trace = extrap_trace::format::decode_program_raw(&data)
+                .map_err(|e| format!("{input}: {e}"))?;
+            let out = extrap_lint::fix_program(&trace);
+            let report = extrap_lint::lint_program(&out.value);
+            (Fixed::Program(out.value), out.notes, report)
+        }
+        Some(b"XTPS") => {
+            let set =
+                extrap_trace::format::decode_set_raw(&data).map_err(|e| format!("{input}: {e}"))?;
+            let out = extrap_lint::fix_set(&set);
+            let report = extrap_lint::lint_set(&out.value);
+            (Fixed::Set(out.value), out.notes, report)
+        }
+        _ => return Err(format!("{input}: --fix needs a binary trace file")),
+    };
+    let report = apply_allow(report, allow);
+
+    println!("{input}:");
+    for note in &notes {
+        println!("fix[{}]: {}", note.code, note.detail);
+    }
+    // Whatever survives the fixer is by definition beyond mechanical
+    // repair; say so explicitly next to each remaining error.
+    let mut shown = report.clone();
+    for d in &mut shown.diagnostics {
+        if d.code.severity() == Severity::Error {
+            d.message.push_str(" [unfixable]");
+        }
+    }
+    print!("{}", extrap_lint::render_text(&shown));
+
+    let errors = report.error_count();
+    if errors > 0 {
+        return Err(format!(
+            "lint --fix: {errors} unfixable error{} remain; not writing",
+            if errors == 1 { "" } else { "s" }
+        ));
+    }
+    let dest = out_path.unwrap_or_else(|| input.to_string());
+    if dry_run {
+        println!(
+            "dry run: {} repair{} would be written to {dest}",
+            notes.len(),
+            if notes.len() == 1 { "" } else { "s" }
+        );
+    } else {
+        match &fixed {
+            Fixed::Program(trace) => extrap_trace::writer::write_program_file(&dest, trace),
+            Fixed::Set(set) => extrap_trace::writer::write_set_file(&dest, set),
+        }
+        .map_err(|e| format!("{dest}: {e}"))?;
+        // Belt and braces: the file on disk must re-lint error-free.
+        let mut arena = extrap_trace::stream::StreamArena::new();
+        let back = lint_one(&dest, &mut arena)?;
+        if apply_allow(back, allow).has_errors() {
+            return Err(format!("lint --fix: {dest} fails re-lint after writing"));
+        }
+        println!(
+            "wrote fixed trace to {dest} ({} repair{})",
+            notes.len(),
+            if notes.len() == 1 { "" } else { "s" }
+        );
+    }
+    let warnings = report.warning_count();
+    if deny_warnings && warnings > 0 {
+        return Err(format!(
+            "lint found {warnings} warning{} (--deny-warnings)",
+            if warnings == 1 { "" } else { "s" }
+        ));
+    }
+    Ok(())
 }
 
 /// Minimal JSON string escaping for file paths embedded in lint output.

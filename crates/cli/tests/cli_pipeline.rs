@@ -308,6 +308,196 @@ fn lint_codes_listing() {
 }
 
 #[test]
+fn lint_recurses_directories_and_is_deterministic() {
+    let dir = tmpdir("lint-dir");
+    let sub = dir.join("nested");
+    std::fs::create_dir_all(&sub).unwrap();
+    let xtrp = dir.join("a.xtrp");
+    extrap(&[
+        "trace",
+        "grid",
+        "2",
+        "--scale",
+        "tiny",
+        "-o",
+        xtrp.to_str().unwrap(),
+    ]);
+    let xtps = sub.join("b.xtps");
+    extrap(&[
+        "translate",
+        xtrp.to_str().unwrap(),
+        "-o",
+        xtps.to_str().unwrap(),
+    ]);
+    std::fs::write(
+        sub.join("machine.cfg"),
+        stdout(&extrap(&["params", "--machine", "cm5"])),
+    )
+    .unwrap();
+    std::fs::write(dir.join("notes.txt"), "not linted").unwrap();
+
+    let serial = extrap(&["lint", dir.to_str().unwrap(), "--jobs", "1"]);
+    assert!(serial.status.success(), "{serial:?}");
+    let text = stdout(&serial);
+    assert_eq!(text.matches("clean: no diagnostics").count(), 3, "{text}");
+    assert!(
+        !text.contains("notes.txt"),
+        "unrecognized extensions must be skipped: {text}"
+    );
+    let (a, b, c) = (
+        text.find("a.xtrp").unwrap(),
+        text.find("b.xtps").unwrap(),
+        text.find("machine.cfg").unwrap(),
+    );
+    assert!(
+        a < b && b < c,
+        "directory expansion must be path-sorted: {text}"
+    );
+
+    let parallel = extrap(&["lint", dir.to_str().unwrap(), "--jobs", "8"]);
+    assert!(parallel.status.success(), "{parallel:?}");
+    assert_eq!(
+        text,
+        stdout(&parallel),
+        "lint output must not depend on the worker count"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_fix_repairs_fixable_corruption() {
+    let dir = tmpdir("lint-fix");
+    let xtrp = dir.join("t.xtrp");
+    extrap(&[
+        "trace",
+        "embar",
+        "2",
+        "--scale",
+        "tiny",
+        "-o",
+        xtrp.to_str().unwrap(),
+    ]);
+    // Zero the timestamp of the final record (a 13-byte thread-end):
+    // an E001 regression the fixer can repair by re-sorting.
+    let mut bytes = std::fs::read(&xtrp).unwrap();
+    let n = bytes.len();
+    for b in &mut bytes[n - 13..n - 5] {
+        *b = 0;
+    }
+    std::fs::write(&xtrp, &bytes).unwrap();
+    assert!(!extrap(&["lint", xtrp.to_str().unwrap()]).status.success());
+
+    // --dry-run reports the repairs but must not touch the file.
+    let out = extrap(&["lint", "--fix", xtrp.to_str().unwrap(), "--dry-run"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("fix[E001]"), "{}", stdout(&out));
+    assert_eq!(
+        std::fs::read(&xtrp).unwrap(),
+        bytes,
+        "--dry-run must not write"
+    );
+
+    // --fix --out writes a repaired copy that then lints clean.
+    let fixed = dir.join("fixed.xtrp");
+    let out = extrap(&[
+        "lint",
+        "--fix",
+        xtrp.to_str().unwrap(),
+        "--out",
+        fixed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        stdout(&out).contains("wrote fixed trace"),
+        "{}",
+        stdout(&out)
+    );
+    let out = extrap(&["lint", fixed.to_str().unwrap()]);
+    assert!(out.status.success(), "fixed file must lint clean: {out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_fix_refuses_unfixable_corruption() {
+    let dir = tmpdir("lint-unfixable");
+    let xtrp = dir.join("t.xtrp");
+    extrap(&[
+        "trace",
+        "embar",
+        "2",
+        "--scale",
+        "tiny",
+        "-o",
+        xtrp.to_str().unwrap(),
+    ]);
+    // Zero the timestamp of T1's trailing barrier-exit (the 17-byte
+    // record starting 59 bytes from the end; the embar generator is
+    // deterministic).  Re-sorting would drag the exit across its
+    // matching enter, so this regression is NOT mechanically fixable.
+    let mut bytes = std::fs::read(&xtrp).unwrap();
+    let n = bytes.len();
+    for b in &mut bytes[n - 59..n - 51] {
+        *b = 0;
+    }
+    std::fs::write(&xtrp, &bytes).unwrap();
+
+    let fixed = dir.join("fixed.xtrp");
+    let out = extrap(&[
+        "lint",
+        "--fix",
+        xtrp.to_str().unwrap(),
+        "--out",
+        fixed.to_str().unwrap(),
+    ]);
+    assert!(
+        !out.status.success(),
+        "unfixable corruption must fail --fix"
+    );
+    assert!(stdout(&out).contains("[unfixable]"), "{}", stdout(&out));
+    assert!(!fixed.exists(), "--fix must not write a still-broken trace");
+    // Configs have nothing to rewrite either.
+    let cfg = dir.join("m.cfg");
+    std::fs::write(&cfg, "MipsRatio = 1\n").unwrap();
+    assert!(!extrap(&["lint", "--fix", cfg.to_str().unwrap()])
+        .status
+        .success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_allow_and_deny_warnings() {
+    let dir = tmpdir("lint-allow");
+    let cfg = dir.join("warn.cfg");
+    // Legal but suspicious: contention enabled with a no-op alpha (W004).
+    std::fs::write(&cfg, "Contention = on\nContentionAlpha = 0\n").unwrap();
+
+    let out = extrap(&["lint", cfg.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "warnings alone must not fail: {out:?}"
+    );
+    assert!(stdout(&out).contains("warning[W004]"));
+
+    let out = extrap(&["lint", cfg.to_str().unwrap(), "--deny-warnings"]);
+    assert!(!out.status.success(), "--deny-warnings must fail on W004");
+
+    let out = extrap(&[
+        "lint",
+        cfg.to_str().unwrap(),
+        "--deny-warnings",
+        "--allow",
+        "w004",
+    ]);
+    assert!(out.status.success(), "allowed codes are filtered: {out:?}");
+    assert!(stdout(&out).contains("clean: no diagnostics"));
+
+    // --allow also silences errors (case-insensitive code parse).
+    let out = extrap(&["lint", cfg.to_str().unwrap(), "--allow", "nope"]);
+    assert!(!out.status.success(), "unknown --allow code must error");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn sweep_is_deterministic_across_worker_counts() {
     let args = |jobs: &'static str| {
         [

@@ -253,7 +253,8 @@ where
 /// arenas, simulator scratch) is allocated once per *worker* rather than
 /// once per *item*.  `scratch` must not influence results — the output
 /// contract is still "whatever the serial loop produces", and the serial
-/// path uses a single scratch for all items.
+/// path uses a single scratch for all items.  (`extrap lint` fans out
+/// over files this way, recycling one trace-stream arena per worker.)
 pub fn parallel_map_with<T, R, S, F>(
     items: &[T],
     workers: usize,

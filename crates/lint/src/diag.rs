@@ -111,6 +111,30 @@ impl Code {
         }
     }
 
+    /// Parses a stable code string (`E001`, `w003`, …), case-insensitively.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::all()
+            .iter()
+            .copied()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s))
+    }
+
+    /// True when `extrap lint --fix` can mechanically repair this
+    /// diagnostic (see [`crate::fix`]).  The rest are unfixable: the
+    /// trace records evidence of a real program defect (`E004`, `E005`,
+    /// `E007`) or an ambiguity with no safe resolution (`E009`), and
+    /// parameter diagnostics (`E008`, `W004`) have no trace to rewrite.
+    pub fn fixable(&self) -> bool {
+        matches!(
+            self,
+            Code::E001GlobalTimeRegression
+                | Code::E002ThreadTimeRegression
+                | Code::E003BadThreadId
+                | Code::E006DanglingElement
+                | Code::W003MissingThreadFrame
+        )
+    }
+
     /// Every code, in code order (for docs and exhaustive tests).
     pub fn all() -> &'static [Code] {
         &[

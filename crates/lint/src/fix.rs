@@ -1,0 +1,516 @@
+//! Mechanical repair of fixable lint findings (`extrap lint --fix`).
+//!
+//! The fixer handles exactly the diagnostics whose repair is
+//! *unambiguous* (see [`Code::fixable`]):
+//!
+//! * `E001` / `E002` — timestamp dips are repaired by a **stable
+//!   re-sort confined to the violating window**: the smallest record
+//!   range around each descent that can be reordered without moving
+//!   anything already in order.  Stability preserves the original
+//!   relative order of equal timestamps, so an in-order trace is a
+//!   fixed point.
+//! * `E003` / `E006` — records referencing a non-existent thread, and
+//!   remote accesses naming a non-existent or epoch-inconsistent owner,
+//!   are **dropped**, each with a provenance note.  Barrier records of
+//!   valid threads are never dropped (removing synchronization would
+//!   silently change program meaning).
+//! * `W003` — missing thread begin/end frames are **synthesized** at
+//!   the stream boundaries (begin at the first timestamp, end at the
+//!   last), so the repair introduces no new time regression.
+//!
+//! Everything else is left untouched: `E004`/`E005`/`E007` record real
+//! program defects, and `E009` (misplaced thread traces) has no safe
+//! resolution — swapping segments guesses at intent.
+//!
+//! [`fix_program`] / [`fix_set`] iterate drop → re-sort → synthesize to
+//! a fixpoint (one repair can expose the next: re-sorting a window may
+//! move a thread's begin off the front, requiring frame synthesis), and
+//! return the repaired value plus the notes describing every change.
+//! Callers decide what to do with the result; the CLI re-lints it and
+//! refuses to write unless no errors remain.
+
+use crate::diag::Code;
+use extrap_time::{ElementId, ThreadId, TimeNs};
+use extrap_trace::{EventKind, ProgramTrace, TraceRecord, TraceSet};
+use std::collections::BTreeMap;
+
+/// Safety cap on repair rounds.  Each round either changes nothing
+/// (done) or strictly reduces disorder, so real traces converge in two
+/// or three; the cap guards against a logic error looping forever.
+const MAX_ROUNDS: usize = 8;
+
+/// One change the fixer made, with the code that motivated it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FixNote {
+    /// The diagnostic code this repair addresses.
+    pub code: Code,
+    /// What was changed, in provenance-note form.
+    pub detail: String,
+}
+
+impl FixNote {
+    fn new(code: Code, detail: impl Into<String>) -> FixNote {
+        FixNote {
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// A repaired value plus the notes describing every change made.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FixOutcome<T> {
+    /// The (possibly unchanged) repaired value.
+    pub value: T,
+    /// One note per repair, in the order they were applied.
+    pub notes: Vec<FixNote>,
+}
+
+impl<T> FixOutcome<T> {
+    /// True when the fixer changed anything.
+    pub fn changed(&self) -> bool {
+        !self.notes.is_empty()
+    }
+}
+
+/// Repairs every fixable finding in a program trace (see module docs).
+pub fn fix_program(trace: &ProgramTrace) -> FixOutcome<ProgramTrace> {
+    let mut records = trace.records.clone();
+    let n_threads = trace.n_threads;
+    let mut notes = Vec::new();
+    for _ in 0..MAX_ROUNDS {
+        let before = notes.len();
+        drop_bad_records(&mut records, n_threads, "the global stream", &mut notes);
+        sort_violating_windows(&mut records, None, &mut notes);
+        synthesize_program_frames(&mut records, n_threads, &mut notes);
+        if notes.len() == before {
+            break;
+        }
+    }
+    FixOutcome {
+        value: ProgramTrace { n_threads, records },
+        notes,
+    }
+}
+
+/// Repairs every fixable finding in a trace set (see module docs).
+pub fn fix_set(set: &TraceSet) -> FixOutcome<TraceSet> {
+    let mut fixed = set.clone();
+    let n_threads = fixed.threads.len();
+    let mut notes = Vec::new();
+    for _ in 0..MAX_ROUNDS {
+        let before = notes.len();
+        // Element-owner claims are compared across the whole set (one
+        // epoch counter per segment, one shared claim table), exactly as
+        // the lint pass sees them.
+        let mut owners: BTreeMap<(usize, ElementId), ThreadId> = BTreeMap::new();
+        for t in &mut fixed.threads {
+            let label = format!("{}'s stream", t.thread);
+            drop_dangling_accesses(&mut t.records, n_threads, &mut owners, &label, &mut notes);
+        }
+        for t in &mut fixed.threads {
+            sort_violating_windows(&mut t.records, Some(t.thread), &mut notes);
+        }
+        for t in &mut fixed.threads {
+            synthesize_thread_frame(t.thread, &mut t.records, &mut notes);
+        }
+        if notes.len() == before {
+            break;
+        }
+    }
+    FixOutcome {
+        value: fixed,
+        notes,
+    }
+}
+
+/// Drops `E003` bad-thread records and `E006` dangling/inconsistent
+/// remote accesses from a program's global stream.
+fn drop_bad_records(
+    records: &mut Vec<TraceRecord>,
+    n_threads: usize,
+    where_: &str,
+    notes: &mut Vec<FixNote>,
+) {
+    let mut epochs = vec![0usize; n_threads];
+    let mut owners: BTreeMap<(usize, ElementId), ThreadId> = BTreeMap::new();
+    let mut kept = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        if r.thread.index() >= n_threads {
+            notes.push(FixNote::new(
+                Code::E003BadThreadId,
+                format!(
+                    "dropped record {i} of {where_}: references {} but the trace \
+                     declares {n_threads} threads",
+                    r.thread
+                ),
+            ));
+            continue;
+        }
+        match keep_record(
+            r,
+            i,
+            epochs[r.thread.index()],
+            n_threads,
+            &mut owners,
+            where_,
+        ) {
+            Ok(()) => {
+                if matches!(r.kind, EventKind::BarrierEnter { .. }) {
+                    epochs[r.thread.index()] += 1;
+                }
+                kept.push(*r);
+            }
+            Err(note) => notes.push(note),
+        }
+    }
+    *records = kept;
+}
+
+/// Drops `E006` dangling/inconsistent remote accesses from one
+/// trace-set segment, sharing the claim table across segments.
+fn drop_dangling_accesses(
+    records: &mut Vec<TraceRecord>,
+    n_threads: usize,
+    owners: &mut BTreeMap<(usize, ElementId), ThreadId>,
+    where_: &str,
+    notes: &mut Vec<FixNote>,
+) {
+    let mut epoch = 0usize;
+    let mut kept = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        match keep_record(r, i, epoch, n_threads, owners, where_) {
+            Ok(()) => {
+                if matches!(r.kind, EventKind::BarrierEnter { .. }) {
+                    epoch += 1;
+                }
+                kept.push(*r);
+            }
+            Err(note) => notes.push(note),
+        }
+    }
+    *records = kept;
+}
+
+/// Decides whether one record survives the `E006` drop pass, recording
+/// in-range owner claims in the shared table (first *kept* claim wins,
+/// matching the lint pass's first-claim-in-feed-order rule).
+fn keep_record(
+    r: &TraceRecord,
+    i: usize,
+    epoch: usize,
+    n_threads: usize,
+    owners: &mut BTreeMap<(usize, ElementId), ThreadId>,
+    where_: &str,
+) -> Result<(), FixNote> {
+    let (owner, element) = match r.kind {
+        EventKind::RemoteRead { owner, element, .. }
+        | EventKind::RemoteWrite { owner, element, .. } => (owner, element),
+        _ => return Ok(()),
+    };
+    if owner.index() >= n_threads {
+        return Err(FixNote::new(
+            Code::E006DanglingElement,
+            format!(
+                "dropped record {i} of {where_}: remote access to element {} names \
+                 owner {owner} but the trace has {n_threads} threads",
+                element.index()
+            ),
+        ));
+    }
+    match owners.get(&(epoch, element)) {
+        Some(&first) if first != owner => Err(FixNote::new(
+            Code::E006DanglingElement,
+            format!(
+                "dropped record {i} of {where_}: element {} claimed for owner {owner} \
+                 but the epoch's first kept access names owner {first}",
+                element.index()
+            ),
+        )),
+        Some(_) => Ok(()),
+        None => {
+            owners.insert((epoch, element), owner);
+            Ok(())
+        }
+    }
+}
+
+/// Finds the smallest window around the first timestamp descent at or
+/// after `from` that a local re-sort fully repairs: grow left while the
+/// neighbor exceeds the window minimum, right while the neighbor
+/// precedes the window maximum.
+fn unsorted_window(records: &[TraceRecord], from: usize) -> Option<(usize, usize)> {
+    let d = (from.max(1)..records.len()).find(|&i| records[i].time < records[i - 1].time)?;
+    let (mut l, mut r) = (d - 1, d);
+    let mut lo = records[d].time;
+    let mut hi = records[d - 1].time;
+    loop {
+        let mut grew = false;
+        while l > 0 && records[l - 1].time > lo {
+            l -= 1;
+            lo = lo.min(records[l].time);
+            hi = hi.max(records[l].time);
+            grew = true;
+        }
+        while r + 1 < records.len() && records[r + 1].time < hi {
+            r += 1;
+            lo = lo.min(records[r].time);
+            hi = hi.max(records[r].time);
+            grew = true;
+        }
+        if !grew {
+            return Some((l, r));
+        }
+    }
+}
+
+/// `E001`/`E002`: stable re-sort of each violating window.  `thread` is
+/// `Some` for a per-thread stream (`E002` notes), `None` for the global
+/// stream (`E001` notes).
+fn sort_violating_windows(
+    records: &mut [TraceRecord],
+    thread: Option<ThreadId>,
+    notes: &mut Vec<FixNote>,
+) {
+    let mut from = 0;
+    while let Some((l, r)) = unsorted_window(records, from) {
+        records[l..=r].sort_by_key(|x| x.time);
+        let (code, where_) = match thread {
+            Some(t) => (Code::E002ThreadTimeRegression, format!("{t}'s stream")),
+            None => (
+                Code::E001GlobalTimeRegression,
+                "the global stream".to_string(),
+            ),
+        };
+        notes.push(FixNote::new(
+            code,
+            format!(
+                "re-sorted {} records in window [{l}..{r}] of {where_} (stable, \
+                 timestamps only)",
+                r - l + 1
+            ),
+        ));
+        from = r + 1;
+    }
+}
+
+/// `W003` for program traces: synthesize missing begin/end frames at
+/// the stream boundaries so no new regression is introduced.
+fn synthesize_program_frames(
+    records: &mut Vec<TraceRecord>,
+    n_threads: usize,
+    notes: &mut Vec<FixNote>,
+) {
+    let mut first: Vec<Option<EventKind>> = vec![None; n_threads];
+    let mut last: Vec<Option<EventKind>> = vec![None; n_threads];
+    for r in records.iter() {
+        let i = r.thread.index();
+        if i < n_threads {
+            if first[i].is_none() {
+                first[i] = Some(r.kind);
+            }
+            last[i] = Some(r.kind);
+        }
+    }
+    let front_time = records.first().map(|r| r.time).unwrap_or(TimeNs::ZERO);
+    let back_time = records.last().map(|r| r.time).unwrap_or(TimeNs::ZERO);
+    let mut prepend: Vec<TraceRecord> = Vec::new();
+    let mut append: Vec<TraceRecord> = Vec::new();
+    for t in 0..n_threads {
+        let thread = ThreadId(t as u32);
+        let (need_begin, need_end) = frame_needs(thread, first[t], last[t], notes);
+        if need_begin {
+            prepend.push(TraceRecord {
+                time: front_time,
+                thread,
+                kind: EventKind::ThreadBegin,
+            });
+        }
+        if need_end {
+            // An absent thread's end goes up front with its begin (the
+            // empty frame); a present thread's end closes its stream.
+            let rec = |time| TraceRecord {
+                time,
+                thread,
+                kind: EventKind::ThreadEnd,
+            };
+            if first[t].is_none() {
+                prepend.push(rec(front_time));
+            } else {
+                append.push(rec(back_time));
+            }
+        }
+    }
+    if !prepend.is_empty() {
+        prepend.append(records);
+        *records = prepend;
+    }
+    records.append(&mut append);
+}
+
+/// `W003` for one trace-set segment.
+fn synthesize_thread_frame(
+    thread: ThreadId,
+    records: &mut Vec<TraceRecord>,
+    notes: &mut Vec<FixNote>,
+) {
+    let first = records.first().map(|r| r.kind);
+    let last = records.last().map(|r| r.kind);
+    let (need_begin, need_end) = frame_needs(thread, first, last, notes);
+    let front_time = records.first().map(|r| r.time).unwrap_or(TimeNs::ZERO);
+    let back_time = records.last().map(|r| r.time).unwrap_or(TimeNs::ZERO);
+    if need_begin {
+        records.insert(
+            0,
+            TraceRecord {
+                time: front_time,
+                thread,
+                kind: EventKind::ThreadBegin,
+            },
+        );
+    }
+    if need_end {
+        records.push(TraceRecord {
+            time: back_time,
+            thread,
+            kind: EventKind::ThreadEnd,
+        });
+    }
+}
+
+/// Shared `W003` decision: which frame records a thread is missing,
+/// with one note per synthesized record.
+fn frame_needs(
+    thread: ThreadId,
+    first: Option<EventKind>,
+    last: Option<EventKind>,
+    notes: &mut Vec<FixNote>,
+) -> (bool, bool) {
+    let (need_begin, need_end) = match (first, last) {
+        (Some(EventKind::ThreadBegin), Some(EventKind::ThreadEnd)) => (false, false),
+        (None, _) => (true, true),
+        (f, l) => (
+            f != Some(EventKind::ThreadBegin),
+            l != Some(EventKind::ThreadEnd),
+        ),
+    };
+    if need_begin && need_end && first.is_none() {
+        notes.push(FixNote::new(
+            Code::W003MissingThreadFrame,
+            format!("synthesized an empty begin/end frame for {thread}, which has no events"),
+        ));
+        return (true, true);
+    }
+    if need_begin {
+        notes.push(FixNote::new(
+            Code::W003MissingThreadFrame,
+            format!("synthesized a begin event at the front of {thread}'s stream"),
+        ));
+    }
+    if need_end {
+        notes.push(FixNote::new(
+            Code::W003MissingThreadFrame,
+            format!("synthesized an end event at the back of {thread}'s stream"),
+        ));
+    }
+    (need_begin, need_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_program, lint_set};
+    use extrap_time::DurationNs;
+    use extrap_trace::{translate, PhaseProgram};
+
+    fn clean_program() -> ProgramTrace {
+        let mut p = PhaseProgram::new(2);
+        p.push_uniform_phase(DurationNs(100));
+        p.push_uniform_phase(DurationNs(40));
+        p.record()
+    }
+
+    #[test]
+    fn clean_trace_is_a_fixed_point() {
+        let pt = clean_program();
+        let out = fix_program(&pt);
+        assert!(!out.changed());
+        assert_eq!(out.value, pt);
+        let ts = translate(&pt, Default::default()).unwrap();
+        let out = fix_set(&ts);
+        assert!(!out.changed());
+        assert_eq!(out.value, ts);
+    }
+
+    #[test]
+    fn timestamp_dip_is_resorted_within_window() {
+        // Same corruption as examples/traces/corrupt_time.xtrp: the
+        // final ThreadEnd's timestamp zeroed.  (Zeroing a *barrier*
+        // record instead would be unfixable — the re-sort would tear
+        // the enter/exit pairing, an E004.)
+        let mut pt = clean_program();
+        let i = pt.records.len() - 1;
+        pt.records[i].time = TimeNs(0);
+        assert!(lint_program(&pt).has_errors());
+        let out = fix_program(&pt);
+        assert!(out.changed());
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.code == Code::E001GlobalTimeRegression));
+        assert!(!lint_program(&out.value).has_errors());
+        // The re-sort drops nothing; it may only *add* synthesized
+        // frame records (the moved end tears a thread's frame).
+        assert!(out.value.records.len() >= pt.records.len());
+    }
+
+    #[test]
+    fn dangling_owner_is_dropped_with_note() {
+        let mut pt = clean_program();
+        let time = pt.records.last().unwrap().time;
+        let end = pt.records.pop().unwrap();
+        pt.records.push(TraceRecord {
+            time,
+            thread: ThreadId(0),
+            kind: EventKind::RemoteRead {
+                owner: ThreadId(99),
+                element: ElementId(7),
+                declared_bytes: 64,
+                actual_bytes: 8,
+            },
+        });
+        pt.records.push(end);
+        let out = fix_program(&pt);
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.code == Code::E006DanglingElement));
+        assert!(!lint_program(&out.value).has_errors());
+        assert_eq!(out.value.records.len(), pt.records.len() - 1);
+    }
+
+    #[test]
+    fn fix_is_idempotent_on_its_own_output() {
+        let mut pt = clean_program();
+        pt.records[2].time = TimeNs(0);
+        pt.records.retain(|r| r.kind != EventKind::ThreadEnd);
+        let once = fix_program(&pt);
+        assert!(!lint_program(&once.value).has_errors());
+        let twice = fix_program(&once.value);
+        assert!(!twice.changed(), "second fix changed: {:?}", twice.notes);
+        assert_eq!(twice.value, once.value);
+    }
+
+    #[test]
+    fn unfixable_set_corruption_is_left_untouched() {
+        let pt = clean_program();
+        let ts = translate(&pt, Default::default()).unwrap();
+        // Swap the two segments: E009, deliberately unfixable.
+        let mut bad = ts.clone();
+        bad.threads.swap(0, 1);
+        let out = fix_set(&bad);
+        assert!(!out.changed());
+        assert_eq!(out.value, bad);
+        assert!(lint_set(&out.value).has_errors());
+    }
+}

@@ -28,12 +28,19 @@
 //! [`SharedTraceCache`]: extrap_core::SharedTraceCache
 
 pub mod diag;
+pub mod fix;
 pub mod passes;
 pub mod render;
+pub mod stream;
 
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use fix::{fix_program, fix_set, FixNote, FixOutcome};
 pub use passes::{ModelSanity, Pass, Target, TranslationSoundness, WellFormedness};
 pub use render::{render_json, render_text, summary_line};
+pub use stream::{
+    lint_program_stream, lint_set_stream, lint_trace_file, SoundnessStream, StreamLinter,
+    WellFormedStream,
+};
 
 use extrap_core::SimParams;
 use extrap_trace::{ProgramTrace, TraceSet};

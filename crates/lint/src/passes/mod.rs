@@ -1,9 +1,11 @@
 //! The pass registry: what a lint pass is and what it runs over.
+//!
+//! Trace passes are adapters over the incremental machines in
+//! [`crate::stream`]; see that module for the streaming entry points.
 
-use crate::diag::{Report, Span};
+use crate::diag::Report;
 use extrap_core::SimParams;
-use extrap_time::ThreadId;
-use extrap_trace::{ProgramTrace, TraceRecord, TraceSet};
+use extrap_trace::{ProgramTrace, TraceSet};
 
 mod model;
 mod soundness;
@@ -32,50 +34,4 @@ pub trait Pass {
     fn name(&self) -> &'static str;
     /// Runs the pass.
     fn run(&self, target: &Target<'_>, report: &mut Report);
-}
-
-/// One thread's records with pre-built spans, unifying the two trace
-/// shapes so passes can share their per-thread logic.
-///
-/// For a [`Target::Program`] the spans carry **global** record indices
-/// (the record's position in the 1-processor stream); for a
-/// [`Target::Set`] they carry per-thread indices.  Records referencing
-/// out-of-range thread ids are dropped here — [`WellFormedness`] reports
-/// them as `E003` from the raw stream.
-pub(crate) struct ThreadView<'a> {
-    pub thread: ThreadId,
-    pub records: Vec<(Span, &'a TraceRecord)>,
-}
-
-pub(crate) fn thread_views<'a>(target: &Target<'a>) -> Vec<ThreadView<'a>> {
-    match target {
-        Target::Program(pt) => {
-            let mut views: Vec<ThreadView<'a>> = (0..pt.n_threads)
-                .map(|t| ThreadView {
-                    thread: ThreadId(t as u32),
-                    records: Vec::new(),
-                })
-                .collect();
-            for (i, r) in pt.records.iter().enumerate() {
-                if let Some(v) = views.get_mut(r.thread.index()) {
-                    v.records.push((Span::at(r.thread, i), r));
-                }
-            }
-            views
-        }
-        Target::Set(ts) => ts
-            .threads
-            .iter()
-            .map(|t| ThreadView {
-                thread: t.thread,
-                records: t
-                    .records
-                    .iter()
-                    .enumerate()
-                    .map(|(j, r)| (Span::at(t.thread, j), r))
-                    .collect(),
-            })
-            .collect(),
-        Target::Params(_) => Vec::new(),
-    }
 }

@@ -20,12 +20,18 @@
 //!   pipeline changes.  This is the §5 determinism analysis
 //!   ([`extrap_trace::determinism_report`]) recast as a race-detector
 //!   diagnostic with spans.
+//!
+//! The pass is a thin adapter: it replays the in-memory trace through
+//! the incremental [`SoundnessStream`] machine, the same digest-keeping
+//! state machine the chunked streaming drivers ([`crate::stream`]) feed
+//! record by record — so whole-trace and streaming lint agree by
+//! construction.  Records referencing out-of-range thread ids are
+//! skipped here exactly as the streaming router skips them
+//! (well-formedness reports them as `E003`).
 
-use super::{thread_views, Pass, Target, ThreadView};
-use crate::diag::{Code, Report, Span};
-use extrap_time::{ElementId, ThreadId};
-use extrap_trace::EventKind;
-use std::collections::BTreeMap;
+use super::{Pass, Target};
+use crate::diag::{Report, Span};
+use crate::stream::SoundnessStream;
 
 /// The translation-soundness pass (see module docs).
 #[derive(Clone, Copy, Debug, Default)]
@@ -37,121 +43,27 @@ impl Pass for TranslationSoundness {
     }
 
     fn run(&self, target: &Target<'_>, report: &mut Report) {
-        let views = thread_views(target);
-        if views.is_empty() {
-            return;
-        }
-        check_barrier_agreement(&views, report);
-        check_causality(&views, report);
-    }
-}
-
-/// `E005`: cross-thread barrier-sequence agreement.
-fn check_barrier_agreement(views: &[ThreadView<'_>], report: &mut Report) {
-    let barrier_seq = |v: &ThreadView<'_>| -> Vec<u32> {
-        v.records
-            .iter()
-            .filter_map(|&(_, r)| match r.kind {
-                EventKind::BarrierEnter { barrier } => Some(barrier.0),
-                _ => None,
-            })
-            .collect()
-    };
-    let first = &views[0];
-    let reference = barrier_seq(first);
-    for v in &views[1..] {
-        let seq = barrier_seq(v);
-        if seq == reference {
-            continue;
-        }
-        let message = if seq.len() != reference.len() {
-            format!(
-                "{} enters {} barriers but {} enters {} — the threads deadlock at \
-                 barrier number {}",
-                v.thread,
-                seq.len(),
-                first.thread,
-                reference.len(),
-                seq.len().min(reference.len())
-            )
-        } else {
-            let (i, (a, b)) = seq
-                .iter()
-                .zip(&reference)
-                .enumerate()
-                .find(|(_, (a, b))| a != b)
-                .expect("sequences differ");
-            format!(
-                "{} enters barrier {a} where {} enters barrier {b} (position {i} of the \
-                 barrier sequence)",
-                v.thread, first.thread
-            )
-        };
-        report.push(Code::E005BarrierMismatch, Span::thread(v.thread), message);
-    }
-}
-
-/// One element's accesses within one barrier epoch.
-#[derive(Default)]
-struct EpochAccess {
-    writers: Vec<(ThreadId, Span)>,
-    readers: Vec<(ThreadId, Span)>,
-}
-
-/// `E007`: the happens-before race check described in the module docs.
-fn check_causality(views: &[ThreadView<'_>], report: &mut Report) {
-    let mut accesses: BTreeMap<(usize, ElementId), EpochAccess> = BTreeMap::new();
-    for v in views {
-        // The thread's (collapsed) vector clock: barriers entered so far.
-        let mut epoch = 0usize;
-        for &(span, r) in &v.records {
-            match r.kind {
-                EventKind::BarrierEnter { .. } => epoch += 1,
-                EventKind::RemoteRead { element, .. } => accesses
-                    .entry((epoch, element))
-                    .or_default()
-                    .readers
-                    .push((v.thread, span)),
-                EventKind::RemoteWrite { element, .. } => accesses
-                    .entry((epoch, element))
-                    .or_default()
-                    .writers
-                    .push((v.thread, span)),
-                _ => {}
+        match target {
+            Target::Program(pt) => {
+                let mut m = SoundnessStream::for_program(pt.n_threads);
+                for (i, r) in pt.records.iter().enumerate() {
+                    if r.thread.index() < pt.n_threads {
+                        m.record(r.thread.index(), Span::at(r.thread, i), r);
+                    }
+                }
+                m.finish(report);
             }
+            Target::Set(ts) => {
+                let mut m = SoundnessStream::for_set();
+                for (idx, t) in ts.threads.iter().enumerate() {
+                    m.begin_thread(t.thread);
+                    for (j, r) in t.records.iter().enumerate() {
+                        m.record(idx, Span::at(t.thread, j), r);
+                    }
+                }
+                m.finish(report);
+            }
+            Target::Params(_) => {}
         }
-    }
-    for ((epoch, element), acc) in accesses {
-        if acc.writers.is_empty() {
-            continue;
-        }
-        let mut participants: Vec<ThreadId> = acc
-            .writers
-            .iter()
-            .chain(acc.readers.iter())
-            .map(|&(t, _)| t)
-            .collect();
-        participants.sort_unstable();
-        participants.dedup();
-        if participants.len() <= 1 {
-            continue;
-        }
-        let (writer, span) = acc.writers[0];
-        let others: Vec<String> = participants
-            .iter()
-            .filter(|&&t| t != writer)
-            .map(|t| t.to_string())
-            .collect();
-        report.push(
-            Code::E007CausalityViolation,
-            span,
-            format!(
-                "write to element {} by {writer} is concurrent with accesses by {} in \
-                 barrier epoch {epoch} — no happens-before edge orders them, so the \
-                 trace does not transfer across timings (§5)",
-                element.index(),
-                others.join(", "),
-            ),
-        );
     }
 }

@@ -11,12 +11,15 @@
 //!   self-accesses (`W002`);
 //! * phase markers agree across threads (`W001`) and every thread has
 //!   its begin/end frame (`W003`).
+//!
+//! The pass is a thin adapter: it replays the in-memory trace through
+//! the incremental [`WellFormedStream`] machine, the same state machine
+//! the chunked streaming drivers ([`crate::stream`]) feed record by
+//! record — so whole-trace and streaming lint agree by construction.
 
-use super::{thread_views, Pass, Target, ThreadView};
-use crate::diag::{Code, Report, Span};
-use extrap_time::{BarrierId, ElementId, ThreadId};
-use extrap_trace::EventKind;
-use std::collections::HashMap;
+use super::{Pass, Target};
+use crate::diag::Report;
+use crate::stream::WellFormedStream;
 
 /// The well-formedness pass (see module docs).
 #[derive(Clone, Copy, Debug, Default)]
@@ -30,258 +33,23 @@ impl Pass for WellFormedness {
     fn run(&self, target: &Target<'_>, report: &mut Report) {
         match target {
             Target::Program(pt) => {
-                check_global_stream(pt, report);
-                let views = thread_views(target);
-                check_threads(&views, pt.n_threads, report);
+                let mut m = WellFormedStream::for_program(pt.n_threads);
+                for r in &pt.records {
+                    m.record(r, report);
+                }
+                m.finish(report);
             }
             Target::Set(ts) => {
-                check_set_layout(ts, report);
-                let views = thread_views(target);
-                check_threads(&views, ts.n_threads(), report);
+                let mut m = WellFormedStream::for_set(ts.n_threads());
+                for (i, t) in ts.threads.iter().enumerate() {
+                    m.begin_thread(i, t.thread, report);
+                    for r in &t.records {
+                        m.record(r, report);
+                    }
+                }
+                m.finish(report);
             }
             Target::Params(_) => {}
-        }
-    }
-}
-
-/// `E001` + `E003` over the raw 1-processor stream.
-fn check_global_stream(pt: &extrap_trace::ProgramTrace, report: &mut Report) {
-    let mut prev = extrap_time::TimeNs::ZERO;
-    for (i, r) in pt.records.iter().enumerate() {
-        if r.thread.index() >= pt.n_threads {
-            report.push(
-                Code::E003BadThreadId,
-                Span::record(i),
-                format!(
-                    "record references {} but the trace declares {} threads",
-                    r.thread, pt.n_threads
-                ),
-            );
-        }
-        if r.time < prev {
-            report.push(
-                Code::E001GlobalTimeRegression,
-                Span::at(r.thread, i),
-                format!(
-                    "global clock goes backwards: {} ns after {} ns",
-                    r.time.0, prev.0
-                ),
-            );
-        }
-        // Resynchronize after a dip so one corruption yields one
-        // diagnostic instead of flagging every later in-order record.
-        prev = r.time;
-    }
-}
-
-/// `E002` + `E009` over a translated set's layout.
-fn check_set_layout(ts: &extrap_trace::TraceSet, report: &mut Report) {
-    for (i, t) in ts.threads.iter().enumerate() {
-        if t.thread.index() != i {
-            report.push(
-                Code::E009MisplacedThread,
-                Span::thread(t.thread),
-                format!("trace at position {i} claims to belong to {}", t.thread),
-            );
-        }
-        let mut prev = extrap_time::TimeNs::ZERO;
-        for (j, r) in t.records.iter().enumerate() {
-            if r.thread != t.thread {
-                report.push(
-                    Code::E009MisplacedThread,
-                    Span::at(t.thread, j),
-                    format!("record of {} found in {}'s trace", r.thread, t.thread),
-                );
-            }
-            if r.time < prev {
-                report.push(
-                    Code::E002ThreadTimeRegression,
-                    Span::at(t.thread, j),
-                    format!(
-                        "{}'s clock goes backwards: {} ns after {} ns",
-                        t.thread, r.time.0, prev.0
-                    ),
-                );
-            }
-            prev = r.time;
-        }
-    }
-}
-
-/// Per-thread protocol checks shared by both trace shapes.
-fn check_threads(views: &[ThreadView<'_>], n_threads: usize, report: &mut Report) {
-    // Ownership is only required to be consistent *within* a barrier
-    // epoch: programs redistribute arrays (and multigrid codes reuse
-    // element ids across levels), but two same-epoch accesses naming
-    // different owners for one element cannot both be right.  Epochs are
-    // counted exactly as in the causality pass: barriers entered so far.
-    let mut owners: HashMap<(usize, ElementId), (ThreadId, Span)> = HashMap::new();
-    for v in views {
-        check_frame(v, report);
-        check_barrier_protocol(v, report);
-        let mut epoch = 0usize;
-        for &(span, r) in &v.records {
-            let (owner, element) = match r.kind {
-                EventKind::BarrierEnter { .. } => {
-                    epoch += 1;
-                    continue;
-                }
-                EventKind::RemoteRead { owner, element, .. }
-                | EventKind::RemoteWrite { owner, element, .. } => (owner, element),
-                _ => continue,
-            };
-            if owner.index() >= n_threads {
-                report.push(
-                    Code::E006DanglingElement,
-                    span,
-                    format!(
-                        "remote access to element {} names owner {} but the trace has \
-                         {n_threads} threads",
-                        element.index(),
-                        owner
-                    ),
-                );
-            } else if owner == v.thread {
-                report.push(
-                    Code::W002SelfRemoteAccess,
-                    span,
-                    format!(
-                        "{} remote-accesses element {} it owns itself (local access \
-                         traced as remote?)",
-                        v.thread,
-                        element.index()
-                    ),
-                );
-            }
-            match owners.get(&(epoch, element)) {
-                None => {
-                    owners.insert((epoch, element), (owner, span));
-                }
-                Some(&(first, _)) if first != owner => {
-                    report.push(
-                        Code::E006DanglingElement,
-                        span,
-                        format!(
-                            "element {} accessed with owner {} but an access in the same \
-                             barrier epoch names owner {first} (inconsistent ownership)",
-                            element.index(),
-                            owner
-                        ),
-                    );
-                }
-                Some(_) => {}
-            }
-        }
-    }
-    check_markers(views, report);
-}
-
-/// `W003`: each thread's stream should be framed by begin/end.
-fn check_frame(v: &ThreadView<'_>, report: &mut Report) {
-    let first = v.records.first().map(|&(_, r)| r.kind);
-    let last = v.records.last().map(|&(_, r)| r.kind);
-    match (first, last) {
-        (None, _) => report.push(
-            Code::W003MissingThreadFrame,
-            Span::thread(v.thread),
-            format!("{} has no events at all", v.thread),
-        ),
-        (Some(EventKind::ThreadBegin), Some(EventKind::ThreadEnd)) => {}
-        _ => report.push(
-            Code::W003MissingThreadFrame,
-            Span::thread(v.thread),
-            format!(
-                "{}'s stream is not framed by begin/end (starts with {}, ends with {})",
-                v.thread,
-                first.map(|k| k.tag()).unwrap_or("nothing"),
-                last.map(|k| k.tag()).unwrap_or("nothing"),
-            ),
-        ),
-    }
-}
-
-/// `E004`: barrier entry/exit must alternate with matching ids.
-fn check_barrier_protocol(v: &ThreadView<'_>, report: &mut Report) {
-    let mut open: Option<(BarrierId, Span)> = None;
-    for &(span, r) in &v.records {
-        match r.kind {
-            EventKind::BarrierEnter { barrier } => {
-                if let Some((inside, _)) = open {
-                    report.push(
-                        Code::E004BarrierProtocol,
-                        span,
-                        format!(
-                            "{} enters barrier {} while still inside barrier {}",
-                            v.thread,
-                            barrier.index(),
-                            inside.index()
-                        ),
-                    );
-                }
-                open = Some((barrier, span));
-            }
-            EventKind::BarrierExit { barrier } => match open.take() {
-                None => report.push(
-                    Code::E004BarrierProtocol,
-                    span,
-                    format!(
-                        "{} exits barrier {} without having entered it",
-                        v.thread,
-                        barrier.index()
-                    ),
-                ),
-                Some((entered, _)) if entered != barrier => report.push(
-                    Code::E004BarrierProtocol,
-                    span,
-                    format!(
-                        "{} exits barrier {} but entered barrier {}",
-                        v.thread,
-                        barrier.index(),
-                        entered.index()
-                    ),
-                ),
-                Some(_) => {}
-            },
-            _ => {}
-        }
-    }
-    if let Some((barrier, span)) = open {
-        report.push(
-            Code::E004BarrierProtocol,
-            span,
-            format!(
-                "{} enters barrier {} but never exits it",
-                v.thread,
-                barrier.index()
-            ),
-        );
-    }
-}
-
-/// `W001`: phase markers should form the same sequence on every thread.
-fn check_markers(views: &[ThreadView<'_>], report: &mut Report) {
-    let marker_seq = |v: &ThreadView<'_>| -> Vec<u32> {
-        v.records
-            .iter()
-            .filter_map(|&(_, r)| match r.kind {
-                EventKind::Marker { id } => Some(id),
-                _ => None,
-            })
-            .collect()
-    };
-    let Some(first) = views.first() else { return };
-    let reference = marker_seq(first);
-    for v in &views[1..] {
-        let seq = marker_seq(v);
-        if seq != reference {
-            report.push(
-                Code::W001MarkerMismatch,
-                Span::thread(v.thread),
-                format!(
-                    "{} passes marker sequence {:?} but {} passes {:?}",
-                    v.thread, seq, first.thread, reference
-                ),
-            );
         }
     }
 }

@@ -228,7 +228,7 @@ pub fn decode_set_raw(mut data: &[u8]) -> Result<TraceSet, TraceError> {
     Ok(TraceSet { threads })
 }
 
-fn check_header(data: &mut &[u8], magic: &[u8; 4]) -> Result<(), TraceError> {
+pub(crate) fn check_header(data: &mut &[u8], magic: &[u8; 4]) -> Result<(), TraceError> {
     if data.remaining() < 6 {
         return Err(truncated("file header"));
     }
@@ -248,14 +248,14 @@ fn check_header(data: &mut &[u8], magic: &[u8; 4]) -> Result<(), TraceError> {
     Ok(())
 }
 
-fn get_u32(buf: &mut impl Buf, what: &str) -> Result<u32, TraceError> {
+pub(crate) fn get_u32(buf: &mut impl Buf, what: &str) -> Result<u32, TraceError> {
     if buf.remaining() < 4 {
         return Err(truncated(what));
     }
     Ok(buf.get_u32_le())
 }
 
-fn get_u64(buf: &mut impl Buf, what: &str) -> Result<u64, TraceError> {
+pub(crate) fn get_u64(buf: &mut impl Buf, what: &str) -> Result<u64, TraceError> {
     if buf.remaining() < 8 {
         return Err(truncated(what));
     }

@@ -19,6 +19,7 @@ pub mod format;
 pub mod phases;
 pub mod reader;
 pub mod stats;
+pub mod stream;
 pub mod text;
 pub mod timeline;
 pub mod translate;
@@ -31,4 +32,8 @@ pub use event::{EventKind, TraceRecord};
 pub use event::{ProgramTrace, ThreadTrace, TraceSet};
 pub use phases::{phase_profiles, PhaseProfile};
 pub use stats::{ThreadStats, TraceStats};
+pub use stream::{
+    sniff_kind, ChunkSource, FileSource, ProgramStream, ReadSource, SetChunk, SetStream,
+    SliceSource, StreamArena, TraceKind,
+};
 pub use translate::{translate, TranslateOptions};

@@ -16,36 +16,35 @@
 
 use crate::error::TraceError;
 use crate::event::{ProgramTrace, TraceSet};
-use crate::format;
-use std::fs::File;
-use std::io::{BufReader, Read};
+use crate::stream::{ProgramStream, ReadSource, SetStream};
+use std::io::Read;
 use std::path::Path;
-
-fn slurp(r: &mut impl Read) -> Result<Vec<u8>, TraceError> {
-    let mut data = Vec::new();
-    r.read_to_end(&mut data)?;
-    Ok(data)
-}
 
 /// Reads a program trace from any `Read` source.
 pub fn read_program(r: &mut impl Read) -> Result<ProgramTrace, TraceError> {
-    format::decode_program(&slurp(r)?)
+    let trace = read_program_raw(r)?;
+    trace.validate()?;
+    Ok(trace)
 }
 
 /// Reads a program trace from a file.
 pub fn read_program_file(path: impl AsRef<Path>) -> Result<ProgramTrace, TraceError> {
-    read_program(&mut BufReader::new(File::open(path)?))
+    let trace = read_program_file_raw(path)?;
+    trace.validate()?;
+    Ok(trace)
 }
 
 /// Reads a program trace without enforcing structural invariants.
 pub fn read_program_raw(r: &mut impl Read) -> Result<ProgramTrace, TraceError> {
-    format::decode_program_raw(&slurp(r)?)
+    ProgramStream::new(ReadSource(r))?.read_to_end()
 }
 
 /// Reads a program trace from a file without enforcing structural
-/// invariants.
+/// invariants.  The file is consumed through the chunked
+/// [`ProgramStream`], so peak memory is one refill window plus the
+/// decoded records rather than two copies of the whole file.
 pub fn read_program_file_raw(path: impl AsRef<Path>) -> Result<ProgramTrace, TraceError> {
-    read_program_raw(&mut BufReader::new(File::open(path)?))
+    ProgramStream::open(path)?.read_to_end()
 }
 
 /// Reads a program trace and applies a validate-on-load hook.
@@ -66,27 +65,34 @@ pub fn read_program_file_with(
     path: impl AsRef<Path>,
     check: impl FnOnce(&ProgramTrace) -> Result<(), String>,
 ) -> Result<ProgramTrace, TraceError> {
-    read_program_with(&mut BufReader::new(File::open(path)?), check)
+    let trace = read_program_file(path)?;
+    check(&trace).map_err(|detail| TraceError::Validation { detail })?;
+    Ok(trace)
 }
 
 /// Reads a translated trace set from any `Read` source.
 pub fn read_set(r: &mut impl Read) -> Result<TraceSet, TraceError> {
-    format::decode_set(&slurp(r)?)
+    let set = read_set_raw(r)?;
+    set.validate()?;
+    Ok(set)
 }
 
 /// Reads a translated trace set from a file.
 pub fn read_set_file(path: impl AsRef<Path>) -> Result<TraceSet, TraceError> {
-    read_set(&mut BufReader::new(File::open(path)?))
+    let set = read_set_file_raw(path)?;
+    set.validate()?;
+    Ok(set)
 }
 
 /// Reads a trace set without enforcing structural invariants.
 pub fn read_set_raw(r: &mut impl Read) -> Result<TraceSet, TraceError> {
-    format::decode_set_raw(&slurp(r)?)
+    SetStream::new(ReadSource(r))?.read_to_end()
 }
 
-/// Reads a trace set from a file without enforcing structural invariants.
+/// Reads a trace set from a file without enforcing structural
+/// invariants (chunked, like [`read_program_file_raw`]).
 pub fn read_set_file_raw(path: impl AsRef<Path>) -> Result<TraceSet, TraceError> {
-    read_set_raw(&mut BufReader::new(File::open(path)?))
+    SetStream::open(path)?.read_to_end()
 }
 
 /// Reads a trace set and applies a validate-on-load hook (see
@@ -105,7 +111,9 @@ pub fn read_set_file_with(
     path: impl AsRef<Path>,
     check: impl FnOnce(&TraceSet) -> Result<(), String>,
 ) -> Result<TraceSet, TraceError> {
-    read_set_with(&mut BufReader::new(File::open(path)?), check)
+    let set = read_set_file(path)?;
+    check(&set).map_err(|detail| TraceError::Validation { detail })?;
+    Ok(set)
 }
 
 #[cfg(test)]
@@ -113,6 +121,7 @@ mod tests {
     use super::*;
     use crate::builder::PhaseProgram;
     use crate::event::{EventKind, TraceRecord};
+    use crate::format;
     use extrap_time::{DurationNs, ThreadId, TimeNs};
 
     fn sample_bytes() -> Vec<u8> {

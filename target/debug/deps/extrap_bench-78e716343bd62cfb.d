@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/extrap_bench-78e716343bd62cfb.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libextrap_bench-78e716343bd62cfb.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libextrap_bench-78e716343bd62cfb.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/extrap_bench-de21c1339d570f4d.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/extrap_bench-de21c1339d570f4d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,11 +1,13 @@
-/root/repo/target/debug/deps/extrap_lint-2ee53a712c9f07f8.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs
+/root/repo/target/debug/deps/extrap_lint-2ee53a712c9f07f8.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/fix.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs crates/lint/src/stream.rs
 
-/root/repo/target/debug/deps/extrap_lint-2ee53a712c9f07f8: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs
+/root/repo/target/debug/deps/extrap_lint-2ee53a712c9f07f8: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/fix.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs crates/lint/src/stream.rs
 
 crates/lint/src/lib.rs:
 crates/lint/src/diag.rs:
+crates/lint/src/fix.rs:
 crates/lint/src/passes/mod.rs:
 crates/lint/src/passes/model.rs:
 crates/lint/src/passes/soundness.rs:
 crates/lint/src/passes/wellformed.rs:
 crates/lint/src/render.rs:
+crates/lint/src/stream.rs:

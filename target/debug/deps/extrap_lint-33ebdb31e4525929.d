@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/extrap_lint-33ebdb31e4525929.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs Cargo.toml
+/root/repo/target/debug/deps/extrap_lint-33ebdb31e4525929.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/fix.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs crates/lint/src/stream.rs Cargo.toml
 
-/root/repo/target/debug/deps/libextrap_lint-33ebdb31e4525929.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs Cargo.toml
+/root/repo/target/debug/deps/libextrap_lint-33ebdb31e4525929.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/fix.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs crates/lint/src/stream.rs Cargo.toml
 
 crates/lint/src/lib.rs:
 crates/lint/src/diag.rs:
+crates/lint/src/fix.rs:
 crates/lint/src/passes/mod.rs:
 crates/lint/src/passes/model.rs:
 crates/lint/src/passes/soundness.rs:
 crates/lint/src/passes/wellformed.rs:
 crates/lint/src/render.rs:
+crates/lint/src/stream.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,13 +1,15 @@
-/root/repo/target/debug/deps/extrap_lint-83647d98f0bb129f.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs
+/root/repo/target/debug/deps/extrap_lint-83647d98f0bb129f.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/fix.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs crates/lint/src/stream.rs
 
-/root/repo/target/debug/deps/libextrap_lint-83647d98f0bb129f.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs
+/root/repo/target/debug/deps/libextrap_lint-83647d98f0bb129f.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/fix.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs crates/lint/src/stream.rs
 
-/root/repo/target/debug/deps/libextrap_lint-83647d98f0bb129f.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs
+/root/repo/target/debug/deps/libextrap_lint-83647d98f0bb129f.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/fix.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs crates/lint/src/stream.rs
 
 crates/lint/src/lib.rs:
 crates/lint/src/diag.rs:
+crates/lint/src/fix.rs:
 crates/lint/src/passes/mod.rs:
 crates/lint/src/passes/model.rs:
 crates/lint/src/passes/soundness.rs:
 crates/lint/src/passes/wellformed.rs:
 crates/lint/src/render.rs:
+crates/lint/src/stream.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/extrap_trace-d82af9aef45794c9.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/builder.rs crates/trace/src/bytesio.rs crates/trace/src/error.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/phases.rs crates/trace/src/reader.rs crates/trace/src/stats.rs crates/trace/src/text.rs crates/trace/src/timeline.rs crates/trace/src/translate.rs crates/trace/src/writer.rs Cargo.toml
+/root/repo/target/debug/deps/extrap_trace-d82af9aef45794c9.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/builder.rs crates/trace/src/bytesio.rs crates/trace/src/error.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/phases.rs crates/trace/src/reader.rs crates/trace/src/stats.rs crates/trace/src/stream.rs crates/trace/src/text.rs crates/trace/src/timeline.rs crates/trace/src/translate.rs crates/trace/src/writer.rs Cargo.toml
 
-/root/repo/target/debug/deps/libextrap_trace-d82af9aef45794c9.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/builder.rs crates/trace/src/bytesio.rs crates/trace/src/error.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/phases.rs crates/trace/src/reader.rs crates/trace/src/stats.rs crates/trace/src/text.rs crates/trace/src/timeline.rs crates/trace/src/translate.rs crates/trace/src/writer.rs Cargo.toml
+/root/repo/target/debug/deps/libextrap_trace-d82af9aef45794c9.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/builder.rs crates/trace/src/bytesio.rs crates/trace/src/error.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/phases.rs crates/trace/src/reader.rs crates/trace/src/stats.rs crates/trace/src/stream.rs crates/trace/src/text.rs crates/trace/src/timeline.rs crates/trace/src/translate.rs crates/trace/src/writer.rs Cargo.toml
 
 crates/trace/src/lib.rs:
 crates/trace/src/analysis.rs:
@@ -12,6 +12,7 @@ crates/trace/src/format.rs:
 crates/trace/src/phases.rs:
 crates/trace/src/reader.rs:
 crates/trace/src/stats.rs:
+crates/trace/src/stream.rs:
 crates/trace/src/text.rs:
 crates/trace/src/timeline.rs:
 crates/trace/src/translate.rs:

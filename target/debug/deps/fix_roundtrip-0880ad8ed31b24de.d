@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fix_roundtrip-0880ad8ed31b24de.d: crates/lint/tests/fix_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfix_roundtrip-0880ad8ed31b24de.rmeta: crates/lint/tests/fix_roundtrip.rs Cargo.toml
+
+crates/lint/tests/fix_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fix_roundtrip-10ebfe3f30a5ece5.d: crates/lint/tests/fix_roundtrip.rs
+
+/root/repo/target/debug/deps/fix_roundtrip-10ebfe3f30a5ece5: crates/lint/tests/fix_roundtrip.rs
+
+crates/lint/tests/fix_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_robustness-0ecc3f7c7b459241.d: crates/trace/tests/stream_robustness.rs
+
+/root/repo/target/debug/deps/stream_robustness-0ecc3f7c7b459241: crates/trace/tests/stream_robustness.rs
+
+crates/trace/tests/stream_robustness.rs:

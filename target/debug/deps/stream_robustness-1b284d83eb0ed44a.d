@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_robustness-1b284d83eb0ed44a.d: crates/trace/tests/stream_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_robustness-1b284d83eb0ed44a.rmeta: crates/trace/tests/stream_robustness.rs Cargo.toml
+
+crates/trace/tests/stream_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/streaming_equivalence-35921e74e93dff20.d: crates/lint/tests/streaming_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_equivalence-35921e74e93dff20.rmeta: crates/lint/tests/streaming_equivalence.rs Cargo.toml
+
+crates/lint/tests/streaming_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/streaming_equivalence-a995a61d34d28a4f.d: crates/lint/tests/streaming_equivalence.rs
+
+/root/repo/target/debug/deps/streaming_equivalence-a995a61d34d28a4f: crates/lint/tests/streaming_equivalence.rs
+
+crates/lint/tests/streaming_equivalence.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

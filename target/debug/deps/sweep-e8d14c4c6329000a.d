@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep-e8d14c4c6329000a.d: crates/bench/benches/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep-e8d14c4c6329000a.rmeta: crates/bench/benches/sweep.rs Cargo.toml
+
+crates/bench/benches/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

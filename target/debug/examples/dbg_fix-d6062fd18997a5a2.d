@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_fix-d6062fd18997a5a2.d: crates/lint/examples/dbg_fix.rs
+
+/root/repo/target/debug/examples/dbg_fix-d6062fd18997a5a2: crates/lint/examples/dbg_fix.rs
+
+crates/lint/examples/dbg_fix.rs:

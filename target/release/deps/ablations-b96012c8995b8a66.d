@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-b96012c8995b8a66.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-b96012c8995b8a66: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/extrap_bench-0f7507528dc9f8de.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/extrap_bench-0f7507528dc9f8de: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/extrap_bench-542bdd2dfc286e8c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libextrap_bench-542bdd2dfc286e8c.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libextrap_bench-542bdd2dfc286e8c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,13 +1,15 @@
-/root/repo/target/release/deps/extrap_lint-050276abefa2b369.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs
+/root/repo/target/release/deps/extrap_lint-050276abefa2b369.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/fix.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs crates/lint/src/stream.rs
 
-/root/repo/target/release/deps/libextrap_lint-050276abefa2b369.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs
+/root/repo/target/release/deps/libextrap_lint-050276abefa2b369.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/fix.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs crates/lint/src/stream.rs
 
-/root/repo/target/release/deps/libextrap_lint-050276abefa2b369.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs
+/root/repo/target/release/deps/libextrap_lint-050276abefa2b369.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/fix.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/model.rs crates/lint/src/passes/soundness.rs crates/lint/src/passes/wellformed.rs crates/lint/src/render.rs crates/lint/src/stream.rs
 
 crates/lint/src/lib.rs:
 crates/lint/src/diag.rs:
+crates/lint/src/fix.rs:
 crates/lint/src/passes/mod.rs:
 crates/lint/src/passes/model.rs:
 crates/lint/src/passes/soundness.rs:
 crates/lint/src/passes/wellformed.rs:
 crates/lint/src/render.rs:
+crates/lint/src/stream.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/extrap_trace-6ab4a965668918f8.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/builder.rs crates/trace/src/bytesio.rs crates/trace/src/error.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/phases.rs crates/trace/src/reader.rs crates/trace/src/stats.rs crates/trace/src/text.rs crates/trace/src/timeline.rs crates/trace/src/translate.rs crates/trace/src/writer.rs
+/root/repo/target/release/deps/extrap_trace-6ab4a965668918f8.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/builder.rs crates/trace/src/bytesio.rs crates/trace/src/error.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/phases.rs crates/trace/src/reader.rs crates/trace/src/stats.rs crates/trace/src/stream.rs crates/trace/src/text.rs crates/trace/src/timeline.rs crates/trace/src/translate.rs crates/trace/src/writer.rs
 
-/root/repo/target/release/deps/libextrap_trace-6ab4a965668918f8.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/builder.rs crates/trace/src/bytesio.rs crates/trace/src/error.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/phases.rs crates/trace/src/reader.rs crates/trace/src/stats.rs crates/trace/src/text.rs crates/trace/src/timeline.rs crates/trace/src/translate.rs crates/trace/src/writer.rs
+/root/repo/target/release/deps/libextrap_trace-6ab4a965668918f8.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/builder.rs crates/trace/src/bytesio.rs crates/trace/src/error.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/phases.rs crates/trace/src/reader.rs crates/trace/src/stats.rs crates/trace/src/stream.rs crates/trace/src/text.rs crates/trace/src/timeline.rs crates/trace/src/translate.rs crates/trace/src/writer.rs
 
-/root/repo/target/release/deps/libextrap_trace-6ab4a965668918f8.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/builder.rs crates/trace/src/bytesio.rs crates/trace/src/error.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/phases.rs crates/trace/src/reader.rs crates/trace/src/stats.rs crates/trace/src/text.rs crates/trace/src/timeline.rs crates/trace/src/translate.rs crates/trace/src/writer.rs
+/root/repo/target/release/deps/libextrap_trace-6ab4a965668918f8.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/builder.rs crates/trace/src/bytesio.rs crates/trace/src/error.rs crates/trace/src/event.rs crates/trace/src/format.rs crates/trace/src/phases.rs crates/trace/src/reader.rs crates/trace/src/stats.rs crates/trace/src/stream.rs crates/trace/src/text.rs crates/trace/src/timeline.rs crates/trace/src/translate.rs crates/trace/src/writer.rs
 
 crates/trace/src/lib.rs:
 crates/trace/src/analysis.rs:
@@ -14,6 +14,7 @@ crates/trace/src/format.rs:
 crates/trace/src/phases.rs:
 crates/trace/src/reader.rs:
 crates/trace/src/stats.rs:
+crates/trace/src/stream.rs:
 crates/trace/src/text.rs:
 crates/trace/src/timeline.rs:
 crates/trace/src/translate.rs:

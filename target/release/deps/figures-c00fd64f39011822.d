@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-c00fd64f39011822.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-c00fd64f39011822: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-d7d507cd62d6d78e.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-d7d507cd62d6d78e: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-9accb23b16a07bf6.d: crates/bench/benches/sweep.rs
+
+/root/repo/target/release/deps/sweep-9accb23b16a07bf6: crates/bench/benches/sweep.rs
+
+crates/bench/benches/sweep.rs:
