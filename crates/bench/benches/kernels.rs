@@ -4,8 +4,44 @@
 use extrap_bench::harness::{Harness, Throughput};
 use extrap_bench::{ring_program, ring_traces};
 use extrap_core::{extrapolate, machine, CompiledProgram, RecordMode, SimScratch};
-use extrap_time::DurationNs;
+use extrap_sim::{SchedulerKind, SplitMix64};
+use extrap_time::{DurationNs, TimeNs};
 use std::hint::black_box;
+
+/// Schedules every timestamp in `times`, then drains the queue; the raw
+/// event-queue hot loop for one backend.
+fn drain(kind: SchedulerKind, times: &[u64]) -> u64 {
+    let mut eng: extrap_sim::Engine<u64> = extrap_sim::Engine::with_scheduler(kind);
+    for (i, &t) in times.iter().enumerate() {
+        eng.schedule(TimeNs(t), i as u64);
+    }
+    let mut count = 0u64;
+    while eng.next().is_some() {
+        count += 1;
+    }
+    count
+}
+
+/// Like [`drain`], but cancels every other event before draining — the
+/// slab queue's O(1) cancel and lazy tombstone purge under churn.
+fn drain_with_cancel(kind: SchedulerKind, times: &[u64]) -> u64 {
+    let mut eng: extrap_sim::Engine<u64> = extrap_sim::Engine::with_scheduler(kind);
+    let mut tokens = Vec::with_capacity(times.len() / 2);
+    for (i, &t) in times.iter().enumerate() {
+        let tok = eng.schedule(TimeNs(t), i as u64);
+        if i % 2 == 0 {
+            tokens.push(tok);
+        }
+    }
+    for tok in tokens.drain(..) {
+        eng.cancel(tok);
+    }
+    let mut count = 0u64;
+    while eng.next().is_some() {
+        count += 1;
+    }
+    count
+}
 
 fn main() {
     let mut h = Harness::from_args("kernels");
@@ -78,38 +114,44 @@ fn main() {
         );
     }
 
-    h.bench("event_queue_schedule_dispatch_10k", || {
-        let mut eng: extrap_sim::Engine<u64> = extrap_sim::Engine::new();
-        for i in 0..10_000u64 {
-            eng.schedule(extrap_time::TimeNs(i % 977), i);
-        }
-        let mut count = 0u64;
-        while eng.next().is_some() {
-            count += 1;
-        }
-        black_box(count)
-    });
+    // The raw event queue under both backends, over three timestamp
+    // shapes.  Uniform is the calendar queue's home turf; skewed
+    // (almost everything near-term, a sparse far-future tail) and
+    // clustered (tight equal-time bursts separated by long gaps) are
+    // its classic worst cases, kept honest by resize-on-skew and the
+    // direct-search fallback.
+    let uniform: Vec<u64> = (0..10_000u64).map(|i| i % 977).collect();
+    let skewed: Vec<u64> = {
+        let mut rng = SplitMix64::new(0x5eed_cafe);
+        (0..10_000)
+            .map(|_| {
+                if rng.next_below(100) == 0 {
+                    1_000_000 + rng.next_below(1_000_000_000)
+                } else {
+                    rng.next_below(1_000)
+                }
+            })
+            .collect()
+    };
+    let clustered: Vec<u64> = (0..10_000u64).map(|i| (i / 100) * 1_000_000).collect();
 
-    h.bench("event_queue_schedule_cancel_dispatch_10k", || {
-        // Every other event is cancelled — the slab queue's O(1) cancel
-        // and lazy tombstone purge under churn.
-        let mut eng: extrap_sim::Engine<u64> = extrap_sim::Engine::new();
-        let mut tokens = Vec::with_capacity(5_000);
-        for i in 0..10_000u64 {
-            let tok = eng.schedule(extrap_time::TimeNs(i % 977), i);
-            if i % 2 == 0 {
-                tokens.push(tok);
-            }
-        }
-        for tok in tokens.drain(..) {
-            eng.cancel(tok);
-        }
-        let mut count = 0u64;
-        while eng.next().is_some() {
-            count += 1;
-        }
-        black_box(count)
-    });
+    for (suffix, kind) in [
+        ("heap", SchedulerKind::Heap),
+        ("calendar", SchedulerKind::Calendar),
+    ] {
+        h.bench(&format!("event_queue_10k_{suffix}"), || {
+            black_box(drain(kind, &uniform))
+        });
+        h.bench(&format!("event_queue_cancel_10k_{suffix}"), || {
+            black_box(drain_with_cancel(kind, &uniform))
+        });
+        h.bench(&format!("event_queue_skewed_10k_{suffix}"), || {
+            black_box(drain(kind, &skewed))
+        });
+        h.bench(&format!("event_queue_clustered_10k_{suffix}"), || {
+            black_box(drain(kind, &clustered))
+        });
+    }
 
     h.finish();
 }

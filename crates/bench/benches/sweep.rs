@@ -28,16 +28,17 @@ fn run_grid_mode(
     workers: usize,
     cache: &SharedTraceCache<(Bench, usize)>,
     record_mode: RecordMode,
+    scale: Scale,
 ) -> usize {
     let jobs = fig4_grid(record_mode);
     let results = sweep(&jobs, workers, cache, |(bench, n)| {
-        translate(&bench.trace(*n, Scale::Small), Default::default())
+        translate(&bench.trace(*n, scale), Default::default())
     });
     results.iter().filter(|r| r.is_ok()).count()
 }
 
-fn run_grid(workers: usize, cache: &SharedTraceCache<(Bench, usize)>) -> usize {
-    run_grid_mode(workers, cache, RecordMode::Full)
+fn run_grid(workers: usize, cache: &SharedTraceCache<(Bench, usize)>, scale: Scale) -> usize {
+    run_grid_mode(workers, cache, RecordMode::Full, scale)
 }
 
 fn timed(label: &str, runs: usize, mut f: impl FnMut() -> usize) -> f64 {
@@ -56,6 +57,8 @@ fn timed(label: &str, runs: usize, mut f: impl FnMut() -> usize) -> f64 {
 fn main() {
     // `cargo bench --bench sweep -- --workers N` overrides the pool size
     // (useful for scaling curves); default is all available cores.
+    // `--scale tiny|small|paper` selects the problem scale — `paper` is
+    // the nightly trajectory entry (`BENCH_sweep_paper.json`).
     let args: Vec<String> = std::env::args().collect();
     let workers = args
         .iter()
@@ -64,8 +67,22 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or_else(extrap_core::sweep::default_workers);
+    let scale = match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("small") => Scale::Small,
+        Some("tiny") => Scale::Tiny,
+        Some("paper") => Scale::Paper,
+        Some(other) => {
+            eprintln!("unknown scale {other:?} (tiny|small|paper)");
+            std::process::exit(2);
+        }
+    };
     println!(
-        "## sweep — Fig-4 grid (7 benchmarks x {} proc counts)",
+        "## sweep — Fig-4 grid (7 benchmarks x {} proc counts, {scale:?} scale)",
         PROCS.len()
     );
     println!(
@@ -75,18 +92,18 @@ fn main() {
 
     // Cold cache: translation + extrapolation both ride the pool.
     let serial_cold = timed("cold cache, 1 worker", 3, || {
-        run_grid(1, &SharedTraceCache::new())
+        run_grid(1, &SharedTraceCache::new(), scale)
     });
     let parallel_cold = timed(&format!("cold cache, {workers} workers"), 3, || {
-        run_grid(workers, &SharedTraceCache::new())
+        run_grid(workers, &SharedTraceCache::new(), scale)
     });
 
     // Warm cache: pure extrapolation fan-out over the shared traces.
     let warm = SharedTraceCache::new();
-    run_grid(1, &warm);
-    let serial_warm = timed("warm cache, 1 worker", 5, || run_grid(1, &warm));
+    run_grid(1, &warm, scale);
+    let serial_warm = timed("warm cache, 1 worker", 5, || run_grid(1, &warm, scale));
     let parallel_warm = timed(&format!("warm cache, {workers} workers"), 5, || {
-        run_grid(workers, &warm)
+        run_grid(workers, &warm, scale)
     });
 
     println!(
@@ -99,20 +116,20 @@ fn main() {
     // `--json` trajectory file the CI regression gate reads).
     let mut h = Harness::from_args("sweep");
     let warm2 = SharedTraceCache::new();
-    run_grid(1, &warm2);
-    h.bench("fig4_grid_warm_serial", || run_grid(1, &warm2));
-    h.bench("fig4_grid_warm_pool", || run_grid(workers, &warm2));
+    run_grid(1, &warm2, scale);
+    h.bench("fig4_grid_warm_serial", || run_grid(1, &warm2, scale));
+    h.bench("fig4_grid_warm_pool", || run_grid(workers, &warm2, scale));
     h.bench("fig4_grid_warm_serial_metrics_only", || {
-        run_grid_mode(1, &warm2, RecordMode::MetricsOnly)
+        run_grid_mode(1, &warm2, RecordMode::MetricsOnly, scale)
     });
     h.bench("fig4_grid_warm_pool_metrics_only", || {
-        run_grid_mode(workers, &warm2, RecordMode::MetricsOnly)
+        run_grid_mode(workers, &warm2, RecordMode::MetricsOnly, scale)
     });
 
     // Streaming lint: the chunked-reader + incremental-pass hot path
     // behind `extrap lint`, over an in-memory Fig-4-sized program trace
     // (arena recycled across iterations, as the CLI does across files).
-    let lint_trace = Bench::Grid.trace(8, Scale::Small);
+    let lint_trace = Bench::Grid.trace(8, scale);
     let lint_bytes = extrap_trace::format::encode_program(&lint_trace);
     let mut lint_arena = extrap_trace::stream::StreamArena::new();
     h.bench_throughput(

@@ -59,6 +59,13 @@ impl Harness {
                 "--bench" | "--exact" => {}
                 "--quick" => quick = true,
                 "--json" => json_path = args.next(),
+                // Value-taking flags parsed by the bench targets
+                // themselves (e.g. `sweep`'s pool size and problem
+                // scale); consume the value here so it is not mistaken
+                // for a benchmark-name filter.
+                "--workers" | "--scale" => {
+                    let _ = args.next();
+                }
                 a if a.starts_with("--") => {}
                 other => filters.push(other.to_string()),
             }

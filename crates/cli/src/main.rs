@@ -4,7 +4,8 @@
 //! ```text
 //! extrap trace     <bench> <threads> [--scale S] -o trace.xtrp
 //! extrap translate trace.xtrp -o traces.xtps [--event-overhead US] [--switch-overhead US]
-//! extrap simulate  traces.xtps [--machine M | --params FILE] [--set KEY=VALUE]... [--predicted OUT]
+//! extrap simulate  traces.xtps [--machine M | --params FILE] [--set KEY=VALUE]... \
+//!                  [--scheduler heap|calendar|auto] [--predicted OUT]
 //! extrap sweep     <bench>[,<bench>...] [--procs 1,2,...] [--jobs N] [--csv]
 //! extrap report    traces.xtps            # trace statistics
 //! extrap lint      FILE|DIR... [--jobs N] [--format json] [--deny-warnings] [--allow CODE]...
@@ -13,7 +14,7 @@
 //! extrap benches                          # list benchmarks
 //! ```
 
-use extrap_core::{machine, Extrapolator, SharedTraceCache, SimParams, SweepGrid};
+use extrap_core::{machine, Extrapolator, SchedulerKind, SharedTraceCache, SimParams, SweepGrid};
 use extrap_time::DurationNs;
 use extrap_trace::{TraceStats, TranslateOptions};
 use extrap_workloads::{Bench, Scale};
@@ -57,9 +58,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 "usage:\n  extrap trace <bench> <threads> [--scale tiny|small|paper] -o FILE\n  \
                  extrap translate FILE -o FILE [--event-overhead US] [--switch-overhead US]\n  \
                  extrap simulate FILE [--machine distributed|shared|ideal|cm5] [--params FILE] \
-                 [--set KEY=VALUE]... [--predicted FILE]\n  \
+                 [--set KEY=VALUE]... [--scheduler heap|calendar|auto] [--predicted FILE]\n  \
                  extrap sweep <bench>[,<bench>...] [--procs 1,2,4,8,16,32] [--scale S] \
-                 [--machine M] [--params FILE] [--set KEY=VALUE]... [--jobs N] [--csv]\n  \
+                 [--machine M] [--params FILE] [--set KEY=VALUE]... \
+                 [--scheduler heap|calendar|auto] [--jobs N] [--csv]\n  \
                  extrap report FILE\n  extrap timeline FILE [--width N]\n  \
                  extrap check FILE\n  \
                  extrap lint FILE|DIR... [--machine M] [--format text|json] [--jobs N] \
@@ -201,6 +203,10 @@ fn load_params(args: &mut Vec<String>) -> Result<SimParams, String> {
         let mut text = params.to_config_text();
         text.push_str(&format!("{} = {}\n", key.trim(), value.trim()));
         params = SimParams::from_config_text(&text)?;
+    }
+    if let Some(v) = take_flag(args, "--scheduler")? {
+        params.scheduler = SchedulerKind::parse(&v)
+            .ok_or_else(|| format!("unknown scheduler {v:?} (heap|calendar|auto)"))?;
     }
     Ok(params)
 }

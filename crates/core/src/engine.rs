@@ -263,7 +263,10 @@ impl<'p, N: NetModel> Sim<'p, N> {
         let record = params.record_mode == RecordMode::Full;
 
         let mut queue = mem::take(&mut scratch.queue);
-        queue.reset();
+        // Auto resolves against the compiled program's occupancy hint;
+        // a recycled queue keeps its allocations unless the resolved
+        // backend actually changes between runs.
+        queue.reset_with(params.scheduler.resolve(program.peak_events()));
         let mut msgs = mem::take(&mut scratch.msgs);
         msgs.clear();
 

@@ -49,6 +49,7 @@ pub use engine::{
     run_compiled, run_compiled_scratch, run_compiled_with_network, run_with_network, ExtrapError,
     SimScratch,
 };
+pub use extrap_sim::SchedulerKind;
 pub use extrapolate::{extrapolate, extrapolate_program};
 pub use metrics::{Prediction, ProcBreakdown};
 pub use multithread::{MultithreadParams, ThreadMapping};
@@ -62,6 +63,6 @@ pub use processor::{CompiledProgram, CompiledThread};
 pub use scalability::{Scalability, ScalePoint};
 pub use session::Extrapolator;
 pub use sweep::{
-    parallel_map, parallel_map_with, sweep, CachedTrace, SharedTraceCache, SweepError, SweepGrid,
-    SweepJob, TraceValidator,
+    claim_chunk, parallel_map, parallel_map_with, sweep, CachedTrace, SharedTraceCache, SweepError,
+    SweepGrid, SweepJob, TraceValidator,
 };

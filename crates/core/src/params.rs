@@ -8,6 +8,7 @@
 
 use crate::multithread::MultithreadParams;
 use crate::network::topology::Topology;
+use extrap_sim::SchedulerKind;
 use extrap_time::DurationNs;
 use std::fmt;
 
@@ -287,6 +288,12 @@ pub struct SimParams {
     pub size_mode: SizeMode,
     /// Whether to materialize the predicted trace or only the metrics.
     pub record_mode: RecordMode,
+    /// Event-queue backend for the simulation kernel.  `Auto` (the
+    /// default) picks per run from the compiled program's expected peak
+    /// queue occupancy; both concrete backends dispatch in identical
+    /// `(time, seq)` order, so predictions are byte-identical across
+    /// kinds and this is purely a performance knob.
+    pub scheduler: SchedulerKind,
     /// Remote data access model parameters.
     pub comm: CommParams,
     /// Network parameters.
@@ -304,6 +311,7 @@ impl Default for SimParams {
             policy: ServicePolicy::default(),
             size_mode: SizeMode::default(),
             record_mode: RecordMode::default(),
+            scheduler: SchedulerKind::Auto,
             comm: CommParams::default(),
             network: NetworkParams::default(),
             barrier: BarrierParams::default(),
@@ -369,6 +377,7 @@ impl SimParams {
                 RecordMode::MetricsOnly => "metrics-only",
             }
         );
+        let _ = writeln!(s, "Scheduler = {}", self.scheduler.as_str());
         let _ = writeln!(s, "CommStartupTime = {}", self.comm.startup.as_us());
         let _ = writeln!(s, "ByteTransferTime = {}", self.comm.byte_transfer.as_us());
         let _ = writeln!(s, "MsgConstructTime = {}", self.comm.construct.as_us());
@@ -498,6 +507,10 @@ impl SimParams {
                         }
                     }
                 }
+                "Scheduler" => {
+                    p.scheduler = SchedulerKind::parse(value)
+                        .ok_or_else(|| format!("line {}: bad scheduler {value:?}", lineno + 1))?
+                }
                 "CommStartupTime" => p.comm.startup = us(value)?,
                 "ByteTransferTime" => p.comm.byte_transfer = us(value)?,
                 "MsgConstructTime" => p.comm.construct = us(value)?,
@@ -583,6 +596,7 @@ mod tests {
         p.mips_ratio = 0.41;
         p.policy = ServicePolicy::poll_us(100.0);
         p.size_mode = SizeMode::Actual;
+        p.scheduler = SchedulerKind::Calendar;
         p.comm = p.comm.with_bandwidth_mbps(200.0).with_startup_us(10.0);
         p.network.topology = Topology::Mesh2D;
         p.barrier.algorithm = BarrierAlgorithm::Tree { arity: 4 };

@@ -156,17 +156,36 @@ pub struct CompiledThread {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompiledProgram {
     threads: Vec<CompiledThread>,
+    peak_events: usize,
 }
 
 impl CompiledProgram {
     /// Validates `traces` and compiles every thread's script.
     pub fn compile(traces: &TraceSet) -> Result<CompiledProgram, TraceError> {
         traces.validate()?;
-        let threads = traces
+        // Per-epoch (between-barrier) remote-write counts, summed across
+        // threads: non-blocking writes are the only ops that can pile up
+        // in the event queue faster than they drain, and a barrier
+        // flushes them, so the busiest epoch bounds the write backlog.
+        let mut epoch_writes: Vec<usize> = Vec::new();
+        let threads: Vec<CompiledThread> = traces
             .threads
             .iter()
             .map(|tt| {
                 let ops = compile_thread_raw(tt);
+                let mut epoch = 0usize;
+                for op in &ops {
+                    match op {
+                        Op::Barrier(_) => epoch += 1,
+                        Op::RemoteWrite { .. } => {
+                            if epoch_writes.len() <= epoch {
+                                epoch_writes.resize(epoch + 1, 0);
+                            }
+                            epoch_writes[epoch] += 1;
+                        }
+                        _ => {}
+                    }
+                }
                 let predicted_records = 2 + ops
                     .iter()
                     .map(|op| match op {
@@ -182,7 +201,11 @@ impl CompiledProgram {
                 }
             })
             .collect();
-        Ok(CompiledProgram { threads })
+        let peak_events = 3 * threads.len() + epoch_writes.iter().copied().max().unwrap_or(0);
+        Ok(CompiledProgram {
+            threads,
+            peak_events,
+        })
     }
 
     /// The compiled per-thread scripts, in thread-index order.
@@ -203,6 +226,16 @@ impl CompiledProgram {
     /// Total ops across all threads (a work-size metric).
     pub fn total_ops(&self) -> usize {
         self.threads.iter().map(|t| t.ops.len()).sum()
+    }
+
+    /// Estimated peak event-queue occupancy for a simulation of this
+    /// program: a small constant per thread (grant + completion + poll
+    /// tick) plus the busiest between-barrier burst of non-blocking
+    /// remote writes.  `SchedulerKind::Auto` resolves against this to
+    /// pick the heap for small queues and the calendar queue once the
+    /// occupancy is deep enough to pay for its buckets.
+    pub fn peak_events(&self) -> usize {
+        self.peak_events
     }
 }
 

@@ -30,6 +30,7 @@ use crate::engine::{self, ExtrapError, SimScratch};
 use crate::metrics::Prediction;
 use crate::params::{BarrierParams, CommParams, RecordMode, ServicePolicy, SimParams, SizeMode};
 use crate::processor::CompiledProgram;
+use extrap_sim::SchedulerKind;
 use extrap_trace::{ProgramTrace, TraceSet, TranslateOptions};
 
 /// A configured extrapolation session: target-machine parameters plus
@@ -79,6 +80,14 @@ impl Extrapolator {
     /// ([`RecordMode::MetricsOnly`] skips it; metrics stay identical).
     pub fn record_mode(mut self, mode: RecordMode) -> Extrapolator {
         self.params.record_mode = mode;
+        self
+    }
+
+    /// Sets the simulation kernel's event-queue backend (heap, calendar,
+    /// or auto).  Predictions are byte-identical across backends; this
+    /// is purely a performance knob for large sweeps.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Extrapolator {
+        self.params.scheduler = kind;
         self
     }
 

@@ -231,12 +231,15 @@ impl<K: Eq + Hash + Clone> fmt::Debug for SharedTraceCache<K> {
 /// Applies `f` to every item across `workers` scoped threads, returning
 /// results **in item order** regardless of completion order.
 ///
-/// Work is handed out through a shared atomic cursor (no pre-chunking, so
-/// stragglers cannot serialize a whole chunk) and results travel back
-/// over an `mpsc` channel tagged with their index.  `workers <= 1`
-/// degenerates to the plain serial loop on the calling thread, which is
-/// the determinism baseline: parallel output is defined to be whatever
-/// the serial loop produces.
+/// Work is handed out through a shared atomic cursor in contiguous
+/// range claims of [`claim_chunk`] items — one `fetch_add` buys a whole
+/// run of jobs, so cursor contention stays flat as worker counts and
+/// grid sizes grow, while the chunk cap keeps stragglers from
+/// serializing a long tail.  Results travel back over an `mpsc` channel
+/// tagged with their index, so ordering is unaffected by chunking.
+/// `workers <= 1` degenerates to the plain serial loop on the calling
+/// thread, which is the determinism baseline: parallel output is
+/// defined to be whatever the serial loop produces.
 pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -275,6 +278,7 @@ where
             .map(|(i, t)| f(&mut s, i, t))
             .collect();
     }
+    let chunk = claim_chunk(items.len(), workers);
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
@@ -286,16 +290,20 @@ where
             let scratch = &scratch;
             s.spawn(move || {
                 let mut sc = scratch();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
+                'claims: loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
                         break;
                     }
-                    // The receiver outlives the workers unless a sibling
-                    // panicked; stop quietly in that case and let the scope
-                    // propagate the panic.
-                    if tx.send((i, f(&mut sc, i, &items[i]))).is_err() {
-                        break;
+                    let end = (start + chunk).min(items.len());
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        let i = start + i;
+                        // The receiver outlives the workers unless a
+                        // sibling panicked; stop quietly in that case and
+                        // let the scope propagate the panic.
+                        if tx.send((i, f(&mut sc, i, item))).is_err() {
+                            break 'claims;
+                        }
                     }
                 }
             });
@@ -308,6 +316,18 @@ where
     out.into_iter()
         .map(|r| r.expect("every index was dispatched exactly once"))
         .collect()
+}
+
+/// The contiguous range size one cursor claim hands a worker: about
+/// eight claims per worker over the whole grid, clamped to `[1, 64]`.
+///
+/// Eight claims apiece keeps the tail balanced — a worker stuck on a
+/// slow chunk strands at most ~1/8 of its fair share — while cutting
+/// `fetch_add` traffic by the chunk factor.  Small grids (like the 42-job
+/// Fig-4 grid on a many-core host) get chunk 1, i.e. exactly the old
+/// job-at-a-time behaviour.
+pub fn claim_chunk(items: usize, workers: usize) -> usize {
+    (items / (workers.max(1) * 8)).clamp(1, 64)
 }
 
 // ---------------------------------------------------------------------
@@ -481,6 +501,27 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_preserves_order_across_chunk_sizes() {
+        // Large enough that range claims exceed one job (4096/(4*8) =
+        // 128, clamped to 64) and don't divide the item count evenly.
+        let items: Vec<usize> = (0..4097).collect();
+        let got = parallel_map(&items, 4, |i, &x| {
+            assert_eq!(i, x);
+            x + 1
+        });
+        assert_eq!(got, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn claim_chunk_scales_with_grid_and_workers() {
+        assert_eq!(claim_chunk(42, 32), 1, "Fig-4 grid stays job-at-a-time");
+        assert_eq!(claim_chunk(0, 8), 1);
+        assert_eq!(claim_chunk(10_000, 8), 64, "big grids hit the cap");
+        assert_eq!(claim_chunk(640, 8), 10, "~8 claims per worker");
+        assert_eq!(claim_chunk(100, 0), 12, "degenerate worker count");
+    }
+
+    #[test]
     fn parallel_map_with_one_worker_is_the_serial_loop() {
         let items = [3usize, 1, 4, 1, 5];
         assert_eq!(
@@ -641,6 +682,36 @@ mod tests {
         assert_eq!(results.len(), 6);
         assert!(results.iter().all(|r| r.is_ok()));
         assert_eq!(cache.translations(), 2, "2 keys, 3 param sets each");
+    }
+
+    #[test]
+    fn sweep_predictions_are_identical_across_schedulers() {
+        // The same grid under heap, calendar, and auto backends must
+        // produce byte-identical predictions — the SchedulerKind knob is
+        // performance-only.
+        use extrap_sim::SchedulerKind;
+        let run = |kind: SchedulerKind| {
+            let mut params = machine::default_distributed();
+            params.scheduler = kind;
+            let jobs = SweepGrid::new()
+                .workloads(["uniform"])
+                .procs([1, 2, 4, 8])
+                .params(params)
+                .jobs();
+            let cache = SharedTraceCache::new();
+            sweep(&jobs, 2, &cache, |&(_, n)| uniform(n))
+        };
+        let heap = run(SchedulerKind::Heap);
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Auto] {
+            let other = run(kind);
+            assert_eq!(heap.len(), other.len());
+            for (a, b) in heap.iter().zip(&other) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.exec_time(), b.exec_time());
+                assert_eq!(a.predicted, b.predicted);
+                assert_eq!(a.per_thread, b.per_thread);
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@
 
 use crate::series::Series;
 use extrap_core::{
-    machine, parallel_map, sweep, CachedTrace, ExtrapError, Prediction, RecordMode, ServicePolicy,
-    SharedTraceCache, SimParams, SizeMode, SweepJob,
+    machine, parallel_map, sweep, CachedTrace, ExtrapError, Prediction, RecordMode, SchedulerKind,
+    ServicePolicy, SharedTraceCache, SimParams, SizeMode, SweepJob,
 };
 use extrap_trace::{translate, TraceError, TraceSet};
 use extrap_workloads::{matmul, Bench, Scale};
@@ -138,6 +138,7 @@ impl Default for TraceCache {
 pub struct Harness {
     cache: TraceCache,
     jobs: usize,
+    scheduler: Option<SchedulerKind>,
 }
 
 impl Harness {
@@ -146,7 +147,16 @@ impl Harness {
         Harness {
             cache: TraceCache::new(scale),
             jobs: jobs.max(1),
+            scheduler: None,
         }
+    }
+
+    /// Forces every job's event-queue backend, overriding whatever the
+    /// figure's parameter set says.  Predictions are byte-identical
+    /// across backends, so this is purely a performance knob.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Harness {
+        self.scheduler = Some(kind);
+        self
     }
 
     /// The serial (1-worker) harness.
@@ -203,6 +213,9 @@ impl Harness {
     ) -> Result<Vec<Prediction>, ExpError> {
         for job in &mut jobs {
             job.params.record_mode = RecordMode::MetricsOnly;
+            if let Some(kind) = self.scheduler {
+                job.params.scheduler = kind;
+            }
         }
         let results = sweep(&jobs, self.jobs, &self.cache.inner, |key| {
             self.translate_key(key)

@@ -3,13 +3,16 @@
 //!
 //! ```text
 //! extrap-exp [--scale tiny|small|paper] [--jobs N] [--out DIR] \
+//!            [--scheduler heap|calendar|auto] \
 //!            [table1|table2|table3|fig4|...|fig9|all]
 //! ```
 //!
 //! `--jobs N` sets the sweep worker count (default: all available
 //! cores); `--jobs 1` is the serial baseline and every other value
-//! produces byte-identical output.
+//! produces byte-identical output.  `--scheduler` forces the event
+//! queue backend for every job (predictions are identical either way).
 
+use extrap_core::SchedulerKind;
 use extrap_exp::experiments::{self, fig9_ranking, ExpError, Harness};
 use extrap_exp::series::{render_csv, render_table, Series};
 use extrap_workloads::Scale;
@@ -18,6 +21,7 @@ use std::path::{Path, PathBuf};
 fn main() {
     let mut scale = Scale::Small;
     let mut jobs = extrap_core::sweep::default_workers();
+    let mut scheduler: Option<SchedulerKind> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
 
@@ -46,6 +50,16 @@ fn main() {
                     }
                 };
             }
+            "--scheduler" => {
+                let v = args.next().unwrap_or_default();
+                scheduler = match SchedulerKind::parse(&v) {
+                    Some(kind) => Some(kind),
+                    None => {
+                        eprintln!("unknown scheduler {v:?} (heap|calendar|auto)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--out" => {
                 out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a directory");
@@ -55,6 +69,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: extrap-exp [--scale tiny|small|paper] [--jobs N] [--out DIR] \
+                     [--scheduler heap|calendar|auto] \
                      [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|all]..."
                 );
                 return;
@@ -70,7 +85,10 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
-    let harness = Harness::new(scale, jobs);
+    let mut harness = Harness::new(scale, jobs);
+    if let Some(kind) = scheduler {
+        harness = harness.with_scheduler(kind);
+    }
     if let Err(err) = run(&harness, &targets, &out_dir) {
         eprintln!("extrap-exp: {err}");
         std::process::exit(1);

@@ -1,0 +1,462 @@
+//! The calendar-queue scheduler backend (Brown, CACM 1988): pending
+//! events hashed into time-bucketed "days" so that, when event times
+//! are reasonably spread, schedule and dispatch are O(1) amortized
+//! instead of the heap's O(log n).
+//!
+//! Layout: a power-of-two array of buckets, each a sorted run of
+//! [`EventEntry`]s with a pop cursor (`head`) so dispatch from a bucket
+//! is a cursor bump, not a memmove.  An event at time `t` lives in
+//! bucket `(t / width) & mask`; the scan position (`current`,
+//! `bucket_top`) walks bucket windows in time order, popping a bucket's
+//! head whenever it falls inside the current window.
+//!
+//! Determinism: pops come out in exactly ascending `(time, seq)` key
+//! order — equal timestamps always hash to the same bucket, where the
+//! sorted run keeps them in seq (schedule) order, and across buckets
+//! the window scan visits strictly increasing time windows.  The
+//! property tests pin this against both the naive sorted-vec model and
+//! the heap backend.
+//!
+//! Degenerate distributions degrade gracefully instead of collapsing:
+//!
+//! * width auto-sizing — every resize re-estimates the bucket width
+//!   from a sample of pending inter-event gaps (outliers discarded),
+//!   so the calendar adapts to the workload's actual time scale;
+//! * resize-on-skew — if one bucket accumulates far more than its fair
+//!   share, the queue re-spreads with a fresh width estimate (re-armed
+//!   only after the queue doubles, so an all-equal-timestamp burst —
+//!   which is already O(1) via append + cursor pop — cannot thrash);
+//! * direct-search fallback — a full fruitless year of window scanning
+//!   (a sparse far-future queue) jumps straight to the global minimum
+//!   instead of creeping one window at a time.
+
+use crate::sched::{EventEntry, Scheduler};
+
+/// Smallest and largest bucket-array sizes (powers of two).  The floor
+/// keeps the empty/near-empty queue cheap to scan; the cap bounds
+/// resize cost and memory for extreme queue depths.
+const MIN_BUCKETS: usize = 8;
+const MAX_BUCKETS: usize = 1 << 16;
+
+/// How many pending timestamps the width estimator samples per resize.
+const WIDTH_SAMPLE: usize = 64;
+
+/// One calendar day: a run of entries sorted ascending by `(time, seq)`
+/// key, with everything before `head` already popped.  Popped prefixes
+/// are compacted away once they dominate the allocation, so the cursor
+/// keeps dispatch O(1) without leaking memory.
+struct Bucket<E> {
+    entries: Vec<EventEntry<E>>,
+    head: usize,
+}
+
+impl<E> Default for Bucket<E> {
+    fn default() -> Self {
+        Bucket {
+            entries: Vec::new(),
+            head: 0,
+        }
+    }
+}
+
+impl<E> Bucket<E> {
+    #[inline]
+    fn first(&self) -> Option<&EventEntry<E>> {
+        self.entries.get(self.head)
+    }
+}
+
+/// A calendar queue over event payloads of type `E`.
+///
+/// See the module docs for the structure and the determinism argument;
+/// see [`HeapScheduler`](crate::heap::HeapScheduler) for the backend it
+/// competes with.
+pub struct CalendarScheduler<E> {
+    buckets: Vec<Bucket<E>>,
+    /// `buckets.len() - 1`; bucket count is always a power of two.
+    mask: usize,
+    /// Time span of one bucket window, >= 1.  Always a power of two
+    /// (`1 << shift`) so the bucket-index computation on the push/pop
+    /// hot path is a shift, not a 64-bit division.
+    width: u64,
+    /// `width.trailing_zeros()`.
+    shift: u32,
+    /// Bucket index the window scan is parked on.
+    current: usize,
+    /// Exclusive end of `current`'s time window.  `u128` so the scan
+    /// can run past `u64::MAX` timestamps without overflow.
+    bucket_top: u128,
+    len: usize,
+    /// Queue length at the last resize; skew-triggered resizes re-arm
+    /// only once the queue doubles past this, bounding resize churn.
+    last_sizing_len: usize,
+    /// Reused gather buffer for resizes.
+    scratch: Vec<EventEntry<E>>,
+}
+
+impl<E: Copy> Default for CalendarScheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Copy> CalendarScheduler<E> {
+    /// Creates an empty calendar with the minimum bucket count and a
+    /// width of 1; the first growth resize re-estimates both from the
+    /// live event population.
+    pub fn new() -> CalendarScheduler<E> {
+        CalendarScheduler {
+            buckets: (0..MIN_BUCKETS).map(|_| Bucket::default()).collect(),
+            mask: MIN_BUCKETS - 1,
+            width: 1,
+            shift: 0,
+            current: 0,
+            bucket_top: 1,
+            len: 0,
+            last_sizing_len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Current bucket count (test/diagnostic hook).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Current bucket width in time units (test/diagnostic hook).
+    pub fn bucket_width(&self) -> u64 {
+        self.width
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: u64) -> usize {
+        ((t >> self.shift) as usize) & self.mask
+    }
+
+    /// Parks the scan on the window containing time `t`.
+    fn seek_to(&mut self, t: u64) {
+        self.current = self.bucket_of(t);
+        self.bucket_top = ((t as u128 >> self.shift) + 1) << self.shift;
+    }
+
+    /// Advances the scan to the bucket holding the minimum pending key
+    /// and returns its index.  Requires `len > 0`.
+    ///
+    /// Correctness rests on the window invariant — no pending entry's
+    /// time is ever below `bucket_top - width` — which pushes preserve
+    /// (a below-window insert rewinds the scan) and which makes the
+    /// first in-window bucket head the global minimum: every bucket
+    /// scanned later covers a strictly later window, and equal times
+    /// always share a bucket, where the sorted run breaks ties by seq.
+    fn locate_min(&mut self) -> usize {
+        debug_assert!(self.len > 0);
+        for _ in 0..self.buckets.len() {
+            if let Some(head) = self.buckets[self.current].first() {
+                if (head.time.0 as u128) < self.bucket_top {
+                    return self.current;
+                }
+            }
+            self.current = (self.current + 1) & self.mask;
+            self.bucket_top += self.width as u128;
+        }
+        // A full year scanned without a hit: the queue is sparse
+        // relative to its horizon.  Jump straight to the global min.
+        let (b, key) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bk)| bk.first().map(|e| (i, e.key())))
+            .min_by_key(|&(_, k)| k)
+            .expect("locate_min on a non-empty calendar");
+        self.seek_to((key >> 64) as u64);
+        debug_assert_eq!(b, self.current);
+        b
+    }
+
+    /// Re-spreads every pending entry across a recomputed bucket array
+    /// and width.  O(n log n) worst case, amortized away by the
+    /// doubling/halving triggers.
+    fn resize(&mut self) {
+        self.last_sizing_len = self.len;
+        self.scratch.clear();
+        for b in &mut self.buckets {
+            self.scratch.extend_from_slice(&b.entries[b.head..]);
+            b.entries.clear();
+            b.head = 0;
+        }
+        debug_assert_eq!(self.scratch.len(), self.len);
+        self.width = self.estimate_width().next_power_of_two();
+        self.shift = self.width.trailing_zeros();
+        let target = self.len.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if target != self.buckets.len() {
+            self.buckets.resize_with(target, Bucket::default);
+            self.mask = target - 1;
+        }
+        let scratch = std::mem::take(&mut self.scratch);
+        for &entry in &scratch {
+            let b = self.bucket_of(entry.time.0);
+            self.buckets[b].entries.push(entry);
+        }
+        self.scratch = scratch;
+        let mut min_time = None;
+        for b in &mut self.buckets {
+            b.entries.sort_unstable_by_key(|e| e.key());
+            if let Some(head) = b.first() {
+                min_time = Some(min_time.map_or(head.time.0, |m: u64| m.min(head.time.0)));
+            }
+        }
+        match min_time {
+            Some(t) => self.seek_to(t),
+            None => {
+                self.current = 0;
+                self.bucket_top = self.width as u128;
+            }
+        }
+    }
+
+    /// Estimates a bucket width from the pending population: sample up
+    /// to [`WIDTH_SAMPLE`] timestamps, take the average of the nonzero
+    /// sorted gaps with far outliers (> 2x the first-pass average)
+    /// discarded, scale from an inter-*sample* gap back to an
+    /// inter-*event* gap (adjacent samples are `step` events apart, so
+    /// the raw gap overstates event spacing by that factor), and give
+    /// each bucket three average gaps' worth of span — Brown's classic
+    /// rule.  Falls back to the current width when there are too few
+    /// events or all timestamps coincide.
+    fn estimate_width(&self) -> u64 {
+        if self.scratch.len() < 2 {
+            return self.width.max(1);
+        }
+        let step = (self.scratch.len() / WIDTH_SAMPLE).max(1);
+        let mut sample: Vec<u64> = self
+            .scratch
+            .iter()
+            .step_by(step)
+            .take(WIDTH_SAMPLE)
+            .map(|e| e.time.0)
+            .collect();
+        sample.sort_unstable();
+        let gaps: Vec<u128> = sample
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u128)
+            .filter(|&g| g > 0)
+            .collect();
+        if gaps.is_empty() {
+            return self.width.max(1);
+        }
+        let avg = gaps.iter().sum::<u128>() / gaps.len() as u128;
+        let kept: Vec<u128> = gaps.iter().copied().filter(|&g| g <= 2 * avg).collect();
+        let avg = if kept.is_empty() {
+            avg
+        } else {
+            kept.iter().sum::<u128>() / kept.len() as u128
+        };
+        (avg / step as u128).saturating_mul(3).clamp(1, 1 << 62) as u64
+    }
+}
+
+impl<E: Copy> Scheduler<E> for CalendarScheduler<E> {
+    fn push(&mut self, entry: EventEntry<E>) {
+        let t = entry.time.0;
+        // The engine never schedules into the simulated past, but a
+        // standalone user may insert below the current window; rewind
+        // the scan so the window invariant (and with it the pop order)
+        // survives.
+        if (t as u128) < self.bucket_top - self.width as u128 {
+            self.seek_to(t);
+        }
+        let b = self.bucket_of(t);
+        let bucket = &mut self.buckets[b];
+        if bucket.head == bucket.entries.len() {
+            bucket.entries.clear();
+            bucket.head = 0;
+        }
+        let key = entry.key();
+        if bucket.entries.last().is_none_or(|e| e.key() <= key) {
+            // Fast path: new bucket maximum (seq grows monotonically,
+            // so FIFO bursts at one timestamp always append).
+            bucket.entries.push(entry);
+        } else {
+            let pos = bucket.entries[bucket.head..].partition_point(|e| e.key() < key);
+            bucket.entries.insert(bucket.head + pos, entry);
+        }
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.resize();
+            return;
+        }
+        let bucket_live = self.buckets[b].entries.len() - self.buckets[b].head;
+        let fair_share = 64.max(4 * self.len / self.buckets.len());
+        if bucket_live > fair_share && self.len >= 2 * self.last_sizing_len {
+            self.resize();
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<EventEntry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        let b = self.locate_min();
+        let bucket = &mut self.buckets[b];
+        let entry = bucket.entries[bucket.head];
+        bucket.head += 1;
+        if bucket.head == bucket.entries.len() {
+            bucket.entries.clear();
+            bucket.head = 0;
+        } else if bucket.head > 32 && bucket.head * 2 > bucket.entries.len() {
+            // The popped prefix dominates the allocation: compact.
+            bucket.entries.drain(..bucket.head);
+            bucket.head = 0;
+        }
+        self.len -= 1;
+        if self.buckets.len() > MIN_BUCKETS && self.len * 4 < self.buckets.len() {
+            self.resize();
+        }
+        Some(entry)
+    }
+
+    fn peek_min(&mut self) -> Option<&EventEntry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        let b = self.locate_min();
+        self.buckets[b].first()
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.entries.clear();
+            b.head = 0;
+        }
+        self.len = 0;
+        self.current = 0;
+        self.bucket_top = self.width as u128;
+        self.last_sizing_len = 0;
+    }
+
+    fn raw_len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use extrap_time::TimeNs;
+
+    fn entry(time: u64, seq: u64) -> EventEntry<u64> {
+        EventEntry {
+            time: TimeNs(time),
+            seq,
+            slot: 0,
+            payload: seq,
+        }
+    }
+
+    fn drain_keys(cal: &mut CalendarScheduler<u64>) -> Vec<u128> {
+        std::iter::from_fn(|| cal.pop_min().map(|e| e.key())).collect()
+    }
+
+    #[test]
+    fn pops_in_key_order_across_resizes() {
+        let mut cal = CalendarScheduler::new();
+        let mut rng = SplitMix64::new(7);
+        for seq in 0..4096u64 {
+            cal.push(entry(rng.next_u64() % 1_000_000, seq));
+        }
+        assert!(cal.bucket_count() > MIN_BUCKETS, "growth resize happened");
+        let keys = drain_keys(&mut cal);
+        assert_eq!(keys.len(), 4096);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(cal.bucket_count(), MIN_BUCKETS, "shrunk back when drained");
+    }
+
+    #[test]
+    fn equal_timestamps_pop_in_seq_order() {
+        let mut cal = CalendarScheduler::new();
+        for seq in 0..500u64 {
+            cal.push(entry(42, seq));
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| cal.pop_min().map(|e| e.seq)).collect();
+        assert_eq!(popped, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sparse_far_future_uses_direct_search() {
+        let mut cal = CalendarScheduler::new();
+        // Two events an enormous gap apart: after the first pop the
+        // window scan would otherwise creep width-by-width.
+        cal.push(entry(3, 0));
+        cal.push(entry(u64::MAX - 5, 1));
+        assert_eq!(cal.pop_min().unwrap().time, TimeNs(3));
+        assert_eq!(cal.pop_min().unwrap().time, TimeNs(u64::MAX - 5));
+        assert!(cal.pop_min().is_none());
+    }
+
+    #[test]
+    fn below_window_insert_rewinds_the_scan() {
+        let mut cal = CalendarScheduler::new();
+        cal.push(entry(1_000_000, 0));
+        assert_eq!(cal.peek_min().unwrap().seq, 0); // scan parks far out
+        cal.push(entry(5, 1)); // standalone use: below the window
+        assert_eq!(cal.pop_min().unwrap().time, TimeNs(5));
+        assert_eq!(cal.pop_min().unwrap().time, TimeNs(1_000_000));
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_sorted_order() {
+        let mut cal = CalendarScheduler::new();
+        let mut rng = SplitMix64::new(99);
+        let mut expect: Vec<u128> = Vec::new();
+        let mut got: Vec<u128> = Vec::new();
+        let mut seq = 0u64;
+        let mut floor = 0u64; // emulate the engine's no-past guarantee
+        for _ in 0..20_000 {
+            if rng.next_below(3) != 0 || cal.raw_len() == 0 {
+                let t = floor + rng.next_below(10_000);
+                cal.push(entry(t, seq));
+                expect.push(entry(t, seq).key());
+                seq += 1;
+            } else {
+                let e = cal.pop_min().unwrap();
+                floor = e.time.0;
+                got.push(e.key());
+            }
+        }
+        got.extend(drain_keys(&mut cal));
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn all_equal_burst_does_not_thrash_resizes() {
+        let mut cal = CalendarScheduler::new();
+        for seq in 0..50_000u64 {
+            cal.push(entry(7, seq));
+        }
+        // Width cannot separate identical timestamps; the re-arm rule
+        // must keep resize count logarithmic, and pops stay cursor
+        // bumps.  This test is the O(n^2)-guard: it finishes instantly
+        // or not at all.
+        let popped = drain_keys(&mut cal);
+        assert_eq!(popped.len(), 50_000);
+        assert!(popped.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn clear_keeps_width_but_resets_scan() {
+        let mut cal = CalendarScheduler::new();
+        let mut rng = SplitMix64::new(1);
+        for seq in 0..1000u64 {
+            cal.push(entry(rng.next_u64() % 1_000_000, seq));
+        }
+        let width = cal.bucket_width();
+        cal.clear();
+        assert_eq!(cal.raw_len(), 0);
+        assert!(cal.pop_min().is_none());
+        assert_eq!(cal.bucket_width(), width, "learned width survives reuse");
+        cal.push(entry(3, 0));
+        assert_eq!(cal.pop_min().unwrap().time, TimeNs(3));
+    }
+}

@@ -1,0 +1,103 @@
+//! The binary-heap scheduler backend: O(log n) per operation with keys
+//! and payloads inline, so scheduling and dispatching never leave the
+//! heap's contiguous storage.  This is the engine's default backend —
+//! insensitive to the timestamp distribution and unbeatable at the
+//! small queue depths typical of the paper's Fig-4 workloads.
+
+use crate::sched::{EventEntry, Scheduler};
+
+/// A min-heap of [`EventEntry`]s ordered by `(time, seq)`.
+///
+/// Payloads are `Copy`: simulator events are small value types, and the
+/// bound lets the sifts move elements hole-style (one write per level)
+/// like `std::collections::BinaryHeap`.
+#[derive(Default)]
+pub struct HeapScheduler<E> {
+    heap: Vec<EventEntry<E>>,
+}
+
+impl<E: Copy> HeapScheduler<E> {
+    /// Creates an empty heap.
+    pub fn new() -> HeapScheduler<E> {
+        HeapScheduler { heap: Vec::new() }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let moved = self.heap[i];
+        let key = moved.key();
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[parent].key() <= key {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = moved;
+    }
+
+    /// Restores the heap after the root was replaced, `BinaryHeap`-style:
+    /// walk a hole all the way to a leaf, always promoting the smaller
+    /// child (one comparison per level instead of two), then sift the
+    /// displaced element back up.  The displaced element came from the
+    /// bottom of the heap, so the trailing sift-up almost always stops
+    /// immediately.
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let moved = self.heap[i];
+        let start = i;
+        loop {
+            let child = 2 * i + 1;
+            if child >= len {
+                break;
+            }
+            let right = child + 1;
+            let smaller = if right < len && self.heap[right].key() < self.heap[child].key() {
+                right
+            } else {
+                child
+            };
+            self.heap[i] = self.heap[smaller];
+            i = smaller;
+        }
+        let key = moved.key();
+        while i > start {
+            let parent = (i - 1) / 2;
+            if self.heap[parent].key() <= key {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = moved;
+    }
+}
+
+impl<E: Copy> Scheduler<E> for HeapScheduler<E> {
+    fn push(&mut self, entry: EventEntry<E>) {
+        self.heap.push(entry);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    fn pop_min(&mut self) -> Option<EventEntry<E>> {
+        let last = self.heap.pop()?;
+        if self.heap.is_empty() {
+            return Some(last);
+        }
+        let top = std::mem::replace(&mut self.heap[0], last);
+        self.sift_down(0);
+        Some(top)
+    }
+
+    fn peek_min(&mut self) -> Option<&EventEntry<E>> {
+        self.heap.first()
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+}

@@ -1,12 +1,14 @@
 //! Property tests of the slab event queue: random schedule / cancel /
 //! dispatch interleavings must pop in exactly the order a naive
-//! sorted-vec reference model produces, and lazy tombstone purging must
-//! always drain to zero once the queue runs dry.
+//! sorted-vec reference model produces — on both the heap and the
+//! calendar backends, which must also agree with each other step for
+//! step — and lazy tombstone purging must always drain to zero once
+//! the queue runs dry.
 //!
 //! Driven by a deterministic SplitMix64 case generator instead of
 //! `proptest` (crates.io is unreachable in the build environment).
 
-use extrap_sim::{Engine, EventToken, SplitMix64};
+use extrap_sim::{Engine, EventToken, SchedulerKind, SplitMix64};
 use extrap_time::TimeNs;
 
 const CASES: u64 = 64;
@@ -63,81 +65,145 @@ impl NaiveQueue {
     }
 }
 
-fn for_all(seed: u64, check: impl Fn(&mut SplitMix64)) {
+fn for_all(seed: u64, mut check: impl FnMut(&mut SplitMix64)) {
     for case in 0..CASES {
         let mut rng = SplitMix64::new(seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
         check(&mut rng);
     }
 }
 
-#[test]
-fn random_interleavings_match_the_naive_reference_model() {
-    for_all(0x51AB, |rng| {
-        let mut eng: Engine<u32> = Engine::new();
-        let mut naive = NaiveQueue::default();
-        // Outstanding (token, naive-token) pairs; cancellation picks one
-        // at random, sometimes an already-consumed (stale) one.
-        let mut tokens: Vec<(EventToken, NaiveToken)> = Vec::new();
-        let mut payload = 0u32;
+/// Drives a random schedule / cancel / dispatch / peek interleaving
+/// through the heap engine, the calendar engine, and the naive model
+/// simultaneously, asserting all three agree at every step.  The delay
+/// distribution mixes dense ties, mid-range spreads, and rare huge
+/// jumps so the calendar backend exercises growth/shrink resizes, the
+/// skew fallback, and the sparse-horizon direct search.
+fn three_way_interleaving(rng: &mut SplitMix64) {
+    let mut heap: Engine<u32> = Engine::with_scheduler(SchedulerKind::Heap);
+    let mut cal: Engine<u32> = Engine::with_scheduler(SchedulerKind::Calendar);
+    let mut naive = NaiveQueue::default();
+    // Outstanding (heap-token, calendar-token, naive-token) triples;
+    // cancellation picks one at random, sometimes an already-consumed
+    // (stale) one.
+    let mut tokens: Vec<(EventToken, EventToken, NaiveToken)> = Vec::new();
+    let mut payload = 0u32;
 
-        for _ in 0..STEPS {
-            match rng.next_below(10) {
-                // ~50%: schedule at now + random delay (0 allowed —
-                // equal-time FIFO ordering is part of the contract).
-                0..=4 => {
-                    let delay = rng.next_below(50);
-                    let at = naive.now + delay;
-                    payload += 1;
-                    let t = eng.schedule(TimeNs(at), payload);
-                    let n = naive.schedule(at, payload);
-                    tokens.push((t, n));
+    for _ in 0..STEPS {
+        match rng.next_below(10) {
+            // ~50%: schedule at now + random delay (0 allowed —
+            // equal-time FIFO ordering is part of the contract).
+            0..=4 => {
+                let delay = match rng.next_below(16) {
+                    // Dense: lots of collisions and small gaps.
+                    0..=11 => rng.next_below(50),
+                    // Mid-range spread.
+                    12..=14 => rng.next_below(100_000),
+                    // Rare huge jump: sparse far horizon.
+                    _ => rng.next_below(1 << 40),
+                };
+                let at = naive.now + delay;
+                payload += 1;
+                let th = heap.schedule(TimeNs(at), payload);
+                let tc = cal.schedule(TimeNs(at), payload);
+                let n = naive.schedule(at, payload);
+                tokens.push((th, tc, n));
+            }
+            // ~20%: cancel a random outstanding token (may be stale).
+            5..=6 => {
+                if !tokens.is_empty() {
+                    let i = rng.next_below(tokens.len() as u64) as usize;
+                    let (th, tc, n) = tokens.swap_remove(i);
+                    let want = naive.cancel(&n);
+                    assert_eq!(heap.cancel(th), want);
+                    assert_eq!(cal.cancel(tc), want);
                 }
-                // ~20%: cancel a random outstanding token (may be stale).
-                5..=6 => {
-                    if !tokens.is_empty() {
-                        let i = rng.next_below(tokens.len() as u64) as usize;
-                        let (t, n) = tokens.swap_remove(i);
-                        assert_eq!(eng.cancel(t), naive.cancel(&n));
-                    }
-                }
-                // ~20%: dispatch one event.
-                7..=8 => {
-                    assert_eq!(eng.peek_time().map(TimeNs::as_ns), naive.peek_time());
-                    let got = eng.next();
-                    let want = naive.next();
-                    assert_eq!(got.map(|(t, p)| (t.as_ns(), p)), want);
-                }
-                // ~10%: check the live-event count invariant.
-                _ => {
+            }
+            // ~20%: dispatch one event.
+            7..=8 => {
+                let want_peek = naive.peek_time();
+                assert_eq!(heap.peek_time().map(TimeNs::as_ns), want_peek);
+                assert_eq!(cal.peek_time().map(TimeNs::as_ns), want_peek);
+                let want = naive.next();
+                assert_eq!(heap.next().map(|(t, p)| (t.as_ns(), p)), want);
+                assert_eq!(cal.next().map(|(t, p)| (t.as_ns(), p)), want);
+            }
+            // ~10%: check the live-event count invariant.
+            _ => {
+                for eng in [&heap, &cal] {
                     assert_eq!(eng.len(), naive.pending.len());
                     assert_eq!(eng.is_empty(), naive.pending.is_empty());
                 }
             }
         }
+    }
 
-        // Drain both queues: the tails must agree element-for-element.
-        loop {
-            let got = eng.next();
-            let want = naive.next();
-            assert_eq!(got.map(|(t, p)| (t.as_ns(), p)), want);
-            if got.is_none() {
-                break;
-            }
+    // Drain all three queues: the tails must agree element-for-element.
+    loop {
+        let want = naive.next();
+        let got_heap = heap.next();
+        let got_cal = cal.next();
+        assert_eq!(got_heap.map(|(t, p)| (t.as_ns(), p)), want);
+        assert_eq!(got_cal.map(|(t, p)| (t.as_ns(), p)), want);
+        if want.is_none() {
+            break;
         }
+    }
+    for eng in [&heap, &cal] {
         assert_eq!(
             eng.tombstones(),
             0,
             "tombstones must fully drain once the queue is dry"
         );
         assert_eq!(eng.len(), 0);
+    }
+}
+
+#[test]
+fn random_interleavings_match_the_naive_reference_model() {
+    for_all(0x51AB, three_way_interleaving);
+}
+
+#[test]
+fn reused_engines_still_match_the_model() {
+    // The sweep scratch recycles one engine across many simulations via
+    // reset_with, alternating backends; a recycled engine must behave
+    // exactly like a fresh one.
+    let mut heap: Engine<u32> = Engine::new();
+    for_all(0x7E57, |rng| {
+        let kind = if rng.next_below(2) == 0 {
+            SchedulerKind::Heap
+        } else {
+            SchedulerKind::Calendar
+        };
+        heap.reset_with(kind);
+        assert_eq!(heap.scheduler(), kind);
+        let mut naive = NaiveQueue::default();
+        let mut payload = 0u32;
+        for _ in 0..100 {
+            if rng.next_below(3) != 0 {
+                let at = naive.now + rng.next_below(1000);
+                payload += 1;
+                heap.schedule(TimeNs(at), payload);
+                naive.schedule(at, payload);
+            } else {
+                assert_eq!(heap.next().map(|(t, p)| (t.as_ns(), p)), naive.next());
+            }
+        }
+        loop {
+            let want = naive.next();
+            assert_eq!(heap.next().map(|(t, p)| (t.as_ns(), p)), want);
+            if want.is_none() {
+                break;
+            }
+        }
     });
 }
 
 #[test]
 fn dispatch_order_is_stable_across_identical_runs() {
-    let run = |seed: u64| {
+    let run = |seed: u64, kind: SchedulerKind| {
         let mut rng = SplitMix64::new(seed);
-        let mut eng: Engine<u64> = Engine::new();
+        let mut eng: Engine<u64> = Engine::with_scheduler(kind);
         let mut out = Vec::new();
         for i in 0..200u64 {
             eng.schedule(TimeNs(rng.next_below(40)), i);
@@ -157,6 +223,18 @@ fn dispatch_order_is_stable_across_identical_runs() {
         }
         out
     };
-    assert_eq!(run(0xDEAD), run(0xDEAD));
-    assert_ne!(run(0xDEAD), run(0xBEEF), "different seeds diverge");
+    assert_eq!(
+        run(0xDEAD, SchedulerKind::Heap),
+        run(0xDEAD, SchedulerKind::Heap)
+    );
+    assert_eq!(
+        run(0xDEAD, SchedulerKind::Heap),
+        run(0xDEAD, SchedulerKind::Calendar),
+        "backends produce byte-identical dispatch sequences"
+    );
+    assert_ne!(
+        run(0xDEAD, SchedulerKind::Heap),
+        run(0xBEEF, SchedulerKind::Heap),
+        "different seeds diverge"
+    );
 }

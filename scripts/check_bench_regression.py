@@ -7,10 +7,12 @@ Both files are the `--json` output of the extrap-bench harness.  The
 check fails (exit 1) if any benchmark present in both files has a fresh
 median more than MAX_RATIO times the baseline median (default 2.0 — wide
 enough to absorb machine differences between the baseline host and CI,
-tight enough to catch algorithmic regressions).  Benchmarks that appear
-in only one file are reported but never fail the check, so adding or
-renaming benches doesn't require touching the baseline in the same
-commit.
+tight enough to catch algorithmic regressions), or if any baseline
+benchmark is missing from the fresh run — a silently dropped or renamed
+bench would otherwise lose its regression coverage without anyone
+noticing; renames must update the committed baseline in the same
+commit.  Benchmarks that appear only in the fresh run are reported but
+never fail the check, so adding benches stays cheap.
 """
 
 import json
@@ -34,12 +36,14 @@ def main(argv):
     fresh = medians(fresh_path)
 
     failed = []
+    missing = []
     for name in sorted(baseline.keys() | fresh.keys()):
         if name not in baseline:
             print(f"NEW      {name}: {fresh[name]:,.0f} ns (no baseline)")
             continue
         if name not in fresh:
             print(f"MISSING  {name}: in baseline but not in fresh run")
+            missing.append(name)
             continue
         ratio = fresh[name] / baseline[name]
         verdict = "FAIL" if ratio > max_ratio else "ok"
@@ -50,6 +54,14 @@ def main(argv):
         if ratio > max_ratio:
             failed.append((name, ratio))
 
+    if missing:
+        print(
+            f"\n{len(missing)} baseline benchmark(s) missing from the fresh "
+            "run (renamed or dropped? update the committed baseline):",
+            file=sys.stderr,
+        )
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
     if failed:
         print(
             f"\n{len(failed)} benchmark(s) regressed beyond {max_ratio:.1f}x:",
@@ -57,8 +69,9 @@ def main(argv):
         )
         for name, ratio in failed:
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+    if missing or failed:
         return 1
-    print(f"\nall shared benchmarks within {max_ratio:.1f}x of baseline")
+    print(f"\nall baseline benchmarks present and within {max_ratio:.1f}x")
     return 0
 
 
