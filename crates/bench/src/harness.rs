@@ -61,9 +61,10 @@ impl Harness {
                 "--json" => json_path = args.next(),
                 // Value-taking flags parsed by the bench targets
                 // themselves (e.g. `sweep`'s pool size and problem
-                // scale); consume the value here so it is not mistaken
-                // for a benchmark-name filter.
-                "--workers" | "--scale" => {
+                // scale, `serve`'s client count); consume the value
+                // here so it is not mistaken for a benchmark-name
+                // filter.
+                "--workers" | "--scale" | "--clients" => {
                     let _ = args.next();
                 }
                 a if a.starts_with("--") => {}
@@ -99,6 +100,34 @@ impl Harness {
     /// throughput.
     pub fn bench_throughput<R>(&mut self, name: &str, per_iter: Throughput, f: impl FnMut() -> R) {
         self.bench_throughput_opt(name, Some(per_iter), f);
+    }
+
+    /// Records externally measured samples (nanoseconds per operation)
+    /// under `name`.  For benchmarks whose driver must own the clock —
+    /// e.g. a load generator collecting per-request latencies across
+    /// hundreds of concurrent clients — where timing a closure from the
+    /// outside would only ever see the aggregate.  Skipped (like
+    /// [`bench`](Harness::bench)) when `name` fails the filters;
+    /// ignored when `samples_ns` is empty.
+    pub fn record_samples(
+        &mut self,
+        name: &str,
+        samples_ns: &[f64],
+        throughput: Option<Throughput>,
+    ) {
+        if !self.selected(name) || samples_ns.is_empty() {
+            return;
+        }
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.results.push(Record {
+            name: name.to_string(),
+            median_ns: sorted[sorted.len() / 2],
+            mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min_ns: sorted[0],
+            samples: sorted.len(),
+            throughput,
+        });
     }
 
     fn bench_throughput_opt<R>(
@@ -335,6 +364,23 @@ mod tests {
         let written = std::fs::read_to_string(&path).unwrap();
         assert!(written.contains("\"name\": \"one\""));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_samples_reports_order_statistics() {
+        let mut h = test_harness(vec![]);
+        h.record_samples("latency", &[30.0, 10.0, 20.0], None);
+        assert_eq!(h.results.len(), 1);
+        assert_eq!(h.results[0].median_ns, 20.0);
+        assert_eq!(h.results[0].min_ns, 10.0);
+        assert_eq!(h.results[0].mean_ns, 20.0);
+        assert_eq!(h.results[0].samples, 3);
+        // Empty sample sets and filtered names record nothing.
+        h.record_samples("empty", &[], None);
+        assert_eq!(h.results.len(), 1);
+        let mut h = test_harness(vec!["other".into()]);
+        h.record_samples("latency", &[1.0], None);
+        assert!(h.results.is_empty());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Declarative flag parsing shared by every `extrap` subcommand.
+//!
+//! Each subcommand builds an [`ArgSpec`], pulls its flags out by name,
+//! and finishes with [`ArgSpec::finish`]/[`ArgSpec::finish_exact`] to
+//! collect positionals.  Finishing rejects any flag-looking token that
+//! no one claimed with an error that names the subcommand — previously
+//! a typo like `--shceduler` silently became a positional argument and
+//! surfaced as a confusing usage error (or worse, was ignored).
+
+/// The argument cursor for one subcommand invocation.
+pub struct ArgSpec {
+    cmd: &'static str,
+    args: Vec<String>,
+}
+
+impl ArgSpec {
+    /// Wraps a subcommand's raw arguments.  `cmd` is the name used in
+    /// diagnostics (`"sweep"`, `"client sweep"`, ...).
+    pub fn new(cmd: &'static str, args: Vec<String>) -> ArgSpec {
+        ArgSpec { cmd, args }
+    }
+
+    /// The subcommand name this spec reports in errors.
+    pub fn cmd(&self) -> &'static str {
+        self.cmd
+    }
+
+    /// Takes `--flag VALUE` (at most one occurrence).
+    pub fn value(&mut self, flag: &str) -> Result<Option<String>, String> {
+        if let Some(pos) = self.args.iter().position(|a| a == flag) {
+            if pos + 1 >= self.args.len() {
+                return Err(format!("{}: {flag} needs a value", self.cmd));
+            }
+            let value = self.args.remove(pos + 1);
+            self.args.remove(pos);
+            Ok(Some(value))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Takes every occurrence of `--flag VALUE`, in order.
+    pub fn values(&mut self, flag: &str) -> Result<Vec<String>, String> {
+        let mut out = Vec::new();
+        while let Some(v) = self.value(flag)? {
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Takes a boolean `--flag`; returns whether it was present.
+    pub fn switch(&mut self, flag: &str) -> bool {
+        if let Some(pos) = self.args.iter().position(|a| a == flag) {
+            self.args.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes `--flag VALUE` and parses it, attributing parse failures
+    /// to the flag and subcommand.
+    pub fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.value(flag)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("{}: bad {flag} value {v:?}: {e}", self.cmd)),
+        }
+    }
+
+    /// Takes `--flag N` requiring `N >= 1` (worker counts and friends).
+    pub fn positive(&mut self, flag: &str) -> Result<Option<usize>, String> {
+        match self.parsed::<usize>(flag)? {
+            Some(0) => Err(format!("{}: {flag} needs a positive integer", self.cmd)),
+            other => Ok(other),
+        }
+    }
+
+    /// The remaining positional arguments, after rejecting any
+    /// unclaimed flag-looking token by name.
+    pub fn finish(self) -> Result<Vec<String>, String> {
+        if let Some(flag) = self.args.iter().find(|a| a.starts_with('-') && a.len() > 1) {
+            return Err(format!(
+                "{}: unknown flag {flag:?}; try `extrap help`",
+                self.cmd
+            ));
+        }
+        Ok(self.args)
+    }
+
+    /// Exactly `N` positionals, or the given usage line.
+    pub fn finish_exact<const N: usize>(self, usage: &str) -> Result<[String; N], String> {
+        self.finish()?
+            .try_into()
+            .map_err(|_| format!("usage: {usage}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(args: &[&str]) -> ArgSpec {
+        ArgSpec::new("demo", args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn value_and_switch_and_positionals() {
+        let mut s = spec(&["input.xtps", "--jobs", "4", "--csv"]);
+        assert_eq!(s.value("--jobs").unwrap().as_deref(), Some("4"));
+        assert!(s.switch("--csv"));
+        assert!(!s.switch("--csv"));
+        assert_eq!(s.finish().unwrap(), vec!["input.xtps".to_string()]);
+    }
+
+    #[test]
+    fn values_takes_every_occurrence_in_order() {
+        let mut s = spec(&["--set", "a=1", "x", "--set", "b=2"]);
+        assert_eq!(s.values("--set").unwrap(), vec!["a=1", "b=2"]);
+        assert_eq!(s.finish().unwrap(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn missing_value_names_the_subcommand() {
+        let mut s = spec(&["--jobs"]);
+        assert_eq!(s.value("--jobs").unwrap_err(), "demo: --jobs needs a value");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_by_name() {
+        let s = spec(&["file", "--shceduler", "heap"]);
+        let err = s.finish().unwrap_err();
+        assert!(
+            err.starts_with("demo: unknown flag \"--shceduler\""),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parsed_attributes_failures() {
+        let mut s = spec(&["--jobs", "many"]);
+        let err = s.parsed::<usize>("--jobs").unwrap_err();
+        assert!(err.contains("demo") && err.contains("--jobs"), "{err}");
+        let mut s = spec(&["--jobs", "0"]);
+        assert!(s.positive("--jobs").unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn finish_exact_reports_usage() {
+        let s = spec(&["a", "b"]);
+        assert_eq!(
+            s.finish_exact::<1>("extrap demo FILE").unwrap_err(),
+            "usage: extrap demo FILE"
+        );
+    }
+}

@@ -7,6 +7,8 @@
 //! extrap simulate  traces.xtps [--machine M | --params FILE] [--set KEY=VALUE]... \
 //!                  [--scheduler heap|calendar|auto] [--predicted OUT]
 //! extrap sweep     <bench>[,<bench>...] [--procs 1,2,...] [--jobs N] [--csv]
+//! extrap serve     [--addr HOST:PORT] [--workers N] [--mem-budget-mb N] ...
+//! extrap client    sweep|simulate|stats|shutdown [--addr HOST:PORT] ...
 //! extrap report    traces.xtps            # trace statistics
 //! extrap lint      FILE|DIR... [--jobs N] [--format json] [--deny-warnings] [--allow CODE]...
 //! extrap lint      --fix FILE [--out FILE] [--dry-run]   # repair fixable diagnostics
@@ -14,6 +16,10 @@
 //! extrap benches                          # list benchmarks
 //! ```
 
+mod args;
+mod remote;
+
+use args::ArgSpec;
 use extrap_core::{machine, Extrapolator, SchedulerKind, SharedTraceCache, SimParams, SweepGrid};
 use extrap_time::DurationNs;
 use extrap_trace::{TraceStats, TranslateOptions};
@@ -41,6 +47,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "translate" => cmd_translate(rest),
         "simulate" => cmd_simulate(rest),
         "sweep" => cmd_sweep(rest),
+        "serve" => remote::cmd_serve(rest),
+        "client" => remote::cmd_client(rest),
         "report" => cmd_report(rest),
         "timeline" => cmd_timeline(rest),
         "check" => cmd_check(rest),
@@ -62,6 +70,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  extrap sweep <bench>[,<bench>...] [--procs 1,2,4,8,16,32] [--scale S] \
                  [--machine M] [--params FILE] [--set KEY=VALUE]... \
                  [--scheduler heap|calendar|auto] [--jobs N] [--csv]\n  \
+                 extrap serve [--addr HOST:PORT] [--workers N] [--sweep-workers N] \
+                 [--mem-budget-mb N] [--max-inflight N] [--max-conn-inflight N] \
+                 [--max-connections N] [--timeout-ms N] [--batch-window-ms N]\n  \
+                 extrap client sweep <bench>[,...] [--addr HOST:PORT] [sweep flags] [--csv]\n  \
+                 extrap client simulate FILE [--addr HOST:PORT] [simulate flags]\n  \
+                 extrap client stats|shutdown [--addr HOST:PORT]\n  \
                  extrap report FILE\n  extrap timeline FILE [--width N]\n  \
                  extrap check FILE\n  \
                  extrap lint FILE|DIR... [--machine M] [--format text|json] [--jobs N] \
@@ -76,42 +90,20 @@ fn run(args: Vec<String>) -> Result<(), String> {
     }
 }
 
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
-    if let Some(pos) = args.iter().position(|a| a == flag) {
-        if pos + 1 >= args.len() {
-            return Err(format!("{flag} needs a value"));
-        }
-        let value = args.remove(pos + 1);
-        args.remove(pos);
-        Ok(Some(value))
-    } else {
-        Ok(None)
-    }
-}
-
-fn take_all_flags(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, String> {
-    let mut out = Vec::new();
-    while let Some(v) = take_flag(args, flag)? {
-        out.push(v);
-    }
-    Ok(out)
-}
-
-fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
-    if let Some(pos) = args.iter().position(|a| a == flag) {
-        args.remove(pos);
-        true
-    } else {
-        false
-    }
-}
-
 fn parse_scale(s: Option<String>) -> Result<Scale, String> {
     match s.as_deref() {
         None | Some("small") => Ok(Scale::Small),
         Some("tiny") => Ok(Scale::Tiny),
         Some("paper") => Ok(Scale::Paper),
         Some(other) => Err(format!("unknown scale {other:?}")),
+    }
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
     }
 }
 
@@ -137,18 +129,22 @@ fn parse_us(s: Option<String>, what: &str) -> Result<DurationNs, String> {
     }
 }
 
-fn cmd_trace(mut args: Vec<String>) -> Result<(), String> {
-    let scale = parse_scale(take_flag(&mut args, "--scale")?)?;
-    let out: PathBuf = take_flag(&mut args, "-o")?
+fn resolve_bench(name: &str) -> Result<Bench, String> {
+    Bench::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name.trim()))
+        .ok_or_else(|| format!("unknown benchmark {name:?}; see `extrap benches`"))
+}
+
+fn cmd_trace(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("trace", args);
+    let scale = parse_scale(spec.value("--scale")?)?;
+    let out: PathBuf = spec
+        .value("-o")?
         .ok_or("trace: -o FILE is required")?
         .into();
-    let [bench_name, threads]: [String; 2] = args
-        .try_into()
-        .map_err(|_| "usage: extrap trace <bench> <threads> -o FILE".to_string())?;
-    let bench = Bench::all()
-        .into_iter()
-        .find(|b| b.name().eq_ignore_ascii_case(&bench_name))
-        .ok_or_else(|| format!("unknown benchmark {bench_name:?}; see `extrap benches`"))?;
+    let [bench_name, threads] = spec.finish_exact("extrap trace <bench> <threads> -o FILE")?;
+    let bench = resolve_bench(&bench_name)?;
     let threads: usize = threads
         .parse()
         .map_err(|e| format!("bad thread count: {e}"))?;
@@ -163,20 +159,17 @@ fn cmd_trace(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_translate(mut args: Vec<String>) -> Result<(), String> {
-    let out: PathBuf = take_flag(&mut args, "-o")?
+fn cmd_translate(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("translate", args);
+    let out: PathBuf = spec
+        .value("-o")?
         .ok_or("translate: -o FILE is required")?
         .into();
     let options = TranslateOptions {
-        event_overhead: parse_us(take_flag(&mut args, "--event-overhead")?, "event overhead")?,
-        switch_overhead: parse_us(
-            take_flag(&mut args, "--switch-overhead")?,
-            "switch overhead",
-        )?,
+        event_overhead: parse_us(spec.value("--event-overhead")?, "event overhead")?,
+        switch_overhead: parse_us(spec.value("--switch-overhead")?, "switch overhead")?,
     };
-    let [input]: [String; 1] = args
-        .try_into()
-        .map_err(|_| "usage: extrap translate FILE -o FILE".to_string())?;
+    let [input] = spec.finish_exact("extrap translate FILE -o FILE")?;
     let trace = extrap_trace::reader::read_program_file(&input).map_err(|e| e.to_string())?;
     let set = extrap_trace::translate(&trace, options).map_err(|e| e.to_string())?;
     extrap_trace::writer::write_set_file(&out, &set).map_err(|e| e.to_string())?;
@@ -188,14 +181,17 @@ fn cmd_translate(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn load_params(args: &mut Vec<String>) -> Result<SimParams, String> {
-    let mut params = if let Some(file) = take_flag(args, "--params")? {
+/// Takes the `--params`/`--machine`/`--set`/`--scheduler` family off a
+/// spec — the parameter-loading protocol every simulating subcommand
+/// (local or remote) shares.
+fn load_params(spec: &mut ArgSpec) -> Result<SimParams, String> {
+    let mut params = if let Some(file) = spec.value("--params")? {
         let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
         SimParams::from_config_text(&text)?
     } else {
-        parse_machine(take_flag(args, "--machine")?)?
+        parse_machine(spec.value("--machine")?)?
     };
-    for kv in take_all_flags(args, "--set")? {
+    for kv in spec.values("--set")? {
         let (key, value) = kv
             .split_once('=')
             .ok_or_else(|| format!("--set expects KEY=VALUE, got {kv:?}"))?;
@@ -204,19 +200,18 @@ fn load_params(args: &mut Vec<String>) -> Result<SimParams, String> {
         text.push_str(&format!("{} = {}\n", key.trim(), value.trim()));
         params = SimParams::from_config_text(&text)?;
     }
-    if let Some(v) = take_flag(args, "--scheduler")? {
+    if let Some(v) = spec.value("--scheduler")? {
         params.scheduler = SchedulerKind::parse(&v)
             .ok_or_else(|| format!("unknown scheduler {v:?} (heap|calendar|auto)"))?;
     }
     Ok(params)
 }
 
-fn cmd_simulate(mut args: Vec<String>) -> Result<(), String> {
-    let params = load_params(&mut args)?;
-    let predicted_out = take_flag(&mut args, "--predicted")?;
-    let [input]: [String; 1] = args
-        .try_into()
-        .map_err(|_| "usage: extrap simulate FILE [--machine M]".to_string())?;
+fn cmd_simulate(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("simulate", args);
+    let params = load_params(&mut spec)?;
+    let predicted_out = spec.value("--predicted")?;
+    let [input] = spec.finish_exact("extrap simulate FILE [--machine M]")?;
     let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
     let pred = Extrapolator::new(params)
         .run(&set)
@@ -264,12 +259,24 @@ fn cmd_simulate(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `extrap sweep`: extrapolate a benchmark × processor-count grid in
-/// parallel through the sweep engine and print one row per benchmark.
-fn cmd_sweep(mut args: Vec<String>) -> Result<(), String> {
-    let params = load_params(&mut args)?;
-    let scale = parse_scale(take_flag(&mut args, "--scale")?)?;
-    let procs: Vec<usize> = match take_flag(&mut args, "--procs")? {
+/// A fully parsed sweep request, shared by the local `sweep` command
+/// and `client sweep` (which ships it over the wire instead of running
+/// it in-process).
+pub(crate) struct SweepRequest {
+    pub(crate) benches: Vec<Bench>,
+    pub(crate) procs: Vec<usize>,
+    pub(crate) scale: Scale,
+    pub(crate) params: SimParams,
+    pub(crate) jobs: usize,
+    pub(crate) csv: bool,
+}
+
+/// Parses the sweep flag family plus the bench-list positional.  The
+/// usage string adapts to the wrapping subcommand via `spec.cmd()`.
+pub(crate) fn parse_sweep_request(mut spec: ArgSpec) -> Result<SweepRequest, String> {
+    let params = load_params(&mut spec)?;
+    let scale = parse_scale(spec.value("--scale")?)?;
+    let procs: Vec<usize> = match spec.value("--procs")? {
         None => vec![1, 2, 4, 8, 16, 32],
         Some(list) => list
             .split(',')
@@ -280,57 +287,37 @@ fn cmd_sweep(mut args: Vec<String>) -> Result<(), String> {
             })
             .collect::<Result<_, _>>()?,
     };
-    let jobs_flag = match take_flag(&mut args, "--jobs")? {
-        None => extrap_core::sweep::default_workers(),
-        Some(v) => match v.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => return Err(format!("--jobs needs a positive integer, got {v:?}")),
-        },
-    };
-    let csv = take_bool_flag(&mut args, "--csv");
-    let [bench_list]: [String; 1] = args
-        .try_into()
-        .map_err(|_| "usage: extrap sweep <bench>[,<bench>...] [--procs LIST]".to_string())?;
+    let jobs = spec
+        .positive("--jobs")?
+        .unwrap_or_else(extrap_core::sweep::default_workers);
+    let csv = spec.switch("--csv");
+    let usage = format!("extrap {} <bench>[,<bench>...] [--procs LIST]", spec.cmd());
+    let [bench_list] = spec.finish_exact(&usage)?;
     let benches: Vec<Bench> = bench_list
         .split(',')
-        .map(|name| {
-            Bench::all()
-                .into_iter()
-                .find(|b| b.name().eq_ignore_ascii_case(name.trim()))
-                .ok_or_else(|| format!("unknown benchmark {name:?}; see `extrap benches`"))
-        })
+        .map(resolve_bench)
         .collect::<Result<_, _>>()?;
+    Ok(SweepRequest {
+        benches,
+        procs,
+        scale,
+        params,
+        jobs,
+        csv,
+    })
+}
 
-    // The sweep report only prints times, so skip the predicted traces.
-    let mut params = params;
-    params.record_mode = extrap_core::RecordMode::MetricsOnly;
-    let grid = SweepGrid::new()
-        .workloads(benches.iter().map(|b| b.name().to_string()))
-        .procs(procs.iter().copied())
-        .params(params)
-        .jobs();
-    let cache = SharedTraceCache::new();
-    let results = extrap_core::sweep(&grid, jobs_flag, &cache, |(name, n)| {
-        let bench = Bench::all()
-            .into_iter()
-            .find(|b| b.name() == name.as_str())
-            .expect("benchmark validated above");
-        extrap_trace::translate(&bench.trace(*n, scale), Default::default())
-    });
-
-    let mut rows = Vec::new();
-    for (job, result) in grid.iter().zip(results) {
-        let pred = result.map_err(|e| e.to_string())?;
-        rows.push((job.key.0.clone(), job.key.1, pred.exec_time().as_ms()));
-    }
+/// Prints sweep rows (`(bench, procs, time_ms)` in grid order) in the
+/// CSV or aligned-table form — identical for local and served sweeps.
+pub(crate) fn render_sweep_rows(rows: &[(String, usize, f64)], procs: &[usize], csv: bool) {
     if csv {
         println!("bench,procs,time_ms");
-        for (bench, n, ms) in &rows {
+        for (bench, n, ms) in rows {
             println!("{bench},{n},{ms:.6}");
         }
     } else {
         print!("{:>10}", "bench");
-        for &n in &procs {
+        for &n in procs {
             print!(" {n:>10}");
         }
         println!("   [ms across P]");
@@ -341,10 +328,39 @@ fn cmd_sweep(mut args: Vec<String>) -> Result<(), String> {
             }
             println!();
         }
+    }
+}
+
+/// `extrap sweep`: extrapolate a benchmark × processor-count grid in
+/// parallel through the sweep engine and print one row per benchmark.
+fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
+    let req = parse_sweep_request(ArgSpec::new("sweep", args))?;
+
+    // The sweep report only prints times, so skip the predicted traces.
+    let mut params = req.params;
+    params.record_mode = extrap_core::RecordMode::MetricsOnly;
+    let grid = SweepGrid::new()
+        .workloads(req.benches.iter().map(|b| b.name().to_string()))
+        .procs(req.procs.iter().copied())
+        .params(params)
+        .jobs();
+    let cache = SharedTraceCache::new();
+    let results = extrap_core::sweep(&grid, req.jobs, &cache, |(name, n)| {
+        let bench = resolve_bench(name).expect("benchmark validated above");
+        extrap_trace::translate(&bench.trace(*n, req.scale), Default::default())
+    });
+
+    let mut rows = Vec::new();
+    for (job, result) in grid.iter().zip(results) {
+        let pred = result.map_err(|e| e.to_string())?;
+        rows.push((job.key.0.clone(), job.key.1, pred.exec_time().as_ms()));
+    }
+    render_sweep_rows(&rows, &req.procs, req.csv);
+    if !req.csv {
         println!(
             "({} jobs, {} workers, {} translations)",
             grid.len(),
-            jobs_flag,
+            req.jobs,
             cache.translations()
         );
     }
@@ -352,9 +368,7 @@ fn cmd_sweep(mut args: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_report(args: Vec<String>) -> Result<(), String> {
-    let [input]: [String; 1] = args
-        .try_into()
-        .map_err(|_| "usage: extrap report FILE".to_string())?;
+    let [input] = ArgSpec::new("report", args).finish_exact("extrap report FILE")?;
     let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
     let stats = TraceStats::from_set(&set);
     println!("threads:           {}", set.n_threads());
@@ -371,23 +385,17 @@ fn cmd_report(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_timeline(mut args: Vec<String>) -> Result<(), String> {
-    let width = match take_flag(&mut args, "--width")? {
-        Some(w) => w.parse::<usize>().map_err(|e| format!("bad width: {e}"))?,
-        None => 100,
-    };
-    let [input]: [String; 1] = args
-        .try_into()
-        .map_err(|_| "usage: extrap timeline FILE [--width N]".to_string())?;
+fn cmd_timeline(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("timeline", args);
+    let width = spec.parsed::<usize>("--width")?.unwrap_or(100);
+    let [input] = spec.finish_exact("extrap timeline FILE [--width N]")?;
     let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
     print!("{}", extrap_trace::timeline::render(&set, width));
     Ok(())
 }
 
 fn cmd_check(args: Vec<String>) -> Result<(), String> {
-    let [input]: [String; 1] = args
-        .try_into()
-        .map_err(|_| "usage: extrap check FILE".to_string())?;
+    let [input] = ArgSpec::new("check", args).finish_exact("extrap check FILE")?;
     let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
     let report = extrap_trace::determinism_report(&set);
     println!("remote writes: {}", report.remote_writes);
@@ -428,9 +436,11 @@ fn cmd_check(args: Vec<String>) -> Result<(), String> {
 /// filtering, or — under `--deny-warnings` — any warning does.
 ///
 /// `--fix` switches to repair mode: see [`cmd_lint_fix`].
-fn cmd_lint(mut args: Vec<String>) -> Result<(), String> {
-    if take_bool_flag(&mut args, "--codes") {
-        if !args.is_empty() {
+fn cmd_lint(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("lint", args);
+    if spec.switch("--codes") {
+        let leftovers = spec.finish()?;
+        if !leftovers.is_empty() {
             return Err("lint: --codes takes no other arguments".to_string());
         }
         for code in extrap_lint::Code::all() {
@@ -444,30 +454,27 @@ fn cmd_lint(mut args: Vec<String>) -> Result<(), String> {
         }
         return Ok(());
     }
-    let json = match take_flag(&mut args, "--format")?.as_deref() {
+    let json = match spec.value("--format")?.as_deref() {
         None | Some("text") => false,
         Some("json") => true,
         Some(other) => return Err(format!("lint: unknown format {other:?} (text|json)")),
     };
-    let machine = take_flag(&mut args, "--machine")?;
-    let jobs = match take_flag(&mut args, "--jobs")? {
-        None => extrap_core::sweep::default_workers(),
-        Some(v) => match v.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => return Err(format!("--jobs needs a positive integer, got {v:?}")),
-        },
-    };
-    let deny_warnings = take_bool_flag(&mut args, "--deny-warnings");
-    let allow: Vec<extrap_lint::Code> = take_all_flags(&mut args, "--allow")?
+    let machine = spec.value("--machine")?;
+    let jobs = spec
+        .positive("--jobs")?
+        .unwrap_or_else(extrap_core::sweep::default_workers);
+    let deny_warnings = spec.switch("--deny-warnings");
+    let allow: Vec<extrap_lint::Code> = spec
+        .values("--allow")?
         .iter()
         .map(|s| {
             extrap_lint::Code::parse(s)
                 .ok_or_else(|| format!("--allow: unknown code {s:?} (see `extrap lint --codes`)"))
         })
         .collect::<Result<_, _>>()?;
-    let fix = take_bool_flag(&mut args, "--fix");
-    let dry_run = take_bool_flag(&mut args, "--dry-run");
-    let out_path = take_flag(&mut args, "--out")?;
+    let fix = spec.switch("--fix");
+    let dry_run = spec.switch("--dry-run");
+    let out_path = spec.value("--out")?;
     if !fix && (dry_run || out_path.is_some()) {
         return Err("lint: --dry-run/--out only make sense with --fix".to_string());
     }
@@ -478,18 +485,17 @@ fn cmd_lint(mut args: Vec<String>) -> Result<(), String> {
         if machine.is_some() {
             return Err("lint: --fix repairs trace files; drop --machine".to_string());
         }
-        let [input]: [String; 1] = args
-            .try_into()
-            .map_err(|_| "usage: extrap lint --fix FILE [--out FILE] [--dry-run]".to_string())?;
+        let [input] = spec.finish_exact("extrap lint --fix FILE [--out FILE] [--dry-run]")?;
         return cmd_lint_fix(&input, out_path, dry_run, &allow, deny_warnings);
     }
-    if args.is_empty() && machine.is_none() {
+    let inputs = spec.finish()?;
+    if inputs.is_empty() && machine.is_none() {
         return Err(
             "usage: extrap lint FILE|DIR... [--machine M] [--format text|json]".to_string(),
         );
     }
 
-    let files = expand_lint_inputs(&args)?;
+    let files = expand_lint_inputs(&inputs)?;
 
     // (label, report) per linted input: the machine preset first
     // (serially), then every file in path order.
@@ -731,9 +737,8 @@ fn json_escape(s: &str) -> String {
 }
 
 fn cmd_diff(args: Vec<String>) -> Result<(), String> {
-    let [input, ma, mb]: [String; 3] = args
-        .try_into()
-        .map_err(|_| "usage: extrap diff FILE <machineA> <machineB>".to_string())?;
+    let [input, ma, mb] =
+        ArgSpec::new("diff", args).finish_exact("extrap diff FILE <machineA> <machineB>")?;
     let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
     let pa = parse_machine(Some(ma.clone()))?;
     let pb = parse_machine(Some(mb.clone()))?;
@@ -750,9 +755,11 @@ fn cmd_diff(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_params(mut args: Vec<String>) -> Result<(), String> {
-    let params = parse_machine(take_flag(&mut args, "--machine")?)?;
-    if !args.is_empty() {
+fn cmd_params(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("params", args);
+    let params = parse_machine(spec.value("--machine")?)?;
+    let leftovers = spec.finish()?;
+    if !leftovers.is_empty() {
         return Err("usage: extrap params [--machine M]".to_string());
     }
     print!("{}", params.to_config_text());

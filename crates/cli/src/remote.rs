@@ -1,0 +1,225 @@
+//! `extrap serve` and `extrap client` — the daemon and its CLI driver.
+//!
+//! `serve` runs an `extrap-serve` daemon in the foreground until a
+//! client sends `Shutdown` (it then drains in-flight jobs and exits).
+//! `client` speaks the versioned wire protocol to a running daemon; its
+//! `sweep --csv` output is byte-identical to the in-process
+//! `extrap sweep --csv`, because both render the same exact integer
+//! nanoseconds through the same formatter.
+
+use crate::args::ArgSpec;
+use crate::{parse_sweep_request, render_sweep_rows, scale_name};
+use extrap_proto::SweepSpec;
+use extrap_serve::client::Client;
+use extrap_serve::{ServeConfig, Server};
+use extrap_time::TimeNs;
+use std::io::Write;
+use std::time::Duration;
+
+/// Where `extrap client` looks for a daemon when `--addr` is omitted;
+/// matches `ServeConfig::default()`.
+const DEFAULT_ADDR: &str = "127.0.0.1:4755";
+
+/// `extrap serve`: run the extrapolation daemon in the foreground.
+pub(crate) fn cmd_serve(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("serve", args);
+    let mut config = ServeConfig::default();
+    if let Some(addr) = spec.value("--addr")? {
+        config.addr = addr;
+    }
+    if let Some(n) = spec.positive("--workers")? {
+        config.workers = n;
+    }
+    if let Some(n) = spec.positive("--sweep-workers")? {
+        config.sweep_workers = n;
+    }
+    if let Some(mb) = spec.parsed::<usize>("--mem-budget-mb")? {
+        config.mem_budget_bytes = mb << 20;
+    }
+    if let Some(n) = spec.positive("--max-inflight")? {
+        config.max_inflight_jobs = n;
+    }
+    if let Some(n) = spec.positive("--max-conn-inflight")? {
+        config.max_inflight_per_conn = n;
+    }
+    if let Some(n) = spec.positive("--max-connections")? {
+        config.max_connections = n;
+    }
+    if let Some(ms) = spec.parsed::<u64>("--timeout-ms")? {
+        config.request_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = spec.parsed::<u64>("--batch-window-ms")? {
+        config.batch_window = Duration::from_millis(ms);
+    }
+    let leftovers = spec.finish()?;
+    if !leftovers.is_empty() {
+        return Err("serve: takes flags only; see `extrap help`".to_string());
+    }
+
+    let server = Server::start(config).map_err(|e| e.to_string())?;
+    // Scripts (and the CI smoke job) wait for this line before
+    // connecting, so it must hit the pipe before we block in join().
+    println!("extrap-serve listening on {}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+    server.join();
+    println!("extrap-serve drained; bye");
+    Ok(())
+}
+
+/// `extrap client <sweep|simulate|stats|shutdown>`: drive a daemon.
+pub(crate) fn cmd_client(args: Vec<String>) -> Result<(), String> {
+    let mut it = args.into_iter();
+    let sub = it
+        .next()
+        .ok_or("usage: extrap client sweep|simulate|stats|shutdown [--addr HOST:PORT]")?;
+    let rest: Vec<String> = it.collect();
+    match sub.as_str() {
+        "sweep" => client_sweep(rest),
+        "simulate" => client_simulate(rest),
+        "stats" => client_stats(rest),
+        "shutdown" => client_shutdown(rest),
+        other => Err(format!(
+            "client: unknown subcommand {other:?} (sweep|simulate|stats|shutdown)"
+        )),
+    }
+}
+
+fn take_addr(spec: &mut ArgSpec) -> Result<String, String> {
+    Ok(spec
+        .value("--addr")?
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string()))
+}
+
+fn connect(addr: &str) -> Result<Client, String> {
+    Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn client_sweep(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("client sweep", args);
+    let addr = take_addr(&mut spec)?;
+    let req = parse_sweep_request(spec)?;
+
+    let wire = SweepSpec {
+        benches: req.benches.iter().map(|b| b.name().to_string()).collect(),
+        procs: req.procs.iter().map(|&n| n as u32).collect(),
+        scale: scale_name(req.scale).to_string(),
+        params: req.params.to_config_text(),
+    };
+    let n_points = wire.benches.len() * wire.procs.len();
+    let rows = connect(&addr)?.sweep(wire).map_err(|e| e.to_string())?;
+
+    let rendered: Vec<(String, usize, f64)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.bench.clone(),
+                r.procs as usize,
+                TimeNs(r.exec_time_ns).as_ms(),
+            )
+        })
+        .collect();
+    render_sweep_rows(&rendered, &req.procs, req.csv);
+    if !req.csv {
+        println!("({n_points} jobs via {addr})");
+    }
+    Ok(())
+}
+
+fn client_simulate(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("client simulate", args);
+    let addr = take_addr(&mut spec)?;
+    let params = crate::load_params(&mut spec)?;
+    let [input] = spec.finish_exact("extrap client simulate FILE [--addr HOST:PORT]")?;
+    let payload = std::fs::read(&input).map_err(|e| format!("{input}: {e}"))?;
+
+    let mut client = connect(&addr)?;
+    let (trace, n_threads, resident) = client
+        .submit_trace(&input, payload)
+        .map_err(|e| e.to_string())?;
+    let result = client.simulate(trace, &params.to_config_text());
+    // Best-effort: free the server-side entry whatever the outcome.
+    let _ = client.evict(trace);
+    let p = result.map_err(|e| e.to_string())?;
+
+    println!("trace:                    {input} ({n_threads} threads, {resident} bytes resident)");
+    println!(
+        "predicted execution time: {:.3} ms",
+        TimeNs(p.exec_time_ns).as_ms()
+    );
+    println!("processors:               {}", p.n_procs);
+    println!("barriers completed:       {}", p.barriers);
+    println!("messages / bytes:         {} / {}", p.messages, p.bytes);
+    println!(
+        "mean contention factor:   {:.3}",
+        p.mean_contention_factor()
+    );
+    println!("-- per-thread breakdown (ms) --");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "thread", "compute", "send", "service", "rem-wait", "bar-wait", "end"
+    );
+    for (i, b) in p.per_thread.iter().enumerate() {
+        println!(
+            "{:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            i,
+            b.compute_ns as f64 / 1e6,
+            b.send_overhead_ns as f64 / 1e6,
+            b.service_ns as f64 / 1e6,
+            b.remote_wait_ns as f64 / 1e6,
+            b.barrier_wait_ns as f64 / 1e6,
+            TimeNs(b.end_time_ns).as_ms(),
+        );
+    }
+    Ok(())
+}
+
+fn client_stats(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("client stats", args);
+    let addr = take_addr(&mut spec)?;
+    let leftovers = spec.finish()?;
+    if !leftovers.is_empty() {
+        return Err("client stats: takes --addr only".to_string());
+    }
+    let s = connect(&addr)?.stats().map_err(|e| e.to_string())?;
+    println!("uptime:             {:.1} s", s.uptime_ms as f64 / 1e3);
+    println!(
+        "connections:        {} total, {} active",
+        s.connections, s.active_connections
+    );
+    println!("requests:           {}", s.requests);
+    println!(
+        "jobs:               {} in flight, {} done, {} failed",
+        s.jobs_inflight, s.jobs_done, s.jobs_failed
+    );
+    println!(
+        "sweep batches:      {} ({} coalesced riders)",
+        s.sweep_batches, s.coalesced_sweeps
+    );
+    println!(
+        "resident:           {} traces, {} bytes (budget {})",
+        s.traces_resident,
+        s.resident_bytes,
+        if s.mem_budget_bytes == 0 {
+            "unlimited".to_string()
+        } else {
+            format!("{} bytes", s.mem_budget_bytes)
+        }
+    );
+    println!("evictions:          {}", s.evictions);
+    println!("translations:       {}", s.translations);
+    Ok(())
+}
+
+fn client_shutdown(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("client shutdown", args);
+    let addr = take_addr(&mut spec)?;
+    let leftovers = spec.finish()?;
+    if !leftovers.is_empty() {
+        return Err("client shutdown: takes --addr only".to_string());
+    }
+    connect(&addr)?.shutdown().map_err(|e| e.to_string())?;
+    println!("shutdown requested; {addr} is draining");
+    Ok(())
+}

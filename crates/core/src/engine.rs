@@ -58,6 +58,8 @@ pub enum ExtrapError {
         /// Threads that never completed.
         unfinished: Vec<ThreadId>,
     },
+    /// The job was cancelled before it ran (sweep shutdown / drain).
+    Cancelled,
 }
 
 impl fmt::Display for ExtrapError {
@@ -68,6 +70,7 @@ impl fmt::Display for ExtrapError {
             ExtrapError::Stuck { unfinished } => {
                 write!(f, "simulation stalled; unfinished threads: {unfinished:?}")
             }
+            ExtrapError::Cancelled => write!(f, "job cancelled before it ran"),
         }
     }
 }

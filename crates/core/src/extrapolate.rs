@@ -21,7 +21,7 @@ pub fn extrapolate(traces: &TraceSet, params: &SimParams) -> Result<Prediction, 
 /// Convenience wrapper: translates a raw 1-processor program trace and
 /// extrapolates it in one call.
 ///
-/// Thin wrapper over [`Extrapolator::run_program`].
+/// Thin wrapper over [`Extrapolator::run`].
 pub fn extrapolate_program(
     trace: &ProgramTrace,
     translate_options: TranslateOptions,
@@ -29,7 +29,7 @@ pub fn extrapolate_program(
 ) -> Result<Prediction, ExtrapError> {
     Extrapolator::new(params.clone())
         .translate_options(translate_options)
-        .run_program(trace)
+        .run(trace)
 }
 
 #[cfg(test)]

@@ -61,8 +61,8 @@ pub use params::{
 };
 pub use processor::{CompiledProgram, CompiledThread};
 pub use scalability::{Scalability, ScalePoint};
-pub use session::Extrapolator;
+pub use session::{Extrapolator, RunInput};
 pub use sweep::{
-    claim_chunk, parallel_map, parallel_map_with, sweep, CachedTrace, SharedTraceCache, SweepError,
-    SweepGrid, SweepJob, TraceValidator,
+    claim_chunk, parallel_map, parallel_map_with, sweep, sweep_cancellable, CachedTrace,
+    CancelToken, SharedTraceCache, SweepError, SweepGrid, SweepJob, TraceValidator,
 };

@@ -228,6 +228,20 @@ impl CompiledProgram {
         self.threads.iter().map(|t| t.ops.len()).sum()
     }
 
+    /// Approximate heap footprint of the compiled scripts in bytes —
+    /// the accounting probe cache-eviction budgets are charged against.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<CompiledProgram>()
+            + self
+                .threads
+                .iter()
+                .map(|t| {
+                    std::mem::size_of::<CompiledThread>()
+                        + t.ops.capacity() * std::mem::size_of::<Op>()
+                })
+                .sum::<usize>()
+    }
+
     /// Estimated peak event-queue occupancy for a simulation of this
     /// program: a small constant per thread (grant + completion + poll
     /// tick) plus the busiest between-barrier burst of non-blocking

@@ -33,6 +33,53 @@ use crate::processor::CompiledProgram;
 use extrap_sim::SchedulerKind;
 use extrap_trace::{ProgramTrace, TraceSet, TranslateOptions};
 
+/// The one input a [`run`](Extrapolator::run) call extrapolates, at
+/// whatever pipeline stage the caller happens to hold it.
+///
+/// This is the job-oriented face of the session API: every entry point
+/// that used to be its own `run*` method is now a variant, so in-process
+/// callers, the `extrap` CLI, and the `extrap-serve` daemon all funnel
+/// through the same `run(input)` request shape.  The common cases
+/// convert implicitly (`&TraceSet`, `&CompiledProgram`, `&ProgramTrace`
+/// all `Into<RunInput>`); the sweep hot path names its variant
+/// explicitly to thread a scratch buffer through.
+pub enum RunInput<'a> {
+    /// Already-translated per-thread traces (simulated directly).
+    Traces(&'a TraceSet),
+    /// An already-compiled program (compile once with
+    /// [`CompiledProgram::compile`], replay under many sessions).
+    Compiled(&'a CompiledProgram),
+    /// A compiled program replayed through the caller's recycled
+    /// scratch buffers — the sweep hot path.
+    CompiledScratch {
+        /// The compiled program to replay.
+        program: &'a CompiledProgram,
+        /// Reused simulation buffers (one per worker, typically).
+        scratch: &'a mut SimScratch,
+    },
+    /// A raw 1-processor program trace; translated with the session's
+    /// [`TranslateOptions`] first.
+    Program(&'a ProgramTrace),
+}
+
+impl<'a> From<&'a TraceSet> for RunInput<'a> {
+    fn from(traces: &'a TraceSet) -> RunInput<'a> {
+        RunInput::Traces(traces)
+    }
+}
+
+impl<'a> From<&'a CompiledProgram> for RunInput<'a> {
+    fn from(program: &'a CompiledProgram) -> RunInput<'a> {
+        RunInput::Compiled(program)
+    }
+}
+
+impl<'a> From<&'a ProgramTrace> for RunInput<'a> {
+    fn from(trace: &'a ProgramTrace) -> RunInput<'a> {
+        RunInput::Program(trace)
+    }
+}
+
 /// A configured extrapolation session: target-machine parameters plus
 /// translation options, applied to as many traces as you like.
 #[derive(Clone, Debug, Default)]
@@ -120,32 +167,57 @@ impl Extrapolator {
         self.translate
     }
 
-    /// Extrapolates already-translated per-thread traces.
-    pub fn run(&self, traces: &TraceSet) -> Result<Prediction, ExtrapError> {
-        engine::run(traces, &self.params)
+    /// Extrapolates one [`RunInput`] — translated traces, a compiled
+    /// program (with or without caller-provided scratch buffers), or a
+    /// raw 1-processor program trace.
+    ///
+    /// This is the session API's single entry point; the former
+    /// `run_compiled` / `run_compiled_scratch` / `run_program` methods
+    /// survive as thin wrappers over it.  `&TraceSet`,
+    /// `&CompiledProgram`, and `&ProgramTrace` convert implicitly, so
+    /// pre-redesign `run(&traces)` call sites compile unchanged.
+    pub fn run<'a>(&self, input: impl Into<RunInput<'a>>) -> Result<Prediction, ExtrapError> {
+        match input.into() {
+            RunInput::Traces(traces) => engine::run(traces, &self.params),
+            RunInput::Compiled(program) => engine::run_compiled(program, &self.params),
+            RunInput::CompiledScratch { program, scratch } => {
+                engine::run_compiled_scratch(program, &self.params, scratch)
+            }
+            RunInput::Program(trace) => {
+                let set = extrap_trace::translate(trace, self.translate)?;
+                engine::run(&set, &self.params)
+            }
+        }
     }
 
-    /// Extrapolates an already-compiled program (compile once with
-    /// [`CompiledProgram::compile`], replay under many sessions).
+    /// Extrapolates an already-compiled program.
+    ///
+    /// Deprecated-by-doc: prefer `run(&program)` (or
+    /// [`RunInput::Compiled`]); this wrapper remains for migration only.
     pub fn run_compiled(&self, program: &CompiledProgram) -> Result<Prediction, ExtrapError> {
-        engine::run_compiled(program, &self.params)
+        self.run(program)
     }
 
     /// Like [`run_compiled`](Extrapolator::run_compiled), reusing the
-    /// caller's scratch buffers — the sweep hot path.
+    /// caller's scratch buffers.
+    ///
+    /// Deprecated-by-doc: prefer `run(RunInput::CompiledScratch { .. })`;
+    /// this wrapper remains for migration only.
     pub fn run_compiled_scratch(
         &self,
         program: &CompiledProgram,
         scratch: &mut SimScratch,
     ) -> Result<Prediction, ExtrapError> {
-        engine::run_compiled_scratch(program, &self.params, scratch)
+        self.run(RunInput::CompiledScratch { program, scratch })
     }
 
     /// Translates a raw 1-processor program trace with the session's
     /// [`TranslateOptions`] and extrapolates it.
+    ///
+    /// Deprecated-by-doc: prefer `run(&trace)` (or
+    /// [`RunInput::Program`]); this wrapper remains for migration only.
     pub fn run_program(&self, trace: &ProgramTrace) -> Result<Prediction, ExtrapError> {
-        let set = extrap_trace::translate(trace, self.translate)?;
-        self.run(&set)
+        self.run(trace)
     }
 }
 
@@ -212,6 +284,38 @@ mod tests {
         let session = Extrapolator::new(machine::default_distributed())
             .with_params(|p| p.barrier.msg_size = 99);
         assert_eq!(session.params().barrier.msg_size, 99);
+    }
+
+    #[test]
+    fn all_run_input_forms_agree() {
+        use crate::processor::CompiledProgram;
+        let pt = program();
+        let ts = extrap_trace::translate(&pt, TranslateOptions::default()).unwrap();
+        let compiled = CompiledProgram::compile(&ts).unwrap();
+        let session = Extrapolator::new(machine::cm5());
+        let via_traces = session.run(&ts).unwrap();
+        let via_program = session.run(&pt).unwrap();
+        let via_compiled = session.run(&compiled).unwrap();
+        let mut scratch = SimScratch::default();
+        let via_scratch = session
+            .run(RunInput::CompiledScratch {
+                program: &compiled,
+                scratch: &mut scratch,
+            })
+            .unwrap();
+        for p in [&via_program, &via_compiled, &via_scratch] {
+            assert_eq!(via_traces.exec_time(), p.exec_time());
+            assert_eq!(via_traces.per_thread, p.per_thread);
+        }
+        // The deprecated-doc'd wrappers stay behaviour-identical.
+        assert_eq!(
+            session.run_compiled(&compiled).unwrap().exec_time(),
+            via_compiled.exec_time()
+        );
+        assert_eq!(
+            session.run_program(&pt).unwrap().exec_time(),
+            via_program.exec_time()
+        );
     }
 
     #[test]

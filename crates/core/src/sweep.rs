@@ -58,7 +58,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, OnceLock, RwLock};
 
 // ---------------------------------------------------------------------
@@ -94,6 +94,12 @@ impl CachedTrace {
     pub fn program(&self) -> &CompiledProgram {
         &self.program
     }
+
+    /// Approximate heap footprint (traces + compiled scripts) in bytes —
+    /// what a cache memory budget is charged for holding this entry.
+    pub fn resident_bytes(&self) -> usize {
+        self.traces.resident_bytes() + self.program.resident_bytes()
+    }
 }
 
 impl Deref for CachedTrace {
@@ -107,7 +113,17 @@ impl Deref for CachedTrace {
 /// A memoized translation outcome.  Translation errors are memoized as
 /// their rendered message (the error types own `io::Error`s and cannot
 /// be cloned); every later hit resurfaces the same failure.
-type CacheSlot = Arc<OnceLock<Result<Arc<CachedTrace>, String>>>;
+///
+/// The slot also carries the entry's last-touch stamp (a value drawn
+/// from the cache's logical clock on every hit), which is what the LRU
+/// eviction sweep orders entries by.
+#[derive(Debug, Default)]
+struct CacheSlot {
+    cell: OnceLock<Result<Arc<CachedTrace>, String>>,
+    last_used: AtomicU64,
+}
+
+type SlotRef = Arc<CacheSlot>;
 
 /// An opt-in validate-on-translate hook: runs over every freshly
 /// translated [`TraceSet`] before it is compiled and cached.  Returning
@@ -126,8 +142,10 @@ pub type TraceValidator = Arc<dyn Fn(&TraceSet) -> Result<(), String> + Send + S
 /// winner's value lands), and the outer [`RwLock`] is held only to look
 /// up or insert the slot, never during translation.
 pub struct SharedTraceCache<K = (&'static str, usize)> {
-    entries: RwLock<HashMap<K, CacheSlot>>,
+    entries: RwLock<HashMap<K, SlotRef>>,
     translations: AtomicUsize,
+    evictions: AtomicUsize,
+    clock: AtomicU64,
     validator: Option<TraceValidator>,
 }
 
@@ -137,6 +155,8 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
         SharedTraceCache {
             entries: RwLock::new(HashMap::new()),
             translations: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
             validator: None,
         }
     }
@@ -162,7 +182,11 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
         translate: impl FnOnce() -> Result<TraceSet, TraceError>,
     ) -> Result<Arc<CachedTrace>, ExtrapError> {
         let slot = self.slot(key);
-        let outcome = slot.get_or_init(|| {
+        slot.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        let outcome = slot.cell.get_or_init(|| {
             self.translations.fetch_add(1, Ordering::Relaxed);
             translate()
                 .and_then(|ts| match &self.validator {
@@ -185,7 +209,7 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
     }
 
     /// Looks up or inserts the per-key slot; never blocks on translation.
-    fn slot(&self, key: K) -> CacheSlot {
+    fn slot(&self, key: K) -> SlotRef {
         if let Some(slot) = self.entries.read().expect("cache lock").get(&key) {
             return Arc::clone(slot);
         }
@@ -196,6 +220,66 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
     /// How many translations actually ran (cache misses).
     pub fn translations(&self) -> usize {
         self.translations.load(Ordering::Relaxed)
+    }
+
+    /// How many entries have been evicted ([`evict`](Self::evict) and
+    /// [`evict_to_budget`](Self::evict_to_budget) combined).
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total resident bytes of every *completed* entry (in-flight
+    /// translations are not yet accounted; memoized errors count as
+    /// their message).  This is the probe a memory budget compares
+    /// against.
+    pub fn resident_bytes(&self) -> usize {
+        self.entries
+            .read()
+            .expect("cache lock")
+            .values()
+            .map(|slot| slot_bytes(slot))
+            .sum()
+    }
+
+    /// Drops one entry, returning the bytes it was holding (`None` if
+    /// the key is absent or its translation is still in flight — an
+    /// in-flight entry cannot be evicted out from under its builders).
+    /// Workers already holding the entry's `Arc` keep it alive until
+    /// they finish; eviction only forgets the cache's own reference, so
+    /// the next request for the key re-translates.
+    pub fn evict(&self, key: &K) -> Option<usize> {
+        let mut map = self.entries.write().expect("cache lock");
+        let slot = map.get(key)?;
+        slot.cell.get()?;
+        let bytes = slot_bytes(slot);
+        map.remove(key);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        Some(bytes)
+    }
+
+    /// Evicts least-recently-used completed entries until the resident
+    /// footprint is at or under `budget_bytes`, returning `(entries
+    /// evicted, bytes freed)`.  In-flight entries are skipped, so a
+    /// cache whose live translations alone exceed the budget simply
+    /// frees what it can.
+    pub fn evict_to_budget(&self, budget_bytes: usize) -> (usize, usize) {
+        let mut map = self.entries.write().expect("cache lock");
+        let mut resident: usize = map.values().map(|s| slot_bytes(s)).sum();
+        let (mut evicted, mut freed) = (0usize, 0usize);
+        while resident > budget_bytes {
+            let victim = map
+                .iter()
+                .filter(|(_, slot)| slot.cell.get().is_some())
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else { break };
+            let bytes = map.remove(&key).map(|s| slot_bytes(&s)).unwrap_or(0);
+            resident -= bytes;
+            freed += bytes;
+            evicted += 1;
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        (evicted, freed)
     }
 
     /// How many distinct keys have been requested.
@@ -212,6 +296,17 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
 impl<K: Eq + Hash + Clone> Default for SharedTraceCache<K> {
     fn default() -> Self {
         SharedTraceCache::new()
+    }
+}
+
+/// Resident footprint of one slot: the cached trace's bytes for
+/// successes, the rendered message for memoized errors, zero while the
+/// translation is still in flight.
+fn slot_bytes(slot: &CacheSlot) -> usize {
+    match slot.cell.get() {
+        Some(Ok(ct)) => std::mem::size_of::<CacheSlot>() + ct.resident_bytes(),
+        Some(Err(msg)) => std::mem::size_of::<CacheSlot>() + msg.len(),
+        None => 0,
     }
 }
 
@@ -452,7 +547,59 @@ where
     K: Eq + Hash + Clone + Send + Sync,
     F: Fn(&K) -> Result<TraceSet, TraceError> + Sync,
 {
+    sweep_cancellable(jobs, workers, cache, source, &CancelToken::new())
+}
+
+/// A shared cooperative cancellation flag.
+///
+/// Workers check it between jobs, never mid-simulation, so cancelling a
+/// sweep lets in-flight predictions finish (they stay deterministic)
+/// while every not-yet-started job comes back as
+/// [`ExtrapError::Cancelled`].  Cloning shares the flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag; every clone observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// [`sweep`] with cooperative cancellation: jobs not yet started when
+/// `cancel` fires fail with [`ExtrapError::Cancelled`] (carrying their
+/// key); jobs already simulating run to completion, so every returned
+/// `Ok` prediction is exactly what the uncancelled sweep would have
+/// produced.  The `extrap-serve` daemon drains in-flight work through
+/// this on forced shutdown.
+pub fn sweep_cancellable<K, F>(
+    jobs: &[SweepJob<K>],
+    workers: usize,
+    cache: &SharedTraceCache<K>,
+    source: F,
+    cancel: &CancelToken,
+) -> Vec<Result<Prediction, SweepError<K>>>
+where
+    K: Eq + Hash + Clone + Send + Sync,
+    F: Fn(&K) -> Result<TraceSet, TraceError> + Sync,
+{
     parallel_map_with(jobs, workers, SimScratch::default, |scratch, _, job| {
+        if cancel.is_cancelled() {
+            return Err(SweepError {
+                key: job.key.clone(),
+                error: ExtrapError::Cancelled,
+            });
+        }
         let cached = cache
             .get_or_translate(job.key.clone(), || source(&job.key))
             .map_err(|error| SweepError {
@@ -712,6 +859,77 @@ mod tests {
                 assert_eq!(a.per_thread, b.per_thread);
             }
         }
+    }
+
+    #[test]
+    fn eviction_frees_lru_entries_and_retranslates_on_demand() {
+        let cache: SharedTraceCache<usize> = SharedTraceCache::new();
+        for n in [2usize, 4, 8] {
+            cache.get_or_translate(n, || uniform(n)).unwrap();
+        }
+        assert_eq!(cache.len(), 3);
+        let full = cache.resident_bytes();
+        assert!(full > 0, "completed entries are accounted");
+
+        // Touch 2 so 4 becomes the LRU victim.
+        cache.get_or_translate(2, || uniform(2)).unwrap();
+        let bytes_4 = {
+            // Evicting a present key reports its footprint...
+            let b = cache.evict(&4).expect("4 is resident");
+            assert!(b > 0);
+            b
+        };
+        // ...and the key re-translates on the next request.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        cache.get_or_translate(4, || uniform(4)).unwrap();
+        assert_eq!(cache.translations(), 4, "4 was rebuilt after eviction");
+        assert!(cache.resident_bytes() >= full - bytes_4);
+
+        // A budget of zero clears everything; the cache stays usable.
+        let (evicted, freed) = cache.evict_to_budget(0);
+        assert_eq!(evicted, 3);
+        assert!(freed > 0);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert!(cache.is_empty());
+        cache.get_or_translate(2, || uniform(2)).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evict_to_budget_drops_least_recently_used_first() {
+        let cache: SharedTraceCache<usize> = SharedTraceCache::new();
+        for n in [2usize, 4, 8] {
+            cache.get_or_translate(n, || uniform(n)).unwrap();
+        }
+        // Refresh 2: eviction order must now be 4, then 8, then 2.
+        cache.get_or_translate(2, || uniform(2)).unwrap();
+        let target = cache.resident_bytes() - 1;
+        let (evicted, _) = cache.evict_to_budget(target);
+        assert_eq!(evicted, 1);
+        assert!(cache.evict(&4).is_none(), "4 was the LRU victim");
+        assert!(cache.evict(&2).is_some(), "2 was refreshed and survives");
+    }
+
+    #[test]
+    fn cancelled_sweep_fails_pending_jobs_with_cancelled() {
+        let jobs = SweepGrid::new()
+            .workloads(["uniform"])
+            .procs([1, 2, 4, 8])
+            .params(machine::ideal())
+            .jobs();
+        let cache = SharedTraceCache::new();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let results = sweep_cancellable(&jobs, 2, &cache, |&(_, n)| uniform(n), &cancel);
+        assert_eq!(results.len(), jobs.len());
+        for r in &results {
+            assert!(matches!(
+                r.as_ref().unwrap_err().error,
+                ExtrapError::Cancelled
+            ));
+        }
+        assert_eq!(cache.translations(), 0, "no work after cancellation");
     }
 
     #[test]

@@ -294,7 +294,7 @@ pub fn predict(
 ) -> Result<Prediction, ExpError> {
     let traces = h.cache.get(bench, n)?;
     extrap_core::Extrapolator::new(params.clone())
-        .run_compiled(traces.program())
+        .run(traces.program())
         .map_err(|e| ExpError::new(bench.name(), n, params, e))
 }
 
@@ -682,7 +682,7 @@ pub fn ablation_contention(h: &Harness) -> Result<(ContentionRows, f64), ExpErro
     let computed: Vec<Result<Row, ExpError>> = parallel_map(&benches, h.jobs, |_, bench| {
         let ts = h.cache.get(*bench, 16)?;
         let analytic = extrap_core::Extrapolator::new(params.clone())
-            .run_compiled(ts.program())
+            .run(ts.program())
             .map_err(|e| ExpError::new(bench.name(), 16, &params, e))?
             .exec_time();
         let detailed = reference

@@ -53,7 +53,7 @@ fn figure_sweeps_match_the_classic_full_record_path() {
         // no trace.
         let lean = Extrapolator::new(params.clone())
             .record_mode(RecordMode::MetricsOnly)
-            .run_compiled(traces.program())
+            .run(traces.program())
             .expect("lean run");
         assert_eq!(lean.per_thread, classic.per_thread);
         assert!(lean.predicted.threads.is_empty());

@@ -1,0 +1,617 @@
+//! The versioned wire codec: length-prefixed frames over any
+//! `Read`/`Write` pair, tagged little-endian payloads via the
+//! `extrap-trace::bytesio` primitives.
+//!
+//! ```text
+//! frame   := magic "XSRV" | len:u32le | payload[len]
+//! payload := version:u16le | tag:u8 | body
+//! ```
+//!
+//! Every decode is total: truncated bodies, unknown tags, version
+//! mismatches, and trailing garbage are all [`ProtoError`]s, never
+//! panics — a malformed client must not take a server worker down.
+//! Encoding is canonical (one byte string per value), so
+//! `encode(decode(bytes)) == bytes` for every accepted input; the
+//! protocol property tests drive this with randomized values.
+
+use crate::{
+    BreakdownRow, ErrorCode, JobId, PredictionSummary, Request, Response, ServerStats, SweepRow,
+    SweepSpec, TraceId,
+};
+use extrap_trace::bytesio::BufMut;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol revision; bumped on any wire-visible change.  A peer
+/// speaking a different version is rejected with
+/// [`ProtoError::Version`] at decode time.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Leading bytes of every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"XSRV";
+
+/// Upper bound a reader enforces on the declared payload length before
+/// allocating — large enough for paper-scale trace submissions, small
+/// enough that a corrupt length field cannot balloon memory.
+pub const MAX_FRAME_LEN: u32 = 256 << 20;
+
+/// Codec and framing failures.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The payload does not parse (truncated, unknown tag, trailing
+    /// bytes, bad enum value, non-UTF-8 string…).
+    Malformed(String),
+    /// The peer speaks a different protocol revision.
+    Version {
+        /// The version the peer sent.
+        got: u16,
+    },
+    /// The frame header's magic is wrong — not an extrap-serve peer.
+    BadMagic,
+    /// The declared payload length exceeds the reader's cap.
+    TooLarge {
+        /// Declared length.
+        len: u32,
+        /// Enforced cap.
+        max: u32,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o: {e}"),
+            ProtoError::Malformed(d) => write!(f, "malformed frame: {d}"),
+            ProtoError::Version { got } => {
+                write!(f, "protocol version {got} (expected {PROTO_VERSION})")
+            }
+            ProtoError::BadMagic => write!(f, "bad frame magic (not an extrap-serve peer)"),
+            ProtoError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&FRAME_MAGIC);
+    header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload.  `Ok(None)` is a clean end of stream —
+/// the peer closed exactly on a frame boundary; EOF anywhere else is
+/// malformed.  `max_len` caps the declared payload length (use
+/// [`MAX_FRAME_LEN`] unless the endpoint wants a tighter bound).
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut header = [0u8; 8];
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ProtoError::Malformed(format!(
+                    "eof after {got} header bytes"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    if header[..4] != FRAME_MAGIC {
+        return Err(ProtoError::BadMagic);
+    }
+    let len = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    if len > max_len {
+        return Err(ProtoError::TooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| match e.kind() {
+        io::ErrorKind::UnexpectedEof => {
+            ProtoError::Malformed(format!("eof inside a {len}-byte payload"))
+        }
+        _ => ProtoError::Io(e),
+    })?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Checked little-endian reader
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over a payload: every read reports
+/// truncation as an error instead of panicking like the raw
+/// `bytesio::Buf` getters.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() < n {
+            return Err(ProtoError::Malformed(format!(
+                "truncated: wanted {n} bytes, {} left",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| ProtoError::Malformed("non-UTF-8 string".into()))
+    }
+
+    /// A length-prefixed sequence decoded element-wise.
+    fn seq<T>(
+        &mut self,
+        mut item: impl FnMut(&mut Reader<'a>) -> Result<T, ProtoError>,
+    ) -> Result<Vec<T>, ProtoError> {
+        let count = self.u32()? as usize;
+        // Guard against absurd counts before allocating: every element
+        // needs at least one byte of body.
+        if count > self.buf.len() {
+            return Err(ProtoError::Malformed(format!(
+                "sequence of {count} elements in {}-byte body",
+                self.buf.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(item(self)?);
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed(format!(
+                "{} trailing bytes after the body",
+                self.buf.len()
+            )))
+        }
+    }
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn header(tag: u8) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.put_u16_le(PROTO_VERSION);
+    buf.put_u8(tag);
+    buf
+}
+
+fn open_payload<'a>(data: &'a [u8], what: &str) -> Result<(Reader<'a>, u8), ProtoError> {
+    let mut r = Reader::new(data);
+    let version = r.u16()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::Version { got: version });
+    }
+    let tag = r.u8()?;
+    if tag == 0 {
+        return Err(ProtoError::Malformed(format!("{what} tag 0")));
+    }
+    Ok((r, tag))
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+const REQ_SUBMIT: u8 = 1;
+const REQ_SIMULATE: u8 = 2;
+const REQ_SWEEP: u8 = 3;
+const REQ_FETCH: u8 = 4;
+const REQ_EVICT: u8 = 5;
+const REQ_STATS: u8 = 6;
+const REQ_SHUTDOWN: u8 = 7;
+
+/// Encodes one request as a frame payload (pass to [`write_frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::SubmitTrace { name, payload } => {
+            let mut buf = header(REQ_SUBMIT);
+            put_string(&mut buf, name);
+            put_bytes(&mut buf, payload);
+            buf
+        }
+        Request::Simulate { trace, params } => {
+            let mut buf = header(REQ_SIMULATE);
+            buf.put_u64_le(trace.0);
+            put_string(&mut buf, params);
+            buf
+        }
+        Request::Sweep(spec) => {
+            let mut buf = header(REQ_SWEEP);
+            buf.put_u32_le(spec.benches.len() as u32);
+            for b in &spec.benches {
+                put_string(&mut buf, b);
+            }
+            buf.put_u32_le(spec.procs.len() as u32);
+            for &p in &spec.procs {
+                buf.put_u32_le(p);
+            }
+            put_string(&mut buf, &spec.scale);
+            put_string(&mut buf, &spec.params);
+            buf
+        }
+        Request::FetchResult { job, wait_ms } => {
+            let mut buf = header(REQ_FETCH);
+            buf.put_u64_le(job.0);
+            buf.put_u32_le(*wait_ms);
+            buf
+        }
+        Request::Evict { trace } => {
+            let mut buf = header(REQ_EVICT);
+            buf.put_u64_le(trace.0);
+            buf
+        }
+        Request::Stats => header(REQ_STATS),
+        Request::Shutdown => header(REQ_SHUTDOWN),
+    }
+}
+
+/// Decodes one request payload; rejects version mismatches, unknown
+/// tags, truncation, and trailing bytes.
+pub fn decode_request(data: &[u8]) -> Result<Request, ProtoError> {
+    let (mut r, tag) = open_payload(data, "request")?;
+    let req = match tag {
+        REQ_SUBMIT => Request::SubmitTrace {
+            name: r.string()?,
+            payload: r.bytes()?,
+        },
+        REQ_SIMULATE => Request::Simulate {
+            trace: TraceId(r.u64()?),
+            params: r.string()?,
+        },
+        REQ_SWEEP => {
+            let benches = r.seq(|r| r.string())?;
+            let procs = r.seq(|r| r.u32())?;
+            Request::Sweep(SweepSpec {
+                benches,
+                procs,
+                scale: r.string()?,
+                params: r.string()?,
+            })
+        }
+        REQ_FETCH => Request::FetchResult {
+            job: JobId(r.u64()?),
+            wait_ms: r.u32()?,
+        },
+        REQ_EVICT => Request::Evict {
+            trace: TraceId(r.u64()?),
+        },
+        REQ_STATS => Request::Stats,
+        REQ_SHUTDOWN => Request::Shutdown,
+        other => {
+            return Err(ProtoError::Malformed(format!(
+                "unknown request tag {other}"
+            )))
+        }
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+const RSP_SUBMITTED: u8 = 1;
+const RSP_ACCEPTED: u8 = 2;
+const RSP_PENDING: u8 = 3;
+const RSP_PREDICTION: u8 = 4;
+const RSP_SWEEP_ROWS: u8 = 5;
+const RSP_EVICTED: u8 = 6;
+const RSP_STATS: u8 = 7;
+const RSP_ERROR: u8 = 8;
+const RSP_BYE: u8 = 9;
+
+/// Encodes one response as a frame payload (pass to [`write_frame`]).
+pub fn encode_response(rsp: &Response) -> Vec<u8> {
+    match rsp {
+        Response::Submitted {
+            trace,
+            n_threads,
+            resident_bytes,
+        } => {
+            let mut buf = header(RSP_SUBMITTED);
+            buf.put_u64_le(trace.0);
+            buf.put_u32_le(*n_threads);
+            buf.put_u64_le(*resident_bytes);
+            buf
+        }
+        Response::Accepted { job } => {
+            let mut buf = header(RSP_ACCEPTED);
+            buf.put_u64_le(job.0);
+            buf
+        }
+        Response::Pending { job } => {
+            let mut buf = header(RSP_PENDING);
+            buf.put_u64_le(job.0);
+            buf
+        }
+        Response::Prediction(p) => {
+            let mut buf = header(RSP_PREDICTION);
+            buf.put_u32_le(p.n_threads);
+            buf.put_u32_le(p.n_procs);
+            buf.put_u64_le(p.exec_time_ns);
+            buf.put_u64_le(p.barriers);
+            buf.put_u64_le(p.messages);
+            buf.put_u64_le(p.bytes);
+            buf.put_u64_le(p.contention_factor_sum.to_bits());
+            buf.put_u64_le(p.events_dispatched);
+            buf.put_u32_le(p.per_thread.len() as u32);
+            for b in &p.per_thread {
+                buf.put_u64_le(b.compute_ns);
+                buf.put_u64_le(b.send_overhead_ns);
+                buf.put_u64_le(b.service_ns);
+                buf.put_u64_le(b.remote_wait_ns);
+                buf.put_u64_le(b.barrier_wait_ns);
+                buf.put_u64_le(b.end_time_ns);
+            }
+            buf
+        }
+        Response::SweepRows(rows) => {
+            let mut buf = header(RSP_SWEEP_ROWS);
+            buf.put_u32_le(rows.len() as u32);
+            for row in rows {
+                put_string(&mut buf, &row.bench);
+                buf.put_u32_le(row.procs);
+                buf.put_u64_le(row.exec_time_ns);
+            }
+            buf
+        }
+        Response::Evicted { freed_bytes } => {
+            let mut buf = header(RSP_EVICTED);
+            buf.put_u64_le(*freed_bytes);
+            buf
+        }
+        Response::Stats(s) => {
+            let mut buf = header(RSP_STATS);
+            buf.put_u64_le(s.uptime_ms);
+            buf.put_u64_le(s.connections);
+            buf.put_u32_le(s.active_connections);
+            buf.put_u64_le(s.requests);
+            buf.put_u32_le(s.jobs_inflight);
+            buf.put_u64_le(s.jobs_done);
+            buf.put_u64_le(s.jobs_failed);
+            buf.put_u64_le(s.sweep_batches);
+            buf.put_u64_le(s.coalesced_sweeps);
+            buf.put_u32_le(s.traces_resident);
+            buf.put_u64_le(s.resident_bytes);
+            buf.put_u64_le(s.mem_budget_bytes);
+            buf.put_u64_le(s.evictions);
+            buf.put_u64_le(s.translations);
+            buf
+        }
+        Response::Error { code, detail } => {
+            let mut buf = header(RSP_ERROR);
+            buf.put_u8(code.as_u8());
+            put_string(&mut buf, detail);
+            buf
+        }
+        Response::Bye => header(RSP_BYE),
+    }
+}
+
+/// Decodes one response payload; rejects version mismatches, unknown
+/// tags, truncation, and trailing bytes.
+pub fn decode_response(data: &[u8]) -> Result<Response, ProtoError> {
+    let (mut r, tag) = open_payload(data, "response")?;
+    let rsp = match tag {
+        RSP_SUBMITTED => Response::Submitted {
+            trace: TraceId(r.u64()?),
+            n_threads: r.u32()?,
+            resident_bytes: r.u64()?,
+        },
+        RSP_ACCEPTED => Response::Accepted {
+            job: JobId(r.u64()?),
+        },
+        RSP_PENDING => Response::Pending {
+            job: JobId(r.u64()?),
+        },
+        RSP_PREDICTION => {
+            let n_threads = r.u32()?;
+            let n_procs = r.u32()?;
+            let exec_time_ns = r.u64()?;
+            let barriers = r.u64()?;
+            let messages = r.u64()?;
+            let bytes = r.u64()?;
+            let contention_factor_sum = r.f64()?;
+            let events_dispatched = r.u64()?;
+            let per_thread = r.seq(|r| {
+                Ok(BreakdownRow {
+                    compute_ns: r.u64()?,
+                    send_overhead_ns: r.u64()?,
+                    service_ns: r.u64()?,
+                    remote_wait_ns: r.u64()?,
+                    barrier_wait_ns: r.u64()?,
+                    end_time_ns: r.u64()?,
+                })
+            })?;
+            Response::Prediction(PredictionSummary {
+                n_threads,
+                n_procs,
+                exec_time_ns,
+                barriers,
+                messages,
+                bytes,
+                contention_factor_sum,
+                events_dispatched,
+                per_thread,
+            })
+        }
+        RSP_SWEEP_ROWS => Response::SweepRows(r.seq(|r| {
+            Ok(SweepRow {
+                bench: r.string()?,
+                procs: r.u32()?,
+                exec_time_ns: r.u64()?,
+            })
+        })?),
+        RSP_EVICTED => Response::Evicted {
+            freed_bytes: r.u64()?,
+        },
+        RSP_STATS => Response::Stats(ServerStats {
+            uptime_ms: r.u64()?,
+            connections: r.u64()?,
+            active_connections: r.u32()?,
+            requests: r.u64()?,
+            jobs_inflight: r.u32()?,
+            jobs_done: r.u64()?,
+            jobs_failed: r.u64()?,
+            sweep_batches: r.u64()?,
+            coalesced_sweeps: r.u64()?,
+            traces_resident: r.u32()?,
+            resident_bytes: r.u64()?,
+            mem_budget_bytes: r.u64()?,
+            evictions: r.u64()?,
+            translations: r.u64()?,
+        }),
+        RSP_ERROR => {
+            let raw = r.u8()?;
+            Response::Error {
+                code: ErrorCode::from_u8(raw)
+                    .ok_or_else(|| ProtoError::Malformed(format!("unknown error code {raw}")))?,
+                detail: r.string()?,
+            }
+        }
+        RSP_BYE => Response::Bye,
+        other => {
+            return Err(ProtoError::Malformed(format!(
+                "unknown response tag {other}"
+            )))
+        }
+    };
+    r.finish()?;
+    Ok(rsp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut pipe: Vec<u8> = Vec::new();
+        write_frame(&mut pipe, b"hello").unwrap();
+        write_frame(&mut pipe, b"").unwrap();
+        let mut cursor = io::Cursor::new(pipe);
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().as_deref(),
+            Some(&b""[..])
+        );
+        assert!(read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversize_and_bad_magic_frames_are_rejected() {
+        let mut pipe: Vec<u8> = Vec::new();
+        write_frame(&mut pipe, &[0u8; 32]).unwrap();
+        let err = read_frame(&mut io::Cursor::new(&pipe), 16).unwrap_err();
+        assert!(matches!(err, ProtoError::TooLarge { len: 32, max: 16 }));
+
+        let mut bad = pipe.clone();
+        bad[0] = b'Z';
+        let err = read_frame(&mut io::Cursor::new(&bad), MAX_FRAME_LEN).unwrap_err();
+        assert!(matches!(err, ProtoError::BadMagic));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut payload = encode_request(&Request::Stats);
+        payload[0] = 0xFF;
+        payload[1] = 0xFF;
+        let err = decode_request(&payload).unwrap_err();
+        assert!(matches!(err, ProtoError::Version { got: 0xFFFF }));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&Request::Stats);
+        payload.push(0);
+        let err = decode_request(&payload).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn absurd_sequence_counts_fail_before_allocating() {
+        // A sweep-rows response claiming u32::MAX rows in a tiny body.
+        let mut buf = header(RSP_SWEEP_ROWS);
+        buf.put_u32_le(u32::MAX);
+        let err = decode_response(&buf).unwrap_err();
+        assert!(err.to_string().contains("sequence"), "{err}");
+    }
+}

@@ -1,0 +1,113 @@
+//! The TCP surface: the accept loop and the per-connection frame loop.
+
+use crate::state::Service;
+use extrap_proto::{
+    decode_request, encode_response, read_frame, write_frame, ErrorCode, Response, MAX_FRAME_LEN,
+};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often an idle connection (or the accept loop) re-checks server
+/// state.  Short enough that shutdown feels immediate, long enough that
+/// idle polling costs nothing.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Accepts connections until shutdown begins.  The listener runs
+/// nonblocking so the loop can observe the drain flag between accepts.
+pub(crate) fn accept_loop(listener: TcpListener, service: &Arc<Service>) {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    while !service.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if !service.try_open_conn() {
+                    refuse(stream, "connection limit reached; retry later");
+                    continue;
+                }
+                let service = Arc::clone(service);
+                std::thread::Builder::new()
+                    .name("extrap-serve-conn".into())
+                    .spawn(move || {
+                        handle(stream, &service);
+                        service.conn_closed();
+                    })
+                    .expect("spawn connection thread");
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(IDLE_POLL),
+            // Transient accept errors (EMFILE, resets): back off, keep
+            // serving the connections we already have.
+            Err(_) => std::thread::sleep(IDLE_POLL),
+        }
+    }
+}
+
+/// Best-effort `Busy` answer for a connection refused at the limit.
+fn refuse(mut stream: TcpStream, detail: &str) {
+    let payload = encode_response(&Response::Error {
+        code: ErrorCode::Busy,
+        detail: detail.to_string(),
+    });
+    let _ = write_frame(&mut stream, &payload);
+}
+
+/// One connection's request/response loop.
+///
+/// Idle polling uses `peek` under a short read timeout so a timeout can
+/// never split a half-read frame: the frame itself is only read once at
+/// least one byte is known to be waiting, under the full request
+/// timeout.  On an idle tick after the server has drained its shutdown,
+/// the connection closes once this session has no undelivered results.
+fn handle(mut stream: TcpStream, service: &Arc<Service>) {
+    let session = service.session();
+    let _ = stream.set_nodelay(true);
+    loop {
+        if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+            return;
+        }
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if service.is_shutting_down() && service.drained() && !session.has_unfetched() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if stream
+            .set_read_timeout(Some(service.config().request_timeout))
+            .is_err()
+        {
+            return;
+        }
+        let frame = match read_frame(&mut stream, MAX_FRAME_LEN) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF at a frame boundary, or a framing violation the
+            // stream cannot recover from — either way the conversation
+            // is over.
+            Ok(None) | Err(_) => return,
+        };
+        // A frame that arrived intact but decodes to garbage is
+        // answered (the stream is still in sync), not dropped.
+        let response = match decode_request(&frame) {
+            Ok(req) => session.handle(req),
+            Err(e) => Response::Error {
+                code: ErrorCode::BadRequest,
+                detail: e.to_string(),
+            },
+        };
+        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+            return;
+        }
+    }
+}

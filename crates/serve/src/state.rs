@@ -1,0 +1,716 @@
+//! Shared server state: the resident-trace store, the job table and
+//! work queue, and the [`Session`] dispatcher every surface (TCP
+//! connections and in-process callers alike) routes requests through.
+
+use crate::ServeConfig;
+use extrap_core::sweep::CachedTrace;
+use extrap_core::{machine, CancelToken, RecordMode, SharedTraceCache, SimParams};
+use extrap_proto::{
+    ErrorCode, JobId, PredictionSummary, Request, Response, ServerStats, SweepRow, SweepSpec,
+    TraceId,
+};
+use extrap_workloads::{Bench, Scale};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sweep-cache key: `(benchmark, n_procs, scale code)`.  Unlike the
+/// CLI's per-invocation cache, the server's cache persists across
+/// requests that may use different problem scales, so the scale is part
+/// of the identity.
+pub(crate) type SweepKey = (String, usize, u8);
+
+/// Decodes a wire scale string (empty = the CLI's `small` default).
+pub(crate) fn parse_scale(s: &str) -> Option<(Scale, u8)> {
+    match s {
+        "tiny" => Some((Scale::Tiny, 0)),
+        "" | "small" => Some((Scale::Small, 1)),
+        "paper" => Some((Scale::Paper, 2)),
+        _ => None,
+    }
+}
+
+/// Decodes wire parameter text (empty = the CLI's default machine) and
+/// forces `MetricsOnly`: service jobs only ever report scalar metrics,
+/// so recording predicted traces would be pure memory burn.
+fn parse_params(text: &str) -> Result<SimParams, String> {
+    let mut params = if text.is_empty() {
+        machine::default_distributed()
+    } else {
+        SimParams::from_config_text(text)?
+    };
+    params.record_mode = RecordMode::MetricsOnly;
+    Ok(params)
+}
+
+fn err(code: ErrorCode, detail: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Work items
+// ---------------------------------------------------------------------
+
+/// An admitted simulate job, with its trace resolved at admission so a
+/// later eviction cannot fail a queued job.
+pub(crate) struct SimWork {
+    pub(crate) job: JobId,
+    pub(crate) trace: Arc<CachedTrace>,
+    pub(crate) params: SimParams,
+}
+
+/// An admitted sweep job.  `compat` is the canonical parameter text;
+/// two sweeps coalesce into one batch iff their `(scale_code, compat)`
+/// pairs match (canonical text round-trips through the parser, so equal
+/// text means equal parameters).
+pub(crate) struct SweepWork {
+    pub(crate) job: JobId,
+    pub(crate) benches: Vec<Bench>,
+    pub(crate) procs: Vec<u32>,
+    pub(crate) scale: Scale,
+    pub(crate) scale_code: u8,
+    pub(crate) params: SimParams,
+    pub(crate) compat: String,
+}
+
+pub(crate) enum Work {
+    Simulate(SimWork),
+    Sweep(SweepWork),
+}
+
+/// A queue entry: the work plus the deadline after which it fails with
+/// `Timeout` instead of running.
+pub(crate) struct QueuedWork {
+    pub(crate) work: Work,
+    pub(crate) deadline: Instant,
+}
+
+impl QueuedWork {
+    fn job(&self) -> JobId {
+        match &self.work {
+            Work::Simulate(s) => s.job,
+            Work::Sweep(s) => s.job,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job table
+// ---------------------------------------------------------------------
+
+/// A finished job's deliverable.
+pub(crate) enum JobPayload {
+    Prediction(PredictionSummary),
+    Rows(Vec<SweepRow>),
+}
+
+pub(crate) type JobOutcome = Result<JobPayload, (ErrorCode, String)>;
+
+enum JobState {
+    Queued,
+    Running,
+    Done(JobOutcome),
+}
+
+struct JobEntry {
+    state: JobState,
+    /// The owning session's unfetched-jobs gauge (per-connection
+    /// backpressure); decremented when the result is consumed.
+    owner_unfetched: Arc<AtomicU32>,
+    /// Cleared when the owning session hangs up: results completed for
+    /// a dead owner are dropped instead of parked forever.
+    owner_alive: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct JobTable {
+    queue: VecDeque<QueuedWork>,
+    entries: HashMap<JobId, JobEntry>,
+    /// Jobs queued or running — the global backpressure gauge.
+    inflight: usize,
+    /// Jobs currently executing on a worker.
+    running: usize,
+}
+
+// ---------------------------------------------------------------------
+// Trace store
+// ---------------------------------------------------------------------
+
+struct StoredTrace {
+    #[allow(dead_code)] // diagnostics only, surfaced in future listings
+    name: String,
+    cached: Arc<CachedTrace>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct TraceStore {
+    entries: HashMap<TraceId, StoredTrace>,
+    clock: u64,
+}
+
+impl TraceStore {
+    fn resident_bytes(&self) -> usize {
+        self.entries
+            .values()
+            .map(|e| e.cached.resident_bytes())
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    active_connections: AtomicU32,
+    requests: AtomicU64,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    sweep_batches: AtomicU64,
+    coalesced_sweeps: AtomicU64,
+    store_evictions: AtomicU64,
+    submit_translations: AtomicU64,
+}
+
+// ---------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------
+
+/// The shared heart of a server: every connection thread, worker
+/// thread, and in-process [`Session`] holds the same `Arc<Service>`.
+pub struct Service {
+    config: ServeConfig,
+    started: Instant,
+    shutting_down: AtomicBool,
+    cancel: CancelToken,
+    next_trace: AtomicU64,
+    next_job: AtomicU64,
+    store: Mutex<TraceStore>,
+    sweep_cache: SharedTraceCache<SweepKey>,
+    table: Mutex<JobTable>,
+    /// Wakes workers when work is queued (or shutdown begins).
+    work_cv: Condvar,
+    /// Wakes `FetchResult` waiters when a job completes.
+    done_cv: Condvar,
+    counters: Counters,
+}
+
+impl Service {
+    pub(crate) fn new(config: ServeConfig) -> Service {
+        Service {
+            config,
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+            cancel: CancelToken::new(),
+            next_trace: AtomicU64::new(0),
+            next_job: AtomicU64::new(0),
+            store: Mutex::new(TraceStore::default()),
+            sweep_cache: SharedTraceCache::new(),
+            table: Mutex::new(JobTable::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Opens a session — the in-process equivalent of connecting.
+    pub fn session(self: &Arc<Service>) -> Session {
+        Session {
+            service: Arc::clone(self),
+            unfetched: Arc::new(AtomicU32::new(0)),
+            alive: Arc::new(AtomicBool::new(true)),
+            jobs: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    pub(crate) fn sweep_cache(&self) -> &SharedTraceCache<SweepKey> {
+        &self.sweep_cache
+    }
+
+    pub(crate) fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Flips the drain flag and wakes everyone blocked on state.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let _guard = self.table.lock().expect("job table");
+        self.work_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// Whether [`begin_shutdown`](Service::begin_shutdown) has run.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Whether the drain is complete: shutting down with nothing queued
+    /// or running.  Results may still be parked for their owners.
+    pub fn drained(&self) -> bool {
+        if !self.is_shutting_down() {
+            return false;
+        }
+        let table = self.table.lock().expect("job table");
+        table.queue.is_empty() && table.running == 0
+    }
+
+    // -- connection accounting (TCP surface only) ---------------------
+
+    /// Admits a connection unless at the limit; counts it if admitted.
+    pub(crate) fn try_open_conn(&self) -> bool {
+        let c = &self.counters;
+        loop {
+            let active = c.active_connections.load(Ordering::Relaxed);
+            if active as usize >= self.config.max_connections {
+                return false;
+            }
+            if c.active_connections
+                .compare_exchange(active, active + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                c.connections.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+    }
+
+    pub(crate) fn conn_closed(&self) {
+        self.counters
+            .active_connections
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+
+    // -- worker-side queue operations ---------------------------------
+
+    /// Blocks for the next queue item; `None` once the server is
+    /// shutting down and the queue has drained.
+    pub(crate) fn next_work(&self) -> Option<QueuedWork> {
+        let mut table = self.table.lock().expect("job table");
+        loop {
+            if let Some(qw) = table.queue.pop_front() {
+                table.running += 1;
+                if let Some(e) = table.entries.get_mut(&qw.job()) {
+                    e.state = JobState::Running;
+                }
+                return Some(qw);
+            }
+            if self.is_shutting_down() {
+                return None;
+            }
+            table = self.work_cv.wait(table).expect("job table");
+        }
+    }
+
+    /// Pulls every queued sweep compatible with `(scale_code, compat)`
+    /// out of the queue (marking them running), leaving everything else
+    /// in order — the coalescing step of a batch.
+    pub(crate) fn drain_compatible(&self, scale_code: u8, compat: &str) -> Vec<QueuedWork> {
+        let mut table = self.table.lock().expect("job table");
+        let mut kept = VecDeque::with_capacity(table.queue.len());
+        let mut out = Vec::new();
+        while let Some(qw) = table.queue.pop_front() {
+            match &qw.work {
+                Work::Sweep(s) if s.scale_code == scale_code && s.compat == compat => {
+                    table.running += 1;
+                    if let Some(e) = table.entries.get_mut(&s.job) {
+                        e.state = JobState::Running;
+                    }
+                    out.push(qw);
+                }
+                _ => kept.push_back(qw),
+            }
+        }
+        table.queue = kept;
+        out
+    }
+
+    /// Records one executed sweep batch covering `members` jobs.
+    pub(crate) fn count_sweep_batch(&self, members: usize) {
+        self.counters.sweep_batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .coalesced_sweeps
+            .fetch_add(members.saturating_sub(1) as u64, Ordering::Relaxed);
+    }
+
+    /// Lands a job's outcome and wakes fetchers.  Results whose owner
+    /// already hung up are dropped on the floor.
+    pub(crate) fn complete(&self, job: JobId, outcome: JobOutcome) {
+        match &outcome {
+            Ok(_) => self.counters.jobs_done.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.counters.jobs_failed.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut table = self.table.lock().expect("job table");
+        table.inflight = table.inflight.saturating_sub(1);
+        table.running = table.running.saturating_sub(1);
+        if let Some(e) = table.entries.get_mut(&job) {
+            if e.owner_alive.load(Ordering::Relaxed) {
+                e.state = JobState::Done(outcome);
+            } else {
+                e.owner_unfetched.fetch_sub(1, Ordering::Relaxed);
+                table.entries.remove(&job);
+            }
+        }
+        drop(table);
+        self.done_cv.notify_all();
+    }
+
+    // -- memory budget ------------------------------------------------
+
+    /// Brings resident memory (submitted traces + the sweep cache) back
+    /// under the configured budget.  Sweep-cache entries are
+    /// recomputable from benchmark generators, so they go first; only
+    /// then are least-recently-used submitted traces dropped (their
+    /// next use fails with `UnknownTrace` and the client resubmits).
+    pub(crate) fn enforce_budget(&self) {
+        let budget = self.config.mem_budget_bytes;
+        if budget == 0 {
+            return;
+        }
+        let store_bytes = self.store.lock().expect("trace store").resident_bytes();
+        self.sweep_cache
+            .evict_to_budget(budget.saturating_sub(store_bytes));
+        let cache_bytes = self.sweep_cache.resident_bytes();
+        let mut store = self.store.lock().expect("trace store");
+        let mut total = cache_bytes + store.resident_bytes();
+        while total > budget {
+            let victim = store
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| *id);
+            let Some(id) = victim else { break };
+            let freed = store
+                .entries
+                .remove(&id)
+                .map(|e| e.cached.resident_bytes())
+                .unwrap_or(0);
+            total = total.saturating_sub(freed);
+            self.counters
+                .store_evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Resolves a submitted trace, refreshing its LRU stamp.
+    fn touch_trace(&self, id: TraceId) -> Option<Arc<CachedTrace>> {
+        let mut store = self.store.lock().expect("trace store");
+        store.clock += 1;
+        let stamp = store.clock;
+        let e = store.entries.get_mut(&id)?;
+        e.last_used = stamp;
+        Some(Arc::clone(&e.cached))
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let (traces_resident, store_bytes) = {
+            let store = self.store.lock().expect("trace store");
+            (store.entries.len(), store.resident_bytes())
+        };
+        let inflight = self.table.lock().expect("job table").inflight;
+        let c = &self.counters;
+        ServerStats {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            connections: c.connections.load(Ordering::Relaxed),
+            active_connections: c.active_connections.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            jobs_inflight: inflight as u32,
+            jobs_done: c.jobs_done.load(Ordering::Relaxed),
+            jobs_failed: c.jobs_failed.load(Ordering::Relaxed),
+            sweep_batches: c.sweep_batches.load(Ordering::Relaxed),
+            coalesced_sweeps: c.coalesced_sweeps.load(Ordering::Relaxed),
+            traces_resident: traces_resident as u32,
+            resident_bytes: (store_bytes + self.sweep_cache.resident_bytes()) as u64,
+            mem_budget_bytes: self.config.mem_budget_bytes as u64,
+            evictions: c.store_evictions.load(Ordering::Relaxed)
+                + self.sweep_cache.evictions() as u64,
+            translations: c.submit_translations.load(Ordering::Relaxed)
+                + self.sweep_cache.translations() as u64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+/// One client's view of a [`Service`]: admission, per-connection
+/// backpressure, and result delivery.  A TCP connection owns exactly
+/// one; in-process callers get one from [`Service::session`].  Dropping
+/// a session releases its parked results and lets in-flight jobs
+/// discard theirs on completion.
+pub struct Session {
+    service: Arc<Service>,
+    unfetched: Arc<AtomicU32>,
+    alive: Arc<AtomicBool>,
+    jobs: Mutex<Vec<JobId>>,
+}
+
+impl Session {
+    /// Dispatches one request to its handler — the single entry point
+    /// the wire loop and in-process callers share.
+    pub fn handle(&self, req: Request) -> Response {
+        self.service
+            .counters
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+        match req {
+            Request::SubmitTrace { name, payload } => self.submit(name, payload),
+            Request::Simulate { trace, params } => self.simulate(trace, &params),
+            Request::Sweep(spec) => self.sweep(spec),
+            Request::FetchResult { job, wait_ms } => self.fetch(job, wait_ms),
+            Request::Evict { trace } => self.evict(trace),
+            Request::Stats => Response::Stats(self.service.stats()),
+            Request::Shutdown => {
+                self.service.begin_shutdown();
+                Response::Bye
+            }
+        }
+    }
+
+    /// Whether this session still has jobs it has not fetched.
+    pub fn has_unfetched(&self) -> bool {
+        self.unfetched.load(Ordering::Relaxed) > 0
+    }
+
+    fn submit(&self, name: String, payload: Vec<u8>) -> Response {
+        if self.service.is_shutting_down() {
+            return err(ErrorCode::ShuttingDown, "server is draining");
+        }
+        let built = match payload.get(..4) {
+            Some(b"XTRP") => extrap_trace::format::decode_program(&payload)
+                .map_err(|e| e.to_string())
+                .and_then(|trace| {
+                    self.service
+                        .counters
+                        .submit_translations
+                        .fetch_add(1, Ordering::Relaxed);
+                    extrap_trace::translate(&trace, Default::default()).map_err(|e| e.to_string())
+                })
+                .and_then(|set| CachedTrace::new(set).map_err(|e| e.to_string())),
+            Some(b"XTPS") => extrap_trace::format::decode_set(&payload)
+                .and_then(CachedTrace::new)
+                .map_err(|e| e.to_string()),
+            _ => Err("not a trace image (expected XTRP or XTPS magic)".to_string()),
+        };
+        let cached = match built {
+            Ok(c) => Arc::new(c),
+            Err(detail) => return err(ErrorCode::BadRequest, detail),
+        };
+        let id = TraceId(self.service.next_trace.fetch_add(1, Ordering::Relaxed) + 1);
+        let n_threads = cached.traces().n_threads() as u32;
+        let resident_bytes = cached.resident_bytes() as u64;
+        {
+            let mut store = self.service.store.lock().expect("trace store");
+            store.clock += 1;
+            let stamp = store.clock;
+            store.entries.insert(
+                id,
+                StoredTrace {
+                    name,
+                    cached,
+                    last_used: stamp,
+                },
+            );
+        }
+        self.service.enforce_budget();
+        Response::Submitted {
+            trace: id,
+            n_threads,
+            resident_bytes,
+        }
+    }
+
+    fn simulate(&self, trace: TraceId, params_text: &str) -> Response {
+        if self.service.is_shutting_down() {
+            return err(ErrorCode::ShuttingDown, "server is draining");
+        }
+        let params = match parse_params(params_text) {
+            Ok(p) => p,
+            Err(detail) => return err(ErrorCode::BadRequest, detail),
+        };
+        let Some(cached) = self.service.touch_trace(trace) else {
+            return err(
+                ErrorCode::UnknownTrace,
+                format!("trace #{} is not resident (submit it again)", trace.0),
+            );
+        };
+        self.admit(|job| {
+            Work::Simulate(SimWork {
+                job,
+                trace: cached,
+                params,
+            })
+        })
+    }
+
+    fn sweep(&self, spec: SweepSpec) -> Response {
+        if self.service.is_shutting_down() {
+            return err(ErrorCode::ShuttingDown, "server is draining");
+        }
+        if spec.benches.is_empty() {
+            return err(ErrorCode::BadRequest, "sweep needs at least one benchmark");
+        }
+        if spec.procs.is_empty() || spec.procs.contains(&0) {
+            return err(
+                ErrorCode::BadRequest,
+                "sweep needs a non-empty list of positive processor counts",
+            );
+        }
+        let mut benches = Vec::with_capacity(spec.benches.len());
+        for name in &spec.benches {
+            match Bench::all()
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(name.trim()))
+            {
+                Some(b) => benches.push(b),
+                None => {
+                    return err(
+                        ErrorCode::BadRequest,
+                        format!("unknown benchmark {name:?}; see `extrap benches`"),
+                    )
+                }
+            }
+        }
+        let Some((scale, scale_code)) = parse_scale(&spec.scale) else {
+            return err(
+                ErrorCode::BadRequest,
+                format!("unknown scale {:?} (tiny|small|paper)", spec.scale),
+            );
+        };
+        let params = match parse_params(&spec.params) {
+            Ok(p) => p,
+            Err(detail) => return err(ErrorCode::BadRequest, detail),
+        };
+        let compat = params.to_config_text();
+        self.admit(|job| {
+            Work::Sweep(SweepWork {
+                job,
+                benches,
+                procs: spec.procs,
+                scale,
+                scale_code,
+                params,
+                compat,
+            })
+        })
+    }
+
+    /// Queues validated work under both backpressure bounds.
+    fn admit(&self, make: impl FnOnce(JobId) -> Work) -> Response {
+        let config = self.service.config();
+        if self.unfetched.load(Ordering::Relaxed) as usize >= config.max_inflight_per_conn {
+            return err(
+                ErrorCode::Busy,
+                "connection has too many unfetched jobs; fetch some results first",
+            );
+        }
+        let mut table = self.service.table.lock().expect("job table");
+        if table.inflight >= config.max_inflight_jobs {
+            return err(ErrorCode::Busy, "server job queue is full; retry shortly");
+        }
+        let job = JobId(self.service.next_job.fetch_add(1, Ordering::Relaxed) + 1);
+        table.entries.insert(
+            job,
+            JobEntry {
+                state: JobState::Queued,
+                owner_unfetched: Arc::clone(&self.unfetched),
+                owner_alive: Arc::clone(&self.alive),
+            },
+        );
+        table.queue.push_back(QueuedWork {
+            work: make(job),
+            deadline: Instant::now() + config.request_timeout,
+        });
+        table.inflight += 1;
+        self.unfetched.fetch_add(1, Ordering::Relaxed);
+        self.jobs.lock().expect("session jobs").push(job);
+        drop(table);
+        self.service.work_cv.notify_one();
+        Response::Accepted { job }
+    }
+
+    fn fetch(&self, job: JobId, wait_ms: u32) -> Response {
+        let wait =
+            Duration::from_millis(u64::from(wait_ms)).min(self.service.config().request_timeout);
+        let deadline = Instant::now() + wait;
+        let mut table = self.service.table.lock().expect("job table");
+        loop {
+            match table.entries.get(&job) {
+                None => {
+                    return err(
+                        ErrorCode::UnknownJob,
+                        format!("job #{} does not exist (or was already fetched)", job.0),
+                    )
+                }
+                Some(e) if matches!(e.state, JobState::Done(_)) => break,
+                Some(_) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Response::Pending { job };
+                    }
+                    let (t, _) = self
+                        .service
+                        .done_cv
+                        .wait_timeout(table, deadline - now)
+                        .expect("job table");
+                    table = t;
+                }
+            }
+        }
+        let entry = table.entries.remove(&job).expect("checked above");
+        entry.owner_unfetched.fetch_sub(1, Ordering::Relaxed);
+        match entry.state {
+            JobState::Done(Ok(JobPayload::Prediction(p))) => Response::Prediction(p),
+            JobState::Done(Ok(JobPayload::Rows(rows))) => Response::SweepRows(rows),
+            JobState::Done(Err((code, detail))) => Response::Error { code, detail },
+            JobState::Queued | JobState::Running => unreachable!("loop exits only on Done"),
+        }
+    }
+
+    fn evict(&self, id: TraceId) -> Response {
+        let mut store = self.service.store.lock().expect("trace store");
+        match store.entries.remove(&id) {
+            Some(e) => {
+                self.service
+                    .counters
+                    .store_evictions
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Evicted {
+                    freed_bytes: e.cached.resident_bytes() as u64,
+                }
+            }
+            None => err(
+                ErrorCode::UnknownTrace,
+                format!("trace #{} is not resident", id.0),
+            ),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::Relaxed);
+        let ids = std::mem::take(&mut *self.jobs.lock().expect("session jobs"));
+        let mut table = self.service.table.lock().expect("job table");
+        for id in ids {
+            if matches!(
+                table.entries.get(&id).map(|e| &e.state),
+                Some(JobState::Done(_))
+            ) {
+                table.entries.remove(&id);
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! End-to-end serving tests: a real daemon on an ephemeral port, driven
+//! through the real [`Client`] — the same code path `extrap client` and
+//! the load generator use.
+
+use extrap_core::{machine, Extrapolator, RecordMode, SharedTraceCache, SweepGrid};
+use extrap_proto::{ErrorCode, JobId, Request, Response, SweepSpec};
+use extrap_serve::client::{Client, ClientError};
+use extrap_serve::{ServeConfig, Server};
+use extrap_time::{DurationNs, TimeNs};
+use extrap_workloads::{Bench, Scale};
+
+fn start(config: ServeConfig) -> Server {
+    Server::start(config.with_addr("127.0.0.1:0")).expect("start server")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(&server.local_addr().to_string()).expect("connect")
+}
+
+fn spec(benches: &[&str], procs: &[u32], scale: &str) -> SweepSpec {
+    SweepSpec {
+        benches: benches.iter().map(|s| s.to_string()).collect(),
+        procs: procs.to_vec(),
+        scale: scale.to_string(),
+        params: String::new(),
+    }
+}
+
+/// A tiny translated trace set as wire bytes (`XTPS` image).
+fn tiny_set_bytes(n_threads: usize) -> Vec<u8> {
+    let mut p = extrap_trace::PhaseProgram::new(n_threads);
+    p.push_uniform_phase(DurationNs::from_us(150.0));
+    p.push_uniform_phase(DurationNs::from_us(60.0));
+    let set = extrap_trace::translate(&p.record(), Default::default()).expect("translate");
+    extrap_trace::format::encode_set(&set)
+}
+
+#[test]
+fn served_sweep_csv_is_byte_identical_to_in_process_sweep() {
+    let server = start(ServeConfig::default());
+    let mut client = connect(&server);
+    let benches = ["poisson", "grid"];
+    let procs = [1u32, 2, 4, 8];
+    let rows = client
+        .sweep(spec(&benches, &procs, "tiny"))
+        .expect("served sweep");
+
+    // Render exactly like `extrap sweep --csv` does.
+    let mut served = String::from("bench,procs,time_ms\n");
+    for r in &rows {
+        let ms = TimeNs(r.exec_time_ns).as_ms();
+        served.push_str(&format!("{},{},{ms:.6}\n", r.bench, r.procs));
+    }
+
+    // The reference is the same pipeline cmd_sweep runs in-process.
+    let mut params = machine::default_distributed();
+    params.record_mode = RecordMode::MetricsOnly;
+    let resolved: Vec<Bench> = benches
+        .iter()
+        .map(|name| {
+            Bench::all()
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(name))
+                .unwrap()
+        })
+        .collect();
+    let grid = SweepGrid::new()
+        .workloads(resolved.iter().map(|b| b.name().to_string()))
+        .procs(procs.iter().map(|&n| n as usize))
+        .params(params)
+        .jobs();
+    let cache = SharedTraceCache::new();
+    let results = extrap_core::sweep(&grid, 4, &cache, |(name, n)| {
+        let bench = Bench::all()
+            .into_iter()
+            .find(|b| b.name() == name.as_str())
+            .unwrap();
+        extrap_trace::translate(&bench.trace(*n, Scale::Tiny), Default::default())
+    });
+    let mut local = String::from("bench,procs,time_ms\n");
+    for (job, result) in grid.iter().zip(results) {
+        let ms = result.expect("local sweep").exec_time().as_ms();
+        local.push_str(&format!("{},{},{ms:.6}\n", job.key.0, job.key.1));
+    }
+
+    assert_eq!(served, local, "served CSV must match in-process CSV");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn submit_and_simulate_matches_in_process_extrapolator() {
+    let server = start(ServeConfig::default());
+    let mut client = connect(&server);
+    let bytes = tiny_set_bytes(4);
+    let (trace, n_threads, resident) = client.submit_trace("tiny", bytes.clone()).unwrap();
+    assert_eq!(n_threads, 4);
+    assert!(resident > 0);
+
+    let served = client.simulate(trace, "").unwrap();
+
+    let set = extrap_trace::format::decode_set(&bytes).unwrap();
+    let mut params = machine::default_distributed();
+    params.record_mode = RecordMode::MetricsOnly;
+    let local = Extrapolator::new(params).run(&set).unwrap();
+
+    assert_eq!(served.exec_time_ns, local.exec_time().as_ns());
+    assert_eq!(served.n_procs as usize, local.n_procs);
+    assert_eq!(served.barriers, local.barriers as u64);
+    assert_eq!(served.messages, local.network.messages);
+    assert_eq!(served.per_thread.len(), local.per_thread.len());
+    for (row, b) in served.per_thread.iter().zip(&local.per_thread) {
+        assert_eq!(row.end_time_ns, b.end_time.0);
+        assert_eq!(row.barrier_wait_ns, b.barrier_wait.0);
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn submitting_a_program_trace_translates_server_side() {
+    let server = start(ServeConfig::default());
+    let mut client = connect(&server);
+    let trace = Bench::Poisson.trace(2, Scale::Tiny);
+    let bytes = extrap_trace::format::encode_program(&trace);
+    let (id, n_threads, _) = client.submit_trace("poisson-xtrp", bytes).unwrap();
+    assert_eq!(n_threads, 2);
+    let pred = client.simulate(id, "").unwrap();
+    assert!(pred.exec_time_ns > 0);
+    let stats = client.stats().unwrap();
+    assert!(stats.translations >= 1, "XTRP submit runs a translation");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn bad_requests_are_rejected_with_typed_errors() {
+    let server = start(ServeConfig::default());
+    let mut client = connect(&server);
+
+    let e = client.sweep(spec(&["nonesuch"], &[1], "")).unwrap_err();
+    assert!(
+        matches!(e, ClientError::Server { code: ErrorCode::BadRequest, ref detail } if detail.contains("nonesuch")),
+        "got {e:?}"
+    );
+
+    let e = client
+        .sweep(spec(&["poisson"], &[1], "galactic"))
+        .unwrap_err();
+    assert!(matches!(
+        e,
+        ClientError::Server {
+            code: ErrorCode::BadRequest,
+            ..
+        }
+    ));
+
+    let e = client.simulate(extrap_proto::TraceId(999), "").unwrap_err();
+    assert!(matches!(
+        e,
+        ClientError::Server {
+            code: ErrorCode::UnknownTrace,
+            ..
+        }
+    ));
+
+    let e = client
+        .submit_trace("garbage", b"not a trace".to_vec())
+        .unwrap_err();
+    assert!(matches!(
+        e,
+        ClientError::Server {
+            code: ErrorCode::BadRequest,
+            ..
+        }
+    ));
+
+    // Fetching a never-issued job is UnknownJob, not a hang.
+    match client
+        .round(&Request::FetchResult {
+            job: JobId(424242),
+            wait_ms: 0,
+        })
+        .unwrap_err()
+    {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::UnknownJob),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn evicted_traces_are_gone_and_reported() {
+    let server = start(ServeConfig::default());
+    let mut client = connect(&server);
+    let (id, _, resident) = client.submit_trace("t", tiny_set_bytes(2)).unwrap();
+    let freed = client.evict(id).unwrap();
+    assert_eq!(freed, resident);
+    let e = client.simulate(id, "").unwrap_err();
+    assert!(matches!(
+        e,
+        ClientError::Server {
+            code: ErrorCode::UnknownTrace,
+            ..
+        }
+    ));
+    let e = client.evict(id).unwrap_err();
+    assert!(matches!(
+        e,
+        ClientError::Server {
+            code: ErrorCode::UnknownTrace,
+            ..
+        }
+    ));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn memory_budget_evicts_lru_submitted_traces() {
+    // A budget small enough that the second submit must push out the
+    // first (each tiny set is a few KiB).
+    let config = ServeConfig {
+        mem_budget_bytes: 1,
+        ..ServeConfig::default()
+    };
+    let server = start(config);
+    let mut client = connect(&server);
+    let (first, _, _) = client.submit_trace("first", tiny_set_bytes(2)).unwrap();
+    let _ = client.submit_trace("second", tiny_set_bytes(3)).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.evictions >= 1, "budget of 1 byte must evict");
+    assert!(stats.traces_resident <= 1);
+    let e = client.simulate(first, "").unwrap_err();
+    assert!(matches!(
+        e,
+        ClientError::Server {
+            code: ErrorCode::UnknownTrace,
+            ..
+        }
+    ));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn concurrent_identical_sweeps_coalesce_and_agree() {
+    let config = ServeConfig {
+        batch_window: std::time::Duration::from_millis(30),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = start(config);
+    let addr = server.local_addr().to_string();
+
+    const CLIENTS: usize = 12;
+    let rows: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut c = Client::connect(&addr).unwrap();
+                    c.sweep(spec(&["poisson"], &[1, 2, 4], "tiny")).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &rows[1..] {
+        assert_eq!(r, &rows[0], "coalesced and solo sweeps must agree");
+    }
+
+    let mut client = connect(&server);
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.sweep_batches + stats.coalesced_sweeps,
+        CLIENTS as u64,
+        "every sweep either started a batch or rode one"
+    );
+    assert_eq!(stats.jobs_done, CLIENTS as u64);
+    assert_eq!(stats.jobs_failed, 0);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_drains_then_refuses_new_work() {
+    let server = start(ServeConfig::default());
+    let mut a = connect(&server);
+    let mut b = connect(&server);
+
+    // A job accepted before the drain still completes and delivers.
+    let accepted = match a
+        .round(&Request::Sweep(spec(&["poisson"], &[1, 2], "tiny")))
+        .unwrap()
+    {
+        Response::Accepted { job } => job,
+        other => panic!("expected Accepted, got {other:?}"),
+    };
+    b.shutdown().expect("shutdown handshake");
+
+    // New work is refused while the drain runs.
+    let e = b.sweep(spec(&["poisson"], &[1], "tiny")).unwrap_err();
+    assert!(
+        matches!(
+            e,
+            ClientError::Server {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }
+        ),
+        "got {e:?}"
+    );
+
+    // ...but the pre-drain job's result is still fetchable.
+    let mut rows = None;
+    for _ in 0..100 {
+        match a
+            .round(&Request::FetchResult {
+                job: accepted,
+                wait_ms: 500,
+            })
+            .unwrap()
+        {
+            Response::Pending { .. } => continue,
+            Response::SweepRows(r) => {
+                rows = Some(r);
+                break;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(rows.expect("drained result").len(), 2);
+    drop(a);
+    drop(b);
+    server.join();
+}

@@ -198,6 +198,22 @@ impl TraceSet {
         self.threads.len()
     }
 
+    /// Approximate heap footprint of this trace set in bytes — the
+    /// accounting probe cache-eviction budgets are charged against.
+    /// Counts the record buffers (by capacity, since that is what is
+    /// actually resident) plus the per-thread headers.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<TraceSet>()
+            + self
+                .threads
+                .iter()
+                .map(|t| {
+                    std::mem::size_of::<ThreadTrace>()
+                        + t.records.capacity() * std::mem::size_of::<TraceRecord>()
+                })
+                .sum::<usize>()
+    }
+
     /// The latest completion time across all threads (the program's
     /// idealized parallel execution time).
     pub fn makespan(&self) -> TimeNs {
