@@ -73,6 +73,25 @@ impl ArgSpec {
         }
     }
 
+    /// Takes an enum-valued `--flag VALUE` where `parse` maps accepted
+    /// spellings (including attached-parameter forms like `repr:32` or
+    /// `tree:4`) to the enum.  A value `parse` rejects produces one
+    /// uniform error listing the `valid` spellings, so subcommands stop
+    /// hand-rolling value syntax and diverging diagnostics.
+    pub fn enumerated<T>(
+        &mut self,
+        flag: &str,
+        valid: &str,
+        parse: impl Fn(&str) -> Option<T>,
+    ) -> Result<Option<T>, String> {
+        match self.value(flag)? {
+            None => Ok(None),
+            Some(v) => parse(&v)
+                .map(Some)
+                .ok_or_else(|| format!("{}: bad {flag} value {v:?} (valid: {valid})", self.cmd)),
+        }
+    }
+
     /// Takes `--flag N` requiring `N >= 1` (worker counts and friends).
     pub fn positive(&mut self, flag: &str) -> Result<Option<usize>, String> {
         match self.parsed::<usize>(flag)? {
@@ -148,6 +167,35 @@ mod tests {
         assert!(err.contains("demo") && err.contains("--jobs"), "{err}");
         let mut s = spec(&["--jobs", "0"]);
         assert!(s.positive("--jobs").unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn enumerated_parses_attached_parameters() {
+        #[derive(Debug, PartialEq)]
+        enum Mode {
+            Plain,
+            Sized(u32),
+        }
+        let parse = |v: &str| match v {
+            "plain" => Some(Mode::Plain),
+            other => other.strip_prefix("sized:")?.parse().ok().map(Mode::Sized),
+        };
+        let mut s = spec(&["--mode", "sized:32"]);
+        assert_eq!(
+            s.enumerated("--mode", "plain, sized:N", parse).unwrap(),
+            Some(Mode::Sized(32))
+        );
+        let mut s = spec(&["--mode", "sized:many"]);
+        let err = s.enumerated("--mode", "plain, sized:N", parse).unwrap_err();
+        assert_eq!(
+            err,
+            "demo: bad --mode value \"sized:many\" (valid: plain, sized:N)"
+        );
+        let mut s = spec(&[]);
+        assert_eq!(
+            s.enumerated("--mode", "plain, sized:N", parse).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! extrap serve     [--addr HOST:PORT] [--workers N] [--mem-budget-mb N] ...
 //! extrap client    sweep|simulate|stats|shutdown [--addr HOST:PORT] ...
 //! extrap report    traces.xtps            # trace statistics
+//! extrap stats     traces.xtps [--phases]  # phase/epoch-cluster statistics
 //! extrap lint      FILE|DIR... [--jobs N] [--format json] [--deny-warnings] [--allow CODE]...
 //! extrap lint      --fix FILE [--out FILE] [--dry-run]   # repair fixable diagnostics
 //! extrap params    [--machine M]          # print a parameter file
@@ -20,7 +21,9 @@ mod args;
 mod remote;
 
 use args::ArgSpec;
-use extrap_core::{machine, Extrapolator, SchedulerKind, SharedTraceCache, SimParams, SweepGrid};
+use extrap_core::{
+    machine, Extrapolator, SchedulerKind, SharedTraceCache, SimParams, SimStrategy, SweepGrid,
+};
 use extrap_time::DurationNs;
 use extrap_trace::{TraceStats, TranslateOptions};
 use extrap_workloads::{Bench, Scale};
@@ -50,6 +53,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "serve" => remote::cmd_serve(rest),
         "client" => remote::cmd_client(rest),
         "report" => cmd_report(rest),
+        "stats" => cmd_stats(rest),
         "timeline" => cmd_timeline(rest),
         "check" => cmd_check(rest),
         "lint" => cmd_lint(rest),
@@ -66,17 +70,21 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 "usage:\n  extrap trace <bench> <threads> [--scale tiny|small|paper] -o FILE\n  \
                  extrap translate FILE -o FILE [--event-overhead US] [--switch-overhead US]\n  \
                  extrap simulate FILE [--machine distributed|shared|ideal|cm5] [--params FILE] \
-                 [--set KEY=VALUE]... [--scheduler heap|calendar|auto] [--predicted FILE]\n  \
+                 [--set KEY=VALUE]... [--scheduler heap|calendar|auto] \
+                 [--strategy exact|repr[:K[:TOL]]] [--predicted FILE]\n  \
                  extrap sweep <bench>[,<bench>...] [--procs 1,2,4,8,16,32] [--scale S] \
                  [--machine M] [--params FILE] [--set KEY=VALUE]... \
-                 [--scheduler heap|calendar|auto] [--jobs N] [--csv]\n  \
+                 [--scheduler heap|calendar|auto] [--strategy exact|repr[:K[:TOL]]] \
+                 [--jobs N] [--csv]\n  \
                  extrap serve [--addr HOST:PORT] [--workers N] [--sweep-workers N] \
                  [--mem-budget-mb N] [--max-inflight N] [--max-conn-inflight N] \
                  [--max-connections N] [--timeout-ms N] [--batch-window-ms N]\n  \
                  extrap client sweep <bench>[,...] [--addr HOST:PORT] [sweep flags] [--csv]\n  \
                  extrap client simulate FILE [--addr HOST:PORT] [simulate flags]\n  \
                  extrap client stats|shutdown [--addr HOST:PORT]\n  \
-                 extrap report FILE\n  extrap timeline FILE [--width N]\n  \
+                 extrap report FILE\n  \
+                 extrap stats FILE [--phases] [--max-clusters K] [--tolerance F]\n  \
+                 extrap timeline FILE [--width N]\n  \
                  extrap check FILE\n  \
                  extrap lint FILE|DIR... [--machine M] [--format text|json] [--jobs N] \
                  [--deny-warnings] [--allow CODE]...\n  \
@@ -90,13 +98,20 @@ fn run(args: Vec<String>) -> Result<(), String> {
     }
 }
 
-fn parse_scale(s: Option<String>) -> Result<Scale, String> {
-    match s.as_deref() {
-        None | Some("small") => Ok(Scale::Small),
-        Some("tiny") => Ok(Scale::Tiny),
-        Some("paper") => Ok(Scale::Paper),
-        Some(other) => Err(format!("unknown scale {other:?}")),
+fn scale_of(s: &str) -> Option<Scale> {
+    match s {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "paper" => Some(Scale::Paper),
+        _ => None,
     }
+}
+
+/// Takes `--scale` off a spec (default: small).
+fn take_scale(spec: &mut ArgSpec) -> Result<Scale, String> {
+    Ok(spec
+        .enumerated("--scale", "tiny, small, paper", scale_of)?
+        .unwrap_or(Scale::Small))
 }
 
 fn scale_name(scale: Scale) -> &'static str {
@@ -107,15 +122,21 @@ fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
+fn machine_of(s: &str) -> Option<SimParams> {
+    match s {
+        "distributed" => Some(machine::default_distributed()),
+        "shared" => Some(machine::shared_memory()),
+        "ideal" => Some(machine::ideal()),
+        "cm5" => Some(machine::cm5()),
+        _ => None,
+    }
+}
+
 fn parse_machine(s: Option<String>) -> Result<SimParams, String> {
-    match s.as_deref() {
-        None | Some("distributed") => Ok(machine::default_distributed()),
-        Some("shared") => Ok(machine::shared_memory()),
-        Some("ideal") => Ok(machine::ideal()),
-        Some("cm5") => Ok(machine::cm5()),
-        Some(other) => Err(format!(
-            "unknown machine {other:?} (distributed|shared|ideal|cm5)"
-        )),
+    match s {
+        None => Ok(machine::default_distributed()),
+        Some(name) => machine_of(&name)
+            .ok_or_else(|| format!("unknown machine {name:?} (distributed|shared|ideal|cm5)")),
     }
 }
 
@@ -138,7 +159,7 @@ fn resolve_bench(name: &str) -> Result<Bench, String> {
 
 fn cmd_trace(args: Vec<String>) -> Result<(), String> {
     let mut spec = ArgSpec::new("trace", args);
-    let scale = parse_scale(spec.value("--scale")?)?;
+    let scale = take_scale(&mut spec)?;
     let out: PathBuf = spec
         .value("-o")?
         .ok_or("trace: -o FILE is required")?
@@ -189,7 +210,8 @@ fn load_params(spec: &mut ArgSpec) -> Result<SimParams, String> {
         let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
         SimParams::from_config_text(&text)?
     } else {
-        parse_machine(spec.value("--machine")?)?
+        spec.enumerated("--machine", "distributed, shared, ideal, cm5", machine_of)?
+            .unwrap_or_else(machine::default_distributed)
     };
     for kv in spec.values("--set")? {
         let (key, value) = kv
@@ -200,9 +222,13 @@ fn load_params(spec: &mut ArgSpec) -> Result<SimParams, String> {
         text.push_str(&format!("{} = {}\n", key.trim(), value.trim()));
         params = SimParams::from_config_text(&text)?;
     }
-    if let Some(v) = spec.value("--scheduler")? {
-        params.scheduler = SchedulerKind::parse(&v)
-            .ok_or_else(|| format!("unknown scheduler {v:?} (heap|calendar|auto)"))?;
+    if let Some(kind) =
+        spec.enumerated("--scheduler", "heap, calendar, auto", SchedulerKind::parse)?
+    {
+        params.scheduler = kind;
+    }
+    if let Some(strategy) = spec.enumerated("--strategy", SimStrategy::VALID, SimStrategy::parse)? {
+        params.strategy = strategy;
     }
     Ok(params)
 }
@@ -275,7 +301,7 @@ pub(crate) struct SweepRequest {
 /// usage string adapts to the wrapping subcommand via `spec.cmd()`.
 pub(crate) fn parse_sweep_request(mut spec: ArgSpec) -> Result<SweepRequest, String> {
     let params = load_params(&mut spec)?;
-    let scale = parse_scale(spec.value("--scale")?)?;
+    let scale = take_scale(&mut spec)?;
     let procs: Vec<usize> = match spec.value("--procs")? {
         None => vec![1, 2, 4, 8, 16, 32],
         Some(list) => list
@@ -385,6 +411,48 @@ fn cmd_report(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `extrap stats`: phase-level statistics of a translated trace — the
+/// marker-delimited phase profiles, plus (with `--phases`) the
+/// barrier-epoch cluster structure that `--strategy repr` would
+/// exploit, so repetition can be inspected before opting in.
+fn cmd_stats(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("stats", args);
+    let phases = spec.switch("--phases");
+    let max_clusters = spec
+        .positive("--max-clusters")?
+        .unwrap_or(SimStrategy::DEFAULT_MAX_CLUSTERS as usize);
+    let tolerance = spec
+        .parsed::<f64>("--tolerance")?
+        .unwrap_or(SimStrategy::DEFAULT_TOLERANCE);
+    let [input] =
+        spec.finish_exact("extrap stats FILE [--phases] [--max-clusters K] [--tolerance F]")?;
+    let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
+    println!("-- marker phases --");
+    print!(
+        "{}",
+        extrap_trace::phases::render(&extrap_trace::phase_profiles(&set))
+    );
+    if phases {
+        let sigs = extrap_trace::epoch_signatures(&set);
+        let opts = extrap_trace::ClusterOptions {
+            max_clusters,
+            tolerance,
+        };
+        println!("-- barrier epochs --");
+        match extrap_trace::cluster_epochs(&sigs, &opts) {
+            Some(clustering) => {
+                print!("{}", extrap_trace::render_clusters(&sigs, &clustering));
+            }
+            None => println!(
+                "{} epochs; no repetition within {max_clusters} clusters at tolerance \
+                 {tolerance} — `--strategy repr` would fall back to exact simulation",
+                sigs.len()
+            ),
+        }
+    }
+    Ok(())
+}
+
 fn cmd_timeline(args: Vec<String>) -> Result<(), String> {
     let mut spec = ArgSpec::new("timeline", args);
     let width = spec.parsed::<usize>("--width")?.unwrap_or(100);
@@ -454,11 +522,13 @@ fn cmd_lint(args: Vec<String>) -> Result<(), String> {
         }
         return Ok(());
     }
-    let json = match spec.value("--format")?.as_deref() {
-        None | Some("text") => false,
-        Some("json") => true,
-        Some(other) => return Err(format!("lint: unknown format {other:?} (text|json)")),
-    };
+    let json = spec
+        .enumerated("--format", "text, json", |v| match v {
+            "text" => Some(false),
+            "json" => Some(true),
+            _ => None,
+        })?
+        .unwrap_or(false);
     let machine = spec.value("--machine")?;
     let jobs = spec
         .positive("--jobs")?
@@ -757,7 +827,9 @@ fn cmd_diff(args: Vec<String>) -> Result<(), String> {
 
 fn cmd_params(args: Vec<String>) -> Result<(), String> {
     let mut spec = ArgSpec::new("params", args);
-    let params = parse_machine(spec.value("--machine")?)?;
+    let params = spec
+        .enumerated("--machine", "distributed, shared, ideal, cm5", machine_of)?
+        .unwrap_or_else(machine::default_distributed);
     let leftovers = spec.finish()?;
     if !leftovers.is_empty() {
         return Err("usage: extrap params [--machine M]".to_string());

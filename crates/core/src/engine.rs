@@ -35,7 +35,7 @@ use crate::barrier::{BarrierAction, BarrierCoordinator, BarrierMsg};
 use crate::metrics::{Prediction, ProcBreakdown};
 use crate::network::state::NetModel;
 use crate::network::NetworkState;
-use crate::params::{RecordMode, ServicePolicy, SimParams, SizeMode};
+use crate::params::{RecordMode, ServicePolicy, SimParams, SimStrategy, SizeMode};
 use crate::processor::{CompiledProgram, Op};
 use extrap_sim::Engine as EventQueue;
 use extrap_time::{BarrierId, DurationNs, ProcId, ThreadId, TimeNs};
@@ -208,7 +208,38 @@ pub fn run_compiled(
 
 /// Runs the extrapolation of a compiled program, reusing the caller's
 /// scratch buffers (the zero-allocation sweep hot path).
+///
+/// This is the strategy dispatch point: under
+/// [`SimStrategy::Representative`] the program's repeating barrier
+/// epochs are clustered and one representative per cluster is simulated
+/// ([`ReprPlan`](crate::repr::ReprPlan)), falling back to the exact path
+/// when the trace has no exploitable repetition.  The refsim entry point
+/// [`run_with_network`] always simulates exactly — a caller-supplied
+/// link-level network model carries state across epochs, which weighted
+/// composition cannot honor.
 pub fn run_compiled_scratch(
+    program: &CompiledProgram,
+    params: &SimParams,
+    scratch: &mut SimScratch,
+) -> Result<Prediction, ExtrapError> {
+    if let SimStrategy::Representative {
+        max_clusters,
+        tolerance,
+    } = params.strategy
+    {
+        params.validate().map_err(ExtrapError::Params)?;
+        if let Some(plan) = crate::repr::ReprPlan::from_program(program, max_clusters, tolerance) {
+            return plan.run(params, scratch);
+        }
+    }
+    exact_compiled_scratch(program, params, scratch)
+}
+
+/// The exact (every-epoch) path of [`run_compiled_scratch`], and the
+/// fallback target when representative clustering finds no repetition:
+/// falling back lands on literally the same code the exact strategy
+/// runs, so fallback output is byte-identical by construction.
+pub(crate) fn exact_compiled_scratch(
     program: &CompiledProgram,
     params: &SimParams,
     scratch: &mut SimScratch,

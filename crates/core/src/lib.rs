@@ -39,6 +39,7 @@ pub mod multithread;
 pub mod network;
 pub mod params;
 pub mod processor;
+pub mod repr;
 pub mod scalability;
 pub mod session;
 pub mod sweep;
@@ -57,9 +58,10 @@ pub use network::state::NetModel;
 pub use network::topology::Topology;
 pub use params::{
     BarrierAlgorithm, BarrierParams, CommParams, ContentionParams, NetworkParams, RecordMode,
-    ServicePolicy, SimParams, SizeMode,
+    ServicePolicy, SimParams, SimStrategy, SizeMode,
 };
 pub use processor::{CompiledProgram, CompiledThread};
+pub use repr::{ReprCluster, ReprPlan};
 pub use scalability::{Scalability, ScalePoint};
 pub use session::{Extrapolator, RunInput};
 pub use sweep::{

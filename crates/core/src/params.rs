@@ -275,6 +275,86 @@ impl BarrierParams {
     }
 }
 
+/// How the simulator covers the trace's barrier epochs.
+///
+/// `Exact` replays every epoch — the paper's simulator.  `Representative`
+/// clusters repeating epochs by workload signature (SimPoint applied to
+/// barrier phases), simulates one representative per cluster, and
+/// composes full-run metrics from the cluster weights.  When clustering
+/// finds no exploitable repetition the run silently falls back to the
+/// exact path, so `Representative` is always safe to request.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum SimStrategy {
+    /// Simulate every barrier epoch (full fidelity).
+    #[default]
+    Exact,
+    /// Simulate one representative epoch per signature cluster and
+    /// weight-compose the metrics; falls back to [`SimStrategy::Exact`]
+    /// when the trace does not repeat.
+    Representative {
+        /// Clustering gives up (and the run falls back to exact) when
+        /// the epochs need more than this many clusters.
+        max_clusters: u32,
+        /// Mean relative signature-distance threshold for two epochs
+        /// to share a cluster (0 = identical only).
+        tolerance: f64,
+    },
+}
+
+impl SimStrategy {
+    /// Default cluster-count bound of `repr` without an explicit `:K`.
+    /// Sized for multigrid-style programs, whose per-level epochs are
+    /// relatively distinct: Mgrid at paper scale needs ~57 clusters.
+    pub const DEFAULT_MAX_CLUSTERS: u32 = 64;
+    /// Default join tolerance of `repr` without an explicit `:K:TOL`.
+    pub const DEFAULT_TOLERANCE: f64 = 0.05;
+    /// The accepted spellings, for error messages.
+    pub const VALID: &'static str = "exact, repr, repr:K, repr:K:TOL";
+
+    /// The representative strategy with default knobs.
+    pub fn representative() -> SimStrategy {
+        SimStrategy::Representative {
+            max_clusters: SimStrategy::DEFAULT_MAX_CLUSTERS,
+            tolerance: SimStrategy::DEFAULT_TOLERANCE,
+        }
+    }
+
+    /// Parses `exact`, `repr`, `repr:K`, or `repr:K:TOL`.
+    pub fn parse(s: &str) -> Option<SimStrategy> {
+        match s {
+            "exact" => Some(SimStrategy::Exact),
+            "repr" => Some(SimStrategy::representative()),
+            other => {
+                let rest = other.strip_prefix("repr:")?;
+                let (k, tol) = match rest.split_once(':') {
+                    Some((k, t)) => (k, Some(t)),
+                    None => (rest, None),
+                };
+                let max_clusters = k.parse().ok()?;
+                let tolerance = match tol {
+                    Some(t) => t.parse().ok()?,
+                    None => SimStrategy::DEFAULT_TOLERANCE,
+                };
+                Some(SimStrategy::Representative {
+                    max_clusters,
+                    tolerance,
+                })
+            }
+        }
+    }
+
+    /// The canonical spelling ([`parse`](SimStrategy::parse) inverse).
+    pub fn label(&self) -> String {
+        match self {
+            SimStrategy::Exact => "exact".to_string(),
+            SimStrategy::Representative {
+                max_clusters,
+                tolerance,
+            } => format!("repr:{max_clusters}:{tolerance}"),
+        }
+    }
+}
+
 /// The complete parameter set for one extrapolation run.
 #[derive(Clone, PartialEq, Debug)]
 pub struct SimParams {
@@ -294,6 +374,9 @@ pub struct SimParams {
     /// `(time, seq)` order, so predictions are byte-identical across
     /// kinds and this is purely a performance knob.
     pub scheduler: SchedulerKind,
+    /// Epoch coverage strategy: exact replay or representative-region
+    /// simulation with weighted metric composition.
+    pub strategy: SimStrategy,
     /// Remote data access model parameters.
     pub comm: CommParams,
     /// Network parameters.
@@ -312,6 +395,7 @@ impl Default for SimParams {
             size_mode: SizeMode::default(),
             record_mode: RecordMode::default(),
             scheduler: SchedulerKind::Auto,
+            strategy: SimStrategy::Exact,
             comm: CommParams::default(),
             network: NetworkParams::default(),
             barrier: BarrierParams::default(),
@@ -337,6 +421,20 @@ impl SimParams {
         if let BarrierAlgorithm::Tree { arity } = self.barrier.algorithm {
             if arity < 2 {
                 return Err(format!("tree barrier arity must be >= 2, got {arity}"));
+            }
+        }
+        if let SimStrategy::Representative {
+            max_clusters,
+            tolerance,
+        } = self.strategy
+        {
+            if max_clusters == 0 {
+                return Err("representative max_clusters must be >= 1".to_string());
+            }
+            if !(tolerance.is_finite() && tolerance >= 0.0) {
+                return Err(format!(
+                    "representative tolerance must be non-negative, got {tolerance}"
+                ));
             }
         }
         if self.network.contention.alpha < 0.0 || !self.network.contention.alpha.is_finite() {
@@ -378,6 +476,7 @@ impl SimParams {
             }
         );
         let _ = writeln!(s, "Scheduler = {}", self.scheduler.as_str());
+        let _ = writeln!(s, "Strategy = {}", self.strategy.label());
         let _ = writeln!(s, "CommStartupTime = {}", self.comm.startup.as_us());
         let _ = writeln!(s, "ByteTransferTime = {}", self.comm.byte_transfer.as_us());
         let _ = writeln!(s, "MsgConstructTime = {}", self.comm.construct.as_us());
@@ -511,6 +610,15 @@ impl SimParams {
                     p.scheduler = SchedulerKind::parse(value)
                         .ok_or_else(|| format!("line {}: bad scheduler {value:?}", lineno + 1))?
                 }
+                "Strategy" => {
+                    p.strategy = SimStrategy::parse(value).ok_or_else(|| {
+                        format!(
+                            "line {}: bad strategy {value:?} (valid: {})",
+                            lineno + 1,
+                            SimStrategy::VALID
+                        )
+                    })?
+                }
                 "CommStartupTime" => p.comm.startup = us(value)?,
                 "ByteTransferTime" => p.comm.byte_transfer = us(value)?,
                 "MsgConstructTime" => p.comm.construct = us(value)?,
@@ -601,9 +709,58 @@ mod tests {
         p.network.topology = Topology::Mesh2D;
         p.barrier.algorithm = BarrierAlgorithm::Tree { arity: 4 };
         p.barrier.by_msgs = false;
+        p.strategy = SimStrategy::Representative {
+            max_clusters: 32,
+            tolerance: 0.125,
+        };
         let text = p.to_config_text();
         let back = SimParams::from_config_text(&text).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn strategy_spellings() {
+        assert_eq!(SimStrategy::parse("exact"), Some(SimStrategy::Exact));
+        assert_eq!(
+            SimStrategy::parse("repr"),
+            Some(SimStrategy::representative())
+        );
+        assert_eq!(
+            SimStrategy::parse("repr:32"),
+            Some(SimStrategy::Representative {
+                max_clusters: 32,
+                tolerance: SimStrategy::DEFAULT_TOLERANCE,
+            })
+        );
+        assert_eq!(
+            SimStrategy::parse("repr:8:0.1"),
+            Some(SimStrategy::Representative {
+                max_clusters: 8,
+                tolerance: 0.1,
+            })
+        );
+        assert_eq!(SimStrategy::parse("repr:"), None);
+        assert_eq!(SimStrategy::parse("approximate"), None);
+        for s in ["exact", "repr:16:0.05", "repr:8:0.1"] {
+            assert_eq!(SimStrategy::parse(s).unwrap().label(), s);
+        }
+    }
+
+    #[test]
+    fn strategy_validation() {
+        let mut p = SimParams::default();
+        p.strategy = SimStrategy::Representative {
+            max_clusters: 0,
+            tolerance: 0.05,
+        };
+        assert!(p.validate().is_err());
+        p.strategy = SimStrategy::Representative {
+            max_clusters: 4,
+            tolerance: f64::NAN,
+        };
+        assert!(p.validate().is_err());
+        p.strategy = SimStrategy::representative();
+        assert!(p.validate().is_ok());
     }
 
     #[test]

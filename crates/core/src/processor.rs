@@ -163,29 +163,11 @@ impl CompiledProgram {
     /// Validates `traces` and compiles every thread's script.
     pub fn compile(traces: &TraceSet) -> Result<CompiledProgram, TraceError> {
         traces.validate()?;
-        // Per-epoch (between-barrier) remote-write counts, summed across
-        // threads: non-blocking writes are the only ops that can pile up
-        // in the event queue faster than they drain, and a barrier
-        // flushes them, so the busiest epoch bounds the write backlog.
-        let mut epoch_writes: Vec<usize> = Vec::new();
         let threads: Vec<CompiledThread> = traces
             .threads
             .iter()
             .map(|tt| {
                 let ops = compile_thread_raw(tt);
-                let mut epoch = 0usize;
-                for op in &ops {
-                    match op {
-                        Op::Barrier(_) => epoch += 1,
-                        Op::RemoteWrite { .. } => {
-                            if epoch_writes.len() <= epoch {
-                                epoch_writes.resize(epoch + 1, 0);
-                            }
-                            epoch_writes[epoch] += 1;
-                        }
-                        _ => {}
-                    }
-                }
                 let predicted_records = 2 + ops
                     .iter()
                     .map(|op| match op {
@@ -201,11 +183,40 @@ impl CompiledProgram {
                 }
             })
             .collect();
+        Ok(CompiledProgram::from_threads(threads))
+    }
+
+    /// Assembles a program from already-compiled thread scripts.  The
+    /// representative-region path slices a full compiled program at
+    /// barrier boundaries into per-cluster mini-programs; callers must
+    /// hand over scripts shaped like [`compile`](CompiledProgram::compile)
+    /// produces them (trailing [`Op::End`], globally aligned barriers).
+    pub fn from_threads(threads: Vec<CompiledThread>) -> CompiledProgram {
+        // Per-epoch (between-barrier) remote-write counts, summed across
+        // threads: non-blocking writes are the only ops that can pile up
+        // in the event queue faster than they drain, and a barrier
+        // flushes them, so the busiest epoch bounds the write backlog.
+        let mut epoch_writes: Vec<usize> = Vec::new();
+        for t in &threads {
+            let mut epoch = 0usize;
+            for op in &t.ops {
+                match op {
+                    Op::Barrier(_) => epoch += 1,
+                    Op::RemoteWrite { .. } => {
+                        if epoch_writes.len() <= epoch {
+                            epoch_writes.resize(epoch + 1, 0);
+                        }
+                        epoch_writes[epoch] += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
         let peak_events = 3 * threads.len() + epoch_writes.iter().copied().max().unwrap_or(0);
-        Ok(CompiledProgram {
+        CompiledProgram {
             threads,
             peak_events,
-        })
+        }
     }
 
     /// The compiled per-thread scripts, in thread-index order.

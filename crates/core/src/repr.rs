@@ -1,0 +1,470 @@
+//! Representative-region simulation: the [`SimStrategy::Representative`]
+//! execution path.
+//!
+//! Iterative programs (Mgrid, Poisson, Grid) repeat near-identical
+//! barrier epochs hundreds of times; replaying every one is the
+//! dominant cost of a paper-scale sweep.  This module applies
+//! SimPoint-style region selection to barrier epochs: fingerprint each
+//! epoch ([`extrap_trace::epoch_signatures`]-shaped signatures built
+//! directly from the compiled op scripts), cluster the fingerprints
+//! deterministically ([`extrap_trace::cluster_epochs`]), simulate **one
+//! representative epoch per cluster** through the unmodified exact
+//! engine, and compose full-run metrics from the cluster weights.
+//!
+//! # Fallback contract
+//!
+//! [`ReprPlan::from_program`] returns `None` — and the engine dispatch
+//! falls back to the exact path, byte-identically — when the program
+//! has fewer than [`MIN_EPOCHS`] epochs, when clustering would need
+//! more than `max_clusters` clusters, or when the achieved repetition
+//! is below [`MIN_REPETITION`] (simulating representatives would not
+//! pay for itself).
+//!
+//! # What composition can and cannot preserve
+//!
+//! Weighted composition is exact for additive per-thread quantities
+//! (compute, waits, remote counts) and for network volume, under the
+//! assumption that same-cluster epochs simulate to the same cost.  It
+//! cannot model cross-epoch network state; the analytic contention
+//! model is memoryless per epoch, so this is lossless here, but the
+//! refsim link-level path keeps state and therefore always runs exact.
+//!
+//! # Warmup: the leading barrier
+//!
+//! In the full run an epoch does not start from aligned threads — it
+//! starts from the *staggered release* of the previous barrier, and at
+//! high processor counts that stagger is a significant fraction of a
+//! short epoch.  Each mini-program therefore opens with a warmup
+//! barrier (the SimPoint warmup analog): all threads arrive aligned at
+//! `t = 0`, the barrier completes, and its release reproduces the
+//! steady-state stagger before the epoch body runs.  The cost of the
+//! warmup itself is measured once by a barrier-only baseline program
+//! and subtracted from every representative's metrics, so each cluster
+//! contributes `weight x (representative - baseline)`.  The engine is
+//! deterministic and the mini-run's prefix is identical to the
+//! baseline run, so the subtraction never underflows.
+
+use crate::engine::{self, ExtrapError, SimScratch};
+use crate::metrics::Prediction;
+use crate::network::state::NetworkStats;
+use crate::params::{RecordMode, SimParams, SimStrategy};
+use crate::processor::{CompiledProgram, CompiledThread, Op};
+use extrap_time::{BarrierId, DurationNs, TimeNs};
+use extrap_trace::{cluster_epochs, ClusterOptions, EpochSignature, EpochTerminator, TraceSet};
+
+/// Programs with fewer epochs than this simulate exactly — there is
+/// nothing to amortize.
+pub const MIN_EPOCHS: usize = 4;
+
+/// Minimum epochs-per-cluster ratio for a plan to be worthwhile;
+/// below it the trace "repeats" too weakly and the run falls back.
+pub const MIN_REPETITION: f64 = 2.0;
+
+/// One epoch cluster: its representative's mini-program and how many
+/// epochs of the full run it stands for.
+#[derive(Clone, Debug)]
+pub struct ReprCluster {
+    /// Index of the representative epoch in the full program.
+    pub rep_epoch: usize,
+    /// Number of epochs this cluster covers.
+    pub weight: u64,
+    /// The representative epoch as a standalone compiled program.
+    program: CompiledProgram,
+}
+
+impl ReprCluster {
+    /// The representative epoch's standalone program.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+}
+
+/// A representative-region simulation plan: the clustering of a
+/// program's barrier epochs plus one sliced mini-program per cluster.
+///
+/// A plan depends only on the compiled program and the strategy knobs —
+/// not on machine parameters — so sweeps memoize it per trace (see
+/// [`CachedTrace::repr_plan`](crate::sweep::CachedTrace::repr_plan))
+/// and share it across every parameter set.
+#[derive(Clone, Debug)]
+pub struct ReprPlan {
+    n_epochs: usize,
+    assignment: Vec<u32>,
+    clusters: Vec<ReprCluster>,
+    /// Barrier-only program measuring the warmup barrier's cost (see
+    /// the module docs); subtracted from every representative run.
+    baseline: CompiledProgram,
+}
+
+impl ReprPlan {
+    /// Fingerprints and clusters `program`'s barrier epochs and slices
+    /// one mini-program per cluster.  `None` means "no exploitable
+    /// repetition — simulate exactly" (see the module docs for the
+    /// precise conditions).
+    pub fn from_program(
+        program: &CompiledProgram,
+        max_clusters: u32,
+        tolerance: f64,
+    ) -> Option<ReprPlan> {
+        if program.is_empty() {
+            return None;
+        }
+        let spans: Vec<Vec<(usize, usize)>> = program
+            .threads()
+            .iter()
+            .map(|t| epoch_spans(&t.ops))
+            .collect();
+        let n_epochs = spans[0].len();
+        if n_epochs < MIN_EPOCHS || spans.iter().any(|s| s.len() != n_epochs) {
+            return None;
+        }
+
+        let mut sigs = vec![EpochSignature::zero(EpochTerminator::Barrier); n_epochs];
+        if let Some(last) = sigs.last_mut() {
+            last.terminator = EpochTerminator::End;
+        }
+        for (t, thread) in program.threads().iter().enumerate() {
+            for (e, &(start, end)) in spans[t].iter().enumerate() {
+                accumulate_signature(&mut sigs[e], &thread.ops[start..end]);
+            }
+        }
+
+        let opts = ClusterOptions {
+            max_clusters: max_clusters as usize,
+            tolerance,
+        };
+        let clustering = cluster_epochs(&sigs, &opts)?;
+        if clustering.repetition() < MIN_REPETITION {
+            return None;
+        }
+
+        let clusters = clustering
+            .clusters
+            .iter()
+            .map(|c| ReprCluster {
+                rep_epoch: c.rep,
+                weight: c.weight,
+                program: slice_epoch(program, &spans, c.rep),
+            })
+            .collect();
+        let baseline = CompiledProgram::from_threads(
+            program
+                .threads()
+                .iter()
+                .map(|t| CompiledThread {
+                    thread: t.thread,
+                    ops: vec![Op::Barrier(BarrierId(0)), Op::End],
+                    predicted_records: 4,
+                })
+                .collect(),
+        );
+        Some(ReprPlan {
+            n_epochs,
+            assignment: clustering.assignment,
+            clusters,
+            baseline,
+        })
+    }
+
+    /// Total barrier epochs of the underlying program.
+    pub fn n_epochs(&self) -> usize {
+        self.n_epochs
+    }
+
+    /// `assignment[e]` is epoch `e`'s cluster index.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// The clusters, in first-seen epoch order.
+    pub fn clusters(&self) -> &[ReprCluster] {
+        &self.clusters
+    }
+
+    /// Epochs per simulated representative — the theoretical speedup
+    /// bound of this plan.
+    pub fn repetition(&self) -> f64 {
+        self.n_epochs as f64 / self.clusters.len().max(1) as f64
+    }
+
+    /// Simulates each cluster's representative epoch through the exact
+    /// engine and composes the full-run prediction from cluster
+    /// weights.
+    ///
+    /// Composition rules: additive per-thread quantities (compute,
+    /// service, waits, remote counts, end time) and network volume
+    /// contribute `weight x (representative - baseline)` — the warmup
+    /// barrier's cost never leaks into the total; `max_in_flight` takes
+    /// the max across representatives; `barriers` is the full program's
+    /// count; `events_dispatched` stays the *actual* (unweighted) event
+    /// count across the baseline and representative runs, so the metric
+    /// honestly reports what the representative simulation cost.  The
+    /// predicted trace is always empty — representative simulation is a
+    /// metrics-only strategy.
+    pub fn run(
+        &self,
+        params: &SimParams,
+        scratch: &mut SimScratch,
+    ) -> Result<Prediction, ExtrapError> {
+        // The mini-programs run the plain exact path: no recursion into
+        // the strategy dispatch, no predicted-trace materialization.
+        let mut run_params = params.clone();
+        run_params.strategy = SimStrategy::Exact;
+        run_params.record_mode = RecordMode::MetricsOnly;
+
+        let base = engine::exact_compiled_scratch(&self.baseline, &run_params, scratch)?;
+        let mut out = zeroed(&base);
+        let mut events = base.events_dispatched;
+        for cluster in &self.clusters {
+            let pred = engine::exact_compiled_scratch(&cluster.program, &run_params, scratch)?;
+            events += pred.events_dispatched;
+            add_scaled_delta(&mut out, &pred, &base, cluster.weight);
+        }
+        out.barriers = self.n_epochs.saturating_sub(1);
+        out.events_dispatched = events;
+        out.predicted = TraceSet { threads: vec![] };
+        Ok(out)
+    }
+}
+
+/// Splits a thread's op script into per-epoch `[start, end)` spans.
+/// Epoch `k`'s span ends just after its `Op::Barrier`; the final span
+/// ends just before `Op::End`.
+fn epoch_spans(ops: &[Op]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Barrier(_) => {
+                spans.push((start, i + 1));
+                start = i + 1;
+            }
+            Op::End => spans.push((start, i)),
+            _ => {}
+        }
+    }
+    spans
+}
+
+/// Folds an op slice into an epoch signature.  Barrier wait is a
+/// simulation *output*, unknowable from the script, so it stays zero —
+/// identical workloads produce identical waits, which is exactly the
+/// clustering hypothesis.
+fn accumulate_signature(sig: &mut EpochSignature, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Compute(d) => sig.compute += *d,
+            Op::RemoteRead {
+                declared_bytes,
+                actual_bytes,
+                ..
+            } => {
+                sig.remote_reads += 1;
+                sig.declared_bytes += u64::from(*declared_bytes);
+                sig.actual_bytes += u64::from(*actual_bytes);
+            }
+            Op::RemoteWrite {
+                declared_bytes,
+                actual_bytes,
+                ..
+            } => {
+                sig.remote_writes += 1;
+                sig.declared_bytes += u64::from(*declared_bytes);
+                sig.actual_bytes += u64::from(*actual_bytes);
+            }
+            Op::Barrier(_) | Op::End => {}
+        }
+    }
+}
+
+/// Extracts epoch `e` of every thread as a standalone program: a
+/// leading warmup barrier (`BarrierId(0)`, reproducing the staggered
+/// start the epoch sees in the full run), the epoch's ops with its own
+/// barrier remapped to `BarrierId(1)` (the coordinator sizes its state
+/// by barrier index), and a trailing `Op::End`.
+fn slice_epoch(
+    program: &CompiledProgram,
+    spans: &[Vec<(usize, usize)>],
+    e: usize,
+) -> CompiledProgram {
+    let threads = program
+        .threads()
+        .iter()
+        .enumerate()
+        .map(|(t, thread)| {
+            let (start, end) = spans[t][e];
+            let mut ops = vec![Op::Barrier(BarrierId(0))];
+            ops.extend(thread.ops[start..end].iter().map(|op| match op {
+                Op::Barrier(_) => Op::Barrier(BarrierId(1)),
+                other => *other,
+            }));
+            ops.push(Op::End);
+            let predicted_records = 2 + ops
+                .iter()
+                .map(|op| match op {
+                    Op::RemoteRead { .. } | Op::RemoteWrite { .. } => 1,
+                    Op::Barrier(_) => 2,
+                    Op::Compute(_) | Op::End => 0,
+                })
+                .sum::<usize>();
+            CompiledThread {
+                thread: thread.thread,
+                ops,
+                predicted_records,
+            }
+        })
+        .collect();
+    CompiledProgram::from_threads(threads)
+}
+
+/// `pred` with every composable metric cleared — the accumulator the
+/// cluster deltas add into.  Thread identities, `n_threads`/`n_procs`
+/// shape, and non-composable fields come from the baseline run.
+fn zeroed(pred: &Prediction) -> Prediction {
+    let mut out = pred.clone();
+    for t in &mut out.per_thread {
+        t.compute = DurationNs::ZERO;
+        t.service = DurationNs::ZERO;
+        t.send_overhead = DurationNs::ZERO;
+        t.remote_wait = DurationNs::ZERO;
+        t.barrier_wait = DurationNs::ZERO;
+        t.sched_wait = DurationNs::ZERO;
+        t.end_time = TimeNs::ZERO;
+        t.remote_reads = 0;
+        t.remote_writes = 0;
+    }
+    out.network = NetworkStats::default();
+    out.barriers = 0;
+    out.events_dispatched = 0;
+    out.predicted = TraceSet { threads: vec![] };
+    out
+}
+
+/// Adds `w x (pred - base)` into the running composition.  `base` is
+/// the warmup-barrier baseline; its run is a prefix of `pred`'s (same
+/// deterministic engine, identical opening ops), so each subtraction is
+/// non-negative — `saturating_sub` merely documents that a zero floor
+/// is the safe failure mode.
+fn add_scaled_delta(acc: &mut Prediction, pred: &Prediction, base: &Prediction, w: u64) {
+    for (a, (t, b)) in acc
+        .per_thread
+        .iter_mut()
+        .zip(pred.per_thread.iter().zip(&base.per_thread))
+    {
+        a.compute += t.compute.saturating_sub(b.compute) * w;
+        a.service += t.service.saturating_sub(b.service) * w;
+        a.send_overhead += t.send_overhead.saturating_sub(b.send_overhead) * w;
+        a.remote_wait += t.remote_wait.saturating_sub(b.remote_wait) * w;
+        a.barrier_wait += t.barrier_wait.saturating_sub(b.barrier_wait) * w;
+        a.sched_wait += t.sched_wait.saturating_sub(b.sched_wait) * w;
+        a.end_time =
+            TimeNs(a.end_time.as_ns() + t.end_time.as_ns().saturating_sub(b.end_time.as_ns()) * w);
+        a.remote_reads += t.remote_reads.saturating_sub(b.remote_reads) * w;
+        a.remote_writes += t.remote_writes.saturating_sub(b.remote_writes) * w;
+    }
+    acc.network.messages += pred.network.messages.saturating_sub(base.network.messages) * w;
+    acc.network.bytes += pred.network.bytes.saturating_sub(base.network.bytes) * w;
+    acc.network.max_in_flight = acc.network.max_in_flight.max(pred.network.max_in_flight);
+    acc.network.factor_sum +=
+        (pred.network.factor_sum - base.network.factor_sum).max(0.0) * w as f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extrap_trace::PhaseProgram;
+
+    fn periodic(n_threads: usize, epochs: usize, pattern: &[u64]) -> CompiledProgram {
+        let mut p = PhaseProgram::new(n_threads);
+        for e in 0..epochs {
+            p.push_uniform_phase(DurationNs(pattern[e % pattern.len()]));
+        }
+        let ts = extrap_trace::translate(&p.record(), Default::default()).unwrap();
+        CompiledProgram::compile(&ts).unwrap()
+    }
+
+    #[test]
+    fn plan_clusters_periodic_program() {
+        let program = periodic(2, 20, &[1_000, 5_000]);
+        let plan = ReprPlan::from_program(&program, 16, 0.05).unwrap();
+        assert_eq!(plan.n_epochs(), 21);
+        // Two alternating interior clusters plus the (empty) tail epoch.
+        assert_eq!(plan.clusters().len(), 3);
+        let total: u64 = plan.clusters().iter().map(|c| c.weight).sum();
+        assert_eq!(total, 21);
+        assert!(plan.repetition() > 5.0);
+    }
+
+    #[test]
+    fn short_programs_refuse_a_plan() {
+        let program = periodic(2, 2, &[1_000]);
+        assert!(ReprPlan::from_program(&program, 16, 0.05).is_none());
+    }
+
+    #[test]
+    fn non_repeating_programs_refuse_a_plan() {
+        let pattern: Vec<u64> = (1..=12).map(|i| i * 7_919).collect();
+        let program = periodic(2, 12, &pattern);
+        assert!(ReprPlan::from_program(&program, 16, 0.001).is_none());
+    }
+
+    #[test]
+    fn mini_programs_warm_up_end_and_remap_barriers() {
+        let program = periodic(2, 10, &[1_000]);
+        let plan = ReprPlan::from_program(&program, 16, 0.05).unwrap();
+        for cluster in plan.clusters() {
+            for thread in cluster.program().threads() {
+                // Leading warmup barrier, remapped epoch barriers, End.
+                assert_eq!(thread.ops.first(), Some(&Op::Barrier(BarrierId(0))));
+                assert_eq!(thread.ops.last(), Some(&Op::End));
+                for op in &thread.ops[1..] {
+                    if let Op::Barrier(id) = op {
+                        assert_eq!(*id, BarrierId(1));
+                    }
+                }
+            }
+        }
+    }
+
+    fn rel_err(a: TimeNs, b: TimeNs) -> f64 {
+        (a.as_ns() as f64 - b.as_ns() as f64).abs() / b.as_ns() as f64
+    }
+
+    #[test]
+    fn composed_metrics_match_exact_on_perfectly_periodic_trace() {
+        let program = periodic(4, 30, &[2_000]);
+        let params = SimParams::default();
+        let exact = engine::run_compiled(&program, &params).unwrap();
+
+        let plan = ReprPlan::from_program(&program, 16, 0.05).unwrap();
+        let composed = plan.run(&params, &mut SimScratch::default()).unwrap();
+
+        assert_eq!(composed.n_threads, exact.n_threads);
+        assert_eq!(composed.barriers, exact.barriers);
+        // Additive workload metrics compose exactly.
+        assert_eq!(composed.network.messages, exact.network.messages);
+        assert_eq!(composed.network.bytes, exact.network.bytes);
+        for (c, e) in composed.per_thread.iter().zip(&exact.per_thread) {
+            assert_eq!(c.compute, e.compute);
+        }
+        // Timing composes approximately: a mini-epoch starts its threads
+        // aligned at t=0, while the full run's epoch starts are skewed
+        // by the previous barrier's staggered release — a constant
+        // per-epoch offset, well under 1% here.
+        assert!(rel_err(composed.exec_time(), exact.exec_time()) < 0.01);
+        // The whole point: far fewer simulator events.
+        assert!(composed.events_dispatched < exact.events_dispatched / 2);
+    }
+
+    #[test]
+    fn strategy_dispatch_uses_the_plan() {
+        let program = periodic(2, 24, &[3_000]);
+        let mut params = SimParams::default();
+        let exact = engine::run_compiled(&program, &params).unwrap();
+        params.strategy = SimStrategy::representative();
+        let repr = engine::run_compiled(&program, &params).unwrap();
+        assert!(rel_err(repr.exec_time(), exact.exec_time()) < 0.01);
+        assert!(repr.events_dispatched < exact.events_dispatched);
+        assert!(repr.predicted.threads.is_empty());
+    }
+}

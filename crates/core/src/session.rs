@@ -28,7 +28,9 @@
 
 use crate::engine::{self, ExtrapError, SimScratch};
 use crate::metrics::Prediction;
-use crate::params::{BarrierParams, CommParams, RecordMode, ServicePolicy, SimParams, SizeMode};
+use crate::params::{
+    BarrierParams, CommParams, RecordMode, ServicePolicy, SimParams, SimStrategy, SizeMode,
+};
 use crate::processor::CompiledProgram;
 use extrap_sim::SchedulerKind;
 use extrap_trace::{ProgramTrace, TraceSet, TranslateOptions};
@@ -135,6 +137,17 @@ impl Extrapolator {
     /// is purely a performance knob for large sweeps.
     pub fn scheduler(mut self, kind: SchedulerKind) -> Extrapolator {
         self.params.scheduler = kind;
+        self
+    }
+
+    /// Sets the epoch coverage strategy: exact replay of every barrier
+    /// epoch, or representative-region simulation
+    /// ([`SimStrategy::Representative`]) that clusters repeating epochs,
+    /// simulates one representative per cluster, and composes full-run
+    /// metrics from cluster weights — falling back to exact output when
+    /// the trace does not repeat.
+    pub fn strategy(mut self, strategy: SimStrategy) -> Extrapolator {
+        self.params.strategy = strategy;
         self
     }
 

@@ -51,8 +51,9 @@
 
 use crate::engine::{self, ExtrapError, SimScratch};
 use crate::metrics::Prediction;
-use crate::params::SimParams;
+use crate::params::{SimParams, SimStrategy};
 use crate::processor::CompiledProgram;
+use crate::repr::ReprPlan;
 use extrap_trace::{TraceError, TraceSet};
 use std::collections::HashMap;
 use std::fmt;
@@ -75,14 +76,48 @@ use std::sync::{mpsc, Arc, OnceLock, RwLock};
 pub struct CachedTrace {
     traces: TraceSet,
     program: CompiledProgram,
+    /// Representative-region plans, memoized per strategy knob pair
+    /// `(max_clusters, tolerance.to_bits())`.  A plan depends only on
+    /// the compiled program and those knobs, so the whole sweep — every
+    /// parameter set, every worker — shares one clustering per trace,
+    /// which also makes `repr` output trivially byte-stable across
+    /// worker counts.  `None` records "clustering declined".
+    repr_plans: ReprPlanMemo,
 }
+
+/// Memoized representative-region plans keyed by strategy knobs
+/// (`tolerance` stored as its bit pattern for hashability).
+type ReprPlanMemo = RwLock<HashMap<(u32, u64), Option<Arc<ReprPlan>>>>;
 
 impl CachedTrace {
     /// Translates nothing — wraps an already-translated trace set,
     /// compiling its program.
     pub fn new(traces: TraceSet) -> Result<CachedTrace, TraceError> {
         let program = CompiledProgram::compile(&traces)?;
-        Ok(CachedTrace { traces, program })
+        Ok(CachedTrace {
+            traces,
+            program,
+            repr_plans: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The representative-region plan for the given strategy knobs,
+    /// computed on first request and shared thereafter.  `None` means
+    /// clustering found no exploitable repetition — simulate exactly.
+    pub fn repr_plan(&self, max_clusters: u32, tolerance: f64) -> Option<Arc<ReprPlan>> {
+        let key = (max_clusters, tolerance.to_bits());
+        if let Some(plan) = self.repr_plans.read().expect("plan lock").get(&key) {
+            return plan.clone();
+        }
+        // Racing computations produce identical plans (the clustering
+        // is deterministic); first writer wins, duplicates are dropped.
+        let plan = ReprPlan::from_program(&self.program, max_clusters, tolerance).map(Arc::new);
+        self.repr_plans
+            .write()
+            .expect("plan lock")
+            .entry(key)
+            .or_insert(plan)
+            .clone()
     }
 
     /// The translated per-thread traces.
@@ -606,11 +641,30 @@ where
                 key: job.key.clone(),
                 error,
             })?;
-        engine::run_compiled_scratch(cached.program(), &job.params, scratch).map_err(|error| {
-            SweepError {
-                key: job.key.clone(),
-                error,
+        // Strategy dispatch mirrors `run_compiled_scratch`, but through
+        // the cache's memoized plan: clustering runs once per trace and
+        // is shared by every parameter set and worker touching it.
+        let result = match job.params.strategy {
+            SimStrategy::Representative {
+                max_clusters,
+                tolerance,
+            } => match cached.repr_plan(max_clusters, tolerance) {
+                Some(plan) => job
+                    .params
+                    .validate()
+                    .map_err(ExtrapError::Params)
+                    .and_then(|()| plan.run(&job.params, scratch)),
+                // The memoized "no repetition" verdict: go straight to
+                // the exact path instead of re-running clustering.
+                None => engine::exact_compiled_scratch(cached.program(), &job.params, scratch),
+            },
+            SimStrategy::Exact => {
+                engine::run_compiled_scratch(cached.program(), &job.params, scratch)
             }
+        };
+        result.map_err(|error| SweepError {
+            key: job.key.clone(),
+            error,
         })
     })
 }

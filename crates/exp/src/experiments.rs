@@ -7,7 +7,7 @@
 use crate::series::Series;
 use extrap_core::{
     machine, parallel_map, sweep, CachedTrace, ExtrapError, Prediction, RecordMode, SchedulerKind,
-    ServicePolicy, SharedTraceCache, SimParams, SizeMode, SweepJob,
+    ServicePolicy, SharedTraceCache, SimParams, SimStrategy, SizeMode, SweepJob,
 };
 use extrap_trace::{translate, TraceError, TraceSet};
 use extrap_workloads::{matmul, Bench, Scale};
@@ -139,6 +139,7 @@ pub struct Harness {
     cache: TraceCache,
     jobs: usize,
     scheduler: Option<SchedulerKind>,
+    strategy: Option<SimStrategy>,
 }
 
 impl Harness {
@@ -148,6 +149,7 @@ impl Harness {
             cache: TraceCache::new(scale),
             jobs: jobs.max(1),
             scheduler: None,
+            strategy: None,
         }
     }
 
@@ -156,6 +158,16 @@ impl Harness {
     /// across backends, so this is purely a performance knob.
     pub fn with_scheduler(mut self, kind: SchedulerKind) -> Harness {
         self.scheduler = Some(kind);
+        self
+    }
+
+    /// Forces every job's epoch coverage strategy.  Unlike the
+    /// scheduler override this *does* change predictions (within the
+    /// repr tolerance) — it exists to regenerate whole figures under
+    /// representative simulation and eyeball the shape preservation.
+    /// [`repr_validation`] ignores it (it pins both strategies itself).
+    pub fn with_strategy(mut self, strategy: SimStrategy) -> Harness {
+        self.strategy = Some(strategy);
         self
     }
 
@@ -215,6 +227,9 @@ impl Harness {
             job.params.record_mode = RecordMode::MetricsOnly;
             if let Some(kind) = self.scheduler {
                 job.params.scheduler = kind;
+            }
+            if let Some(strategy) = self.strategy {
+                job.params.strategy = strategy;
             }
         }
         let results = sweep(&jobs, self.jobs, &self.cache.inner, |key| {
@@ -727,6 +742,128 @@ pub fn multithread_sweep(h: &Harness, bench: Bench) -> Result<Vec<Series>, ExpEr
         series.push(m, pred.exec_time().as_ms());
     }
     Ok(vec![series])
+}
+
+/// One row of the representative-strategy validation table: the same
+/// benchmark swept over [`PROCS`] under `Strategy = exact` and
+/// `Strategy = repr` (defaults), compared prediction-by-prediction.
+#[derive(Clone, Debug)]
+pub struct ReprValidation {
+    /// Benchmark name.
+    pub bench: String,
+    /// Whether every processor count fell back to exact simulation
+    /// (no repetition to exploit — predictions are byte-identical).
+    pub fell_back: bool,
+    /// Worst relative execution-time error vs exact across [`PROCS`].
+    pub max_time_err: f64,
+    /// Whether ordering the processor counts by predicted speedup gives
+    /// the same ranking under both strategies (curve shape preserved).
+    pub ranking_identical: bool,
+    /// Total exact events dispatched over total repr events dispatched —
+    /// the simulation-work reduction the strategy bought.
+    pub event_ratio: f64,
+}
+
+/// Error-vs-speedup validation of representative-region simulation: for
+/// each benchmark, sweep [`PROCS`] under both strategies and report the
+/// metric error alongside the event-count reduction.  Pins strategies
+/// explicitly, so a [`Harness::with_strategy`] override cannot collapse
+/// the comparison.
+pub fn repr_validation(h: &Harness) -> Result<Vec<ReprValidation>, ExpError> {
+    let benches = Bench::all();
+    let mut jobs = Vec::new();
+    for strategy in [SimStrategy::Exact, SimStrategy::representative()] {
+        for bench in benches {
+            for &n in PROCS.iter() {
+                let mut params = machine::default_distributed();
+                params.record_mode = RecordMode::MetricsOnly;
+                if let Some(kind) = h.scheduler {
+                    params.scheduler = kind;
+                }
+                params.strategy = strategy;
+                jobs.push(SweepJob {
+                    key: (bench.name().to_string(), n),
+                    params,
+                });
+            }
+        }
+    }
+    let results = sweep(&jobs, h.jobs, &h.cache.inner, |key| h.translate_key(key));
+    let preds: Vec<Prediction> = results
+        .into_iter()
+        .zip(&jobs)
+        .map(|(r, job)| r.map_err(|e| ExpError::new(&e.key.0, e.key.1, &job.params, e.error)))
+        .collect::<Result<_, _>>()?;
+    let (exact_all, repr_all) = preds.split_at(benches.len() * PROCS.len());
+    let mut rows = Vec::new();
+    for (bi, bench) in benches.iter().enumerate() {
+        let exact = &exact_all[bi * PROCS.len()..(bi + 1) * PROCS.len()];
+        let repr = &repr_all[bi * PROCS.len()..(bi + 1) * PROCS.len()];
+        let fell_back = exact
+            .iter()
+            .zip(repr)
+            .all(|(e, r)| e.events_dispatched == r.events_dispatched);
+        let max_time_err = exact
+            .iter()
+            .zip(repr)
+            .map(|(e, r)| {
+                let et = e.exec_time().as_ns() as f64;
+                (r.exec_time().as_ns() as f64 - et).abs() / et.max(1.0)
+            })
+            .fold(0.0f64, f64::max);
+        let ranking_identical = speedup_ranking(exact) == speedup_ranking(repr);
+        let exact_events: u64 = exact.iter().map(|p| p.events_dispatched).sum();
+        let repr_events: u64 = repr.iter().map(|p| p.events_dispatched).sum();
+        rows.push(ReprValidation {
+            bench: bench.name().to_string(),
+            fell_back,
+            max_time_err,
+            ranking_identical,
+            event_ratio: exact_events as f64 / repr_events.max(1) as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// Processor counts ordered by predicted speedup (ties broken by index),
+/// i.e. the shape of the speedup curve as a permutation.
+fn speedup_ranking(preds: &[Prediction]) -> Vec<usize> {
+    let base = preds[0].exec_time();
+    let mut idx: Vec<usize> = (0..preds.len()).collect();
+    idx.sort_by(|&a, &b| {
+        preds[a]
+            .speedup_vs(base)
+            .total_cmp(&preds[b].speedup_vs(base))
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Renders the validation rows as the `repr` report table.
+pub fn render_repr_validation(rows: &[ReprValidation]) -> String {
+    let mut out =
+        String::from("benchmark     coverage   max time err   ranking     events exact/repr\n");
+    for row in rows {
+        let coverage = if row.fell_back {
+            "exact (fallback)"
+        } else {
+            "repr"
+        };
+        let ranking = if row.ranking_identical {
+            "identical"
+        } else {
+            "DIFFERS"
+        };
+        out.push_str(&format!(
+            "{:<12}  {:<16}  {:>6.2}%   {:<9}  {:>6.2}x\n",
+            row.bench,
+            coverage,
+            row.max_time_err * 100.0,
+            ranking,
+            row.event_ratio,
+        ));
+    }
+    out
 }
 
 /// For Fig. 9 analysis: at each processor count, does extrapolation pick

@@ -4,6 +4,7 @@
 //! ```text
 //! extrap-exp [--scale tiny|small|paper] [--jobs N] [--out DIR] \
 //!            [--scheduler heap|calendar|auto] \
+//!            [--strategy exact|repr[:K[:TOL]]] \
 //!            [table1|table2|table3|fig4|...|fig9|all]
 //! ```
 //!
@@ -11,8 +12,11 @@
 //! cores); `--jobs 1` is the serial baseline and every other value
 //! produces byte-identical output.  `--scheduler` forces the event
 //! queue backend for every job (predictions are identical either way).
+//! `--strategy` forces the epoch coverage strategy (repr changes
+//! predictions within its tolerance); the opt-in `repr` target prints
+//! the exact-vs-representative validation table and ignores the flag.
 
-use extrap_core::SchedulerKind;
+use extrap_core::{SchedulerKind, SimStrategy};
 use extrap_exp::experiments::{self, fig9_ranking, ExpError, Harness};
 use extrap_exp::series::{render_csv, render_table, Series};
 use extrap_workloads::Scale;
@@ -22,6 +26,7 @@ fn main() {
     let mut scale = Scale::Small;
     let mut jobs = extrap_core::sweep::default_workers();
     let mut scheduler: Option<SchedulerKind> = None;
+    let mut strategy: Option<SimStrategy> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
 
@@ -60,6 +65,16 @@ fn main() {
                     }
                 };
             }
+            "--strategy" => {
+                let v = args.next().unwrap_or_default();
+                strategy = match SimStrategy::parse(&v) {
+                    Some(s) => Some(s),
+                    None => {
+                        eprintln!("unknown strategy {v:?} (valid: {})", SimStrategy::VALID);
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--out" => {
                 out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a directory");
@@ -69,8 +84,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: extrap-exp [--scale tiny|small|paper] [--jobs N] [--out DIR] \
-                     [--scheduler heap|calendar|auto] \
-                     [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|all]..."
+                     [--scheduler heap|calendar|auto] [--strategy exact|repr[:K[:TOL]]] \
+                     [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|repr|all]..."
                 );
                 return;
             }
@@ -88,6 +103,9 @@ fn main() {
     let mut harness = Harness::new(scale, jobs);
     if let Some(kind) = scheduler {
         harness = harness.with_scheduler(kind);
+    }
+    if let Some(s) = strategy {
+        harness = harness.with_strategy(s);
     }
     if let Err(err) = run(&harness, &targets, &out_dir) {
         eprintln!("extrap-exp: {err}");
@@ -272,6 +290,12 @@ fn run(h: &Harness, targets: &[String], out_dir: &Option<PathBuf>) -> Result<(),
                 )
             );
         }
+    }
+    if targets.iter().any(|t| t == "repr") {
+        let rows = experiments::repr_validation(h)?;
+        println!("## Representative-region validation — exact vs repr over P = 1..32");
+        print!("{}", experiments::render_repr_validation(&rows));
+        println!();
     }
     if want("fig9") {
         let (pred, meas) = experiments::fig9(h)?;

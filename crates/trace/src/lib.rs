@@ -30,7 +30,10 @@ pub use builder::{PhaseAccess, PhaseProgram, PhaseWork, ProgramTraceBuilder};
 pub use error::TraceError;
 pub use event::{EventKind, TraceRecord};
 pub use event::{ProgramTrace, ThreadTrace, TraceSet};
-pub use phases::{phase_profiles, PhaseProfile};
+pub use phases::{
+    cluster_epochs, epoch_signatures, phase_profiles, render_clusters, splitmix64, ClusterOptions,
+    EpochCluster, EpochClustering, EpochSignature, EpochTerminator, PhaseProfile,
+};
 pub use stats::{ThreadStats, TraceStats};
 pub use stream::{
     sniff_kind, ChunkSource, FileSource, ProgramStream, ReadSource, SetChunk, SetStream,

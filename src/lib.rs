@@ -58,15 +58,16 @@ pub mod prelude {
     pub use extrap_core::{
         extrapolate, extrapolate_clustered, extrapolate_program, machine, parallel_map, sweep,
         BarrierAlgorithm, BarrierParams, ClusterParams, CommParams, Extrapolator,
-        MultithreadParams, NetworkParams, Prediction, ProcBreakdown, Scalability, ServicePolicy,
-        SharedTraceCache, SimParams, SizeMode, SweepError, SweepGrid, SweepJob, ThreadMapping,
-        Topology,
+        MultithreadParams, NetworkParams, Prediction, ProcBreakdown, ReprPlan, Scalability,
+        ServicePolicy, SharedTraceCache, SimParams, SimStrategy, SizeMode, SweepError, SweepGrid,
+        SweepJob, ThreadMapping, Topology,
     };
     pub use extrap_refsim::RefMachine;
     pub use extrap_time::{BarrierId, DurationNs, ElementId, ProcId, ThreadId, TimeNs};
     pub use extrap_trace::{
-        determinism_report, phase_profiles, translate, PhaseProgram, ProgramTrace, ThreadTrace,
-        TraceSet, TraceStats, TranslateOptions,
+        cluster_epochs, determinism_report, epoch_signatures, phase_profiles, splitmix64,
+        translate, ClusterOptions, EpochClustering, EpochSignature, PhaseProgram, ProgramTrace,
+        ThreadTrace, TraceSet, TraceStats, TranslateOptions,
     };
     pub use extrap_workloads::{Bench, Scale};
     pub use pcpp_rt::{
