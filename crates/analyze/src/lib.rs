@@ -1,0 +1,43 @@
+//! Static work/span bound analysis over compiled ExtraP programs.
+//!
+//! This crate computes, *without running the discrete-event simulator*,
+//! per-barrier-epoch work and load imbalance, the contention-free
+//! critical path (span), and closed-form lower/upper bounds on
+//! simulated execution time and speedup — a Brent-style envelope
+//! `span ≤ T(n) ≤ upper` derived from the exact cost formulas the
+//! `extrap-core` engine charges (processor scaling, network wires,
+//! service round trips, barrier algorithms).
+//!
+//! Two consumers sit on top:
+//!
+//! * `extrap analyze` renders the analysis (text/JSON/CSV, with bound
+//!   curves over processor counts), and
+//! * the [`BoundsSanitizer`](install_sanitizer) asserts every
+//!   simulation result — exact and representative — lands inside its
+//!   static envelope, turning engine, clustering, or scheduler bugs
+//!   into immediate hard failures.
+//!
+//! The bound model is deliberately *sound over tight*: lower bounds
+//! collapse every wait to its floor, upper bounds charge every
+//! quantization, contention factor, and service interval at its
+//! ceiling.  Configurations the model does not cover (thread
+//! multiplexing, divergent barrier sequences) report
+//! [`Unsupported`] rather than guessing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod render;
+
+pub use bounds::{analyze, envelope, verify_prediction, Analysis, Envelope, EpochRow, Unsupported};
+pub use render::{render, CurvePoint, Format};
+
+/// Installs [`verify_prediction`] as `extrap-core`'s bounds sanitizer
+/// and enables it.  Once installed, every engine result (exact and
+/// representative) is checked against its static envelope; a violation
+/// panics with the diagnostic.  Idempotent.
+pub fn install_sanitizer() {
+    extrap_core::sanitizer::install(verify_prediction);
+    extrap_core::sanitizer::set_enabled(true);
+}

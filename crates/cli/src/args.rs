@@ -6,18 +6,44 @@
 //! no one claimed with an error that names the subcommand — previously
 //! a typo like `--shceduler` silently became a positional argument and
 //! surfaced as a confusing usage error (or worse, was ignored).
+//!
+//! Taking a flag also *registers* it, so by finish time the spec knows
+//! the subcommand's complete flag set.  `--help`/`-h` (stripped at
+//! construction) turns [`finish`](ArgSpec::finish) into a generated
+//! help listing of exactly those flags — help can never drift from the
+//! parser because they are the same declaration.
+
+/// One registered flag: what the subcommand asked for while parsing.
+struct FlagInfo {
+    flag: String,
+    takes_value: bool,
+    /// Accepted spellings, for enumerated flags (`"text, json, csv"`).
+    valid: Option<String>,
+}
 
 /// The argument cursor for one subcommand invocation.
 pub struct ArgSpec {
     cmd: &'static str,
     args: Vec<String>,
+    help: bool,
+    flags: Vec<FlagInfo>,
 }
 
 impl ArgSpec {
     /// Wraps a subcommand's raw arguments.  `cmd` is the name used in
-    /// diagnostics (`"sweep"`, `"client sweep"`, ...).
+    /// diagnostics (`"sweep"`, `"client sweep"`, ...).  `--help`/`-h`
+    /// anywhere in `args` is claimed here; the spec then renders
+    /// generated help at finish time instead of parsing positionals.
     pub fn new(cmd: &'static str, args: Vec<String>) -> ArgSpec {
-        ArgSpec { cmd, args }
+        let mut args = args;
+        let before = args.len();
+        args.retain(|a| a != "--help" && a != "-h");
+        ArgSpec {
+            cmd,
+            help: args.len() != before,
+            args,
+            flags: Vec::new(),
+        }
     }
 
     /// The subcommand name this spec reports in errors.
@@ -25,8 +51,19 @@ impl ArgSpec {
         self.cmd
     }
 
+    fn register(&mut self, flag: &str, takes_value: bool) {
+        if !self.flags.iter().any(|f| f.flag == flag) {
+            self.flags.push(FlagInfo {
+                flag: flag.to_string(),
+                takes_value,
+                valid: None,
+            });
+        }
+    }
+
     /// Takes `--flag VALUE` (at most one occurrence).
     pub fn value(&mut self, flag: &str) -> Result<Option<String>, String> {
+        self.register(flag, true);
         if let Some(pos) = self.args.iter().position(|a| a == flag) {
             if pos + 1 >= self.args.len() {
                 return Err(format!("{}: {flag} needs a value", self.cmd));
@@ -50,6 +87,7 @@ impl ArgSpec {
 
     /// Takes a boolean `--flag`; returns whether it was present.
     pub fn switch(&mut self, flag: &str) -> bool {
+        self.register(flag, false);
         if let Some(pos) = self.args.iter().position(|a| a == flag) {
             self.args.remove(pos);
             true
@@ -84,7 +122,11 @@ impl ArgSpec {
         valid: &str,
         parse: impl Fn(&str) -> Option<T>,
     ) -> Result<Option<T>, String> {
-        match self.value(flag)? {
+        let taken = self.value(flag);
+        if let Some(info) = self.flags.iter_mut().find(|f| f.flag == flag) {
+            info.valid = Some(valid.to_string());
+        }
+        match taken? {
             None => Ok(None),
             Some(v) => parse(&v)
                 .map(Some)
@@ -100,9 +142,32 @@ impl ArgSpec {
         }
     }
 
+    /// The generated `--help` text: the subcommand's registered flags,
+    /// in registration (i.e. declaration) order.
+    fn render_help(&self) -> String {
+        let mut out = format!("usage: extrap {} — flags:\n", self.cmd);
+        for f in &self.flags {
+            match (&f.valid, f.takes_value) {
+                (Some(valid), _) => {
+                    out.push_str(&format!("  {} VALUE   (one of: {valid})\n", f.flag))
+                }
+                (None, true) => out.push_str(&format!("  {} VALUE\n", f.flag)),
+                (None, false) => out.push_str(&format!("  {}\n", f.flag)),
+            }
+        }
+        out.push_str("run `extrap help` for full usage lines");
+        out
+    }
+
     /// The remaining positional arguments, after rejecting any
-    /// unclaimed flag-looking token by name.
+    /// unclaimed flag-looking token by name.  If `--help` was passed,
+    /// prints the generated flag listing and exits successfully — by
+    /// this point every flag the subcommand understands is registered.
     pub fn finish(self) -> Result<Vec<String>, String> {
+        if self.help {
+            println!("{}", self.render_help());
+            std::process::exit(0);
+        }
         if let Some(flag) = self.args.iter().find(|a| a.starts_with('-') && a.len() > 1) {
             return Err(format!(
                 "{}: unknown flag {flag:?}; try `extrap help`",
@@ -196,6 +261,25 @@ mod tests {
             s.enumerated("--mode", "plain, sized:N", parse).unwrap(),
             None
         );
+    }
+
+    #[test]
+    fn help_is_stripped_and_lists_every_taken_flag() {
+        let mut s = spec(&["--help", "file"]);
+        assert!(s.help, "--help must be claimed at construction");
+        let _ = s.value("--jobs");
+        let _ = s.enumerated("--format", "text, json", |_| Some(()));
+        s.switch("--csv");
+        let help = s.render_help();
+        assert!(help.contains("--jobs VALUE"), "{help}");
+        assert!(
+            help.contains("--format VALUE   (one of: text, json)"),
+            "{help}"
+        );
+        assert!(help.contains("  --csv\n"), "{help}");
+        // `-h` is equivalent and never reaches positional parsing.
+        let s = spec(&["-h"]);
+        assert!(s.help);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! extrap trace     <bench> <threads> [--scale S] -o trace.xtrp
 //! extrap translate trace.xtrp -o traces.xtps [--event-overhead US] [--switch-overhead US]
 //! extrap simulate  traces.xtps [--machine M | --params FILE] [--set KEY=VALUE]... \
-//!                  [--scheduler heap|calendar|auto] [--predicted OUT]
-//! extrap sweep     <bench>[,<bench>...] [--procs 1,2,...] [--jobs N] [--csv]
+//!                  [--scheduler heap|calendar|auto] [--check-bounds] [--predicted OUT]
+//! extrap analyze   FILE|BENCH [--threads N] [--procs LIST] [--format text|json|csv]
+//! extrap sweep     <bench>[,<bench>...] [--procs 1,2,...] [--jobs N] [--csv] [--check-bounds]
 //! extrap serve     [--addr HOST:PORT] [--workers N] [--mem-budget-mb N] ...
 //! extrap client    sweep|simulate|stats|shutdown [--addr HOST:PORT] ...
 //! extrap report    traces.xtps            # trace statistics
@@ -49,6 +50,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "trace" => cmd_trace(rest),
         "translate" => cmd_translate(rest),
         "simulate" => cmd_simulate(rest),
+        "analyze" => cmd_analyze(rest),
         "sweep" => cmd_sweep(rest),
         "serve" => remote::cmd_serve(rest),
         "client" => remote::cmd_client(rest),
@@ -71,17 +73,23 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  extrap translate FILE -o FILE [--event-overhead US] [--switch-overhead US]\n  \
                  extrap simulate FILE [--machine distributed|shared|ideal|cm5] [--params FILE] \
                  [--set KEY=VALUE]... [--scheduler heap|calendar|auto] \
-                 [--strategy exact|repr[:K[:TOL]]] [--predicted FILE]\n  \
+                 [--strategy exact|repr[:K[:TOL]]] [--check-bounds] [--predicted FILE]\n  \
+                 extrap analyze FILE|BENCH [--threads N] [--procs 1,2,4,8,16,32] [--scale S] \
+                 [--format text|json|csv] [--machine M] [--params FILE] [--set KEY=VALUE]...\n  \
                  extrap sweep <bench>[,<bench>...] [--procs 1,2,4,8,16,32] [--scale S] \
                  [--machine M] [--params FILE] [--set KEY=VALUE]... \
                  [--scheduler heap|calendar|auto] [--strategy exact|repr[:K[:TOL]]] \
-                 [--jobs N] [--csv]\n  \
+                 [--jobs N] [--csv] [--check-bounds]\n  \
                  extrap serve [--addr HOST:PORT] [--workers N] [--sweep-workers N] \
                  [--mem-budget-mb N] [--max-inflight N] [--max-conn-inflight N] \
-                 [--max-connections N] [--timeout-ms N] [--batch-window-ms N]\n  \
+                 [--max-connections N] [--timeout-ms N] [--batch-window-ms N] \
+                 [--check-bounds]\n  \
                  extrap client sweep <bench>[,...] [--addr HOST:PORT] [sweep flags] [--csv]\n  \
                  extrap client simulate FILE [--addr HOST:PORT] [simulate flags]\n  \
-                 extrap client stats|shutdown [--addr HOST:PORT]\n  \
+                 extrap client analyze FILE [--addr HOST:PORT] [--format text|json|csv] \
+                 [analyze flags]\n  \
+                 extrap client stats [FILE --phases] [--addr HOST:PORT]\n  \
+                 extrap client shutdown [--addr HOST:PORT]\n  \
                  extrap report FILE\n  \
                  extrap stats FILE [--phases] [--max-clusters K] [--tolerance F]\n  \
                  extrap timeline FILE [--width N]\n  \
@@ -160,11 +168,9 @@ fn resolve_bench(name: &str) -> Result<Bench, String> {
 fn cmd_trace(args: Vec<String>) -> Result<(), String> {
     let mut spec = ArgSpec::new("trace", args);
     let scale = take_scale(&mut spec)?;
-    let out: PathBuf = spec
-        .value("-o")?
-        .ok_or("trace: -o FILE is required")?
-        .into();
+    let out = spec.value("-o")?;
     let [bench_name, threads] = spec.finish_exact("extrap trace <bench> <threads> -o FILE")?;
+    let out: PathBuf = out.ok_or("trace: -o FILE is required")?.into();
     let bench = resolve_bench(&bench_name)?;
     let threads: usize = threads
         .parse()
@@ -182,15 +188,13 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
 
 fn cmd_translate(args: Vec<String>) -> Result<(), String> {
     let mut spec = ArgSpec::new("translate", args);
-    let out: PathBuf = spec
-        .value("-o")?
-        .ok_or("translate: -o FILE is required")?
-        .into();
+    let out = spec.value("-o")?;
     let options = TranslateOptions {
         event_overhead: parse_us(spec.value("--event-overhead")?, "event overhead")?,
         switch_overhead: parse_us(spec.value("--switch-overhead")?, "switch overhead")?,
     };
     let [input] = spec.finish_exact("extrap translate FILE -o FILE")?;
+    let out: PathBuf = out.ok_or("translate: -o FILE is required")?.into();
     let trace = extrap_trace::reader::read_program_file(&input).map_err(|e| e.to_string())?;
     let set = extrap_trace::translate(&trace, options).map_err(|e| e.to_string())?;
     extrap_trace::writer::write_set_file(&out, &set).map_err(|e| e.to_string())?;
@@ -233,9 +237,21 @@ fn load_params(spec: &mut ArgSpec) -> Result<SimParams, String> {
     Ok(params)
 }
 
+/// Takes `--check-bounds` off a spec; when present, installs and
+/// enables the static bounds sanitizer so every subsequent simulation
+/// result is asserted against its work/span envelope.
+fn take_check_bounds(spec: &mut ArgSpec) -> bool {
+    let on = spec.switch("--check-bounds");
+    if on {
+        extrap_analyze::install_sanitizer();
+    }
+    on
+}
+
 fn cmd_simulate(args: Vec<String>) -> Result<(), String> {
     let mut spec = ArgSpec::new("simulate", args);
     let params = load_params(&mut spec)?;
+    take_check_bounds(&mut spec);
     let predicted_out = spec.value("--predicted")?;
     let [input] = spec.finish_exact("extrap simulate FILE [--machine M]")?;
     let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
@@ -282,6 +298,72 @@ fn cmd_simulate(args: Vec<String>) -> Result<(), String> {
         extrap_trace::writer::write_set_file(&path, &pred.predicted).map_err(|e| e.to_string())?;
         println!("predicted trace written to {path}");
     }
+    Ok(())
+}
+
+/// `extrap analyze`: static work/span bound analysis — per-epoch work
+/// and load imbalance, the contention-free critical path, and
+/// closed-form exec-time/speedup bounds, all without running the
+/// simulator.  The positional is sniffed: an existing file is read as a
+/// translated trace set; anything else resolves as a benchmark name,
+/// which additionally produces bound *curves* over `--procs`.
+fn cmd_analyze(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("analyze", args);
+    let params = load_params(&mut spec)?;
+    let scale = take_scale(&mut spec)?;
+    let format = spec
+        .enumerated("--format", "text, json, csv", extrap_analyze::Format::parse)?
+        .unwrap_or(extrap_analyze::Format::Text);
+    let threads = spec.positive("--threads")?.unwrap_or(8);
+    let procs_arg = spec.value("--procs")?;
+    let [input] = spec.finish_exact(
+        "extrap analyze FILE|BENCH [--threads N] [--procs LIST] [--scale S] \
+         [--format text|json|csv] [--machine M | --params FILE]",
+    )?;
+
+    let (label, program, curve) = if std::path::Path::new(&input).is_file() {
+        if procs_arg.is_some() {
+            return Err(
+                "analyze: --procs curves need a benchmark name (a trace file has a \
+                 fixed thread count)"
+                    .to_string(),
+            );
+        }
+        let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
+        let program = extrap_core::CompiledProgram::compile(&set).map_err(|e| e.to_string())?;
+        (input.clone(), program, Vec::new())
+    } else {
+        let bench = resolve_bench(&input)?;
+        let procs: Vec<usize> = match procs_arg {
+            None => vec![1, 2, 4, 8, 16, 32],
+            Some(list) => list
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --procs entry {p:?}: {e}"))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let compile_at = |n: usize| -> Result<extrap_core::CompiledProgram, String> {
+            let set = extrap_trace::translate(&bench.trace(n, scale), Default::default())
+                .map_err(|e| e.to_string())?;
+            extrap_core::CompiledProgram::compile(&set).map_err(|e| e.to_string())
+        };
+        let mut curve = Vec::with_capacity(procs.len());
+        for &n in &procs {
+            let analysis =
+                extrap_analyze::analyze(&compile_at(n)?, &params).map_err(|e| e.to_string())?;
+            curve.push(extrap_analyze::CurvePoint { n, analysis });
+        }
+        let label = format!("{}/{}", bench.name(), scale_name(scale));
+        (label, compile_at(threads)?, curve)
+    };
+    let analysis = extrap_analyze::analyze(&program, &params).map_err(|e| e.to_string())?;
+    print!(
+        "{}",
+        extrap_analyze::render(&label, &analysis, &curve, format)
+    );
     Ok(())
 }
 
@@ -360,7 +442,9 @@ pub(crate) fn render_sweep_rows(rows: &[(String, usize, f64)], procs: &[usize], 
 /// `extrap sweep`: extrapolate a benchmark × processor-count grid in
 /// parallel through the sweep engine and print one row per benchmark.
 fn cmd_sweep(args: Vec<String>) -> Result<(), String> {
-    let req = parse_sweep_request(ArgSpec::new("sweep", args))?;
+    let mut spec = ArgSpec::new("sweep", args);
+    take_check_bounds(&mut spec);
+    let req = parse_sweep_request(spec)?;
 
     // The sweep report only prints times, so skip the predicted traces.
     let mut params = req.params;
@@ -427,29 +511,11 @@ fn cmd_stats(args: Vec<String>) -> Result<(), String> {
     let [input] =
         spec.finish_exact("extrap stats FILE [--phases] [--max-clusters K] [--tolerance F]")?;
     let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
-    println!("-- marker phases --");
-    print!(
-        "{}",
-        extrap_trace::phases::render(&extrap_trace::phase_profiles(&set))
-    );
-    if phases {
-        let sigs = extrap_trace::epoch_signatures(&set);
-        let opts = extrap_trace::ClusterOptions {
-            max_clusters,
-            tolerance,
-        };
-        println!("-- barrier epochs --");
-        match extrap_trace::cluster_epochs(&sigs, &opts) {
-            Some(clustering) => {
-                print!("{}", extrap_trace::render_clusters(&sigs, &clustering));
-            }
-            None => println!(
-                "{} epochs; no repetition within {max_clusters} clusters at tolerance \
-                 {tolerance} — `--strategy repr` would fall back to exact simulation",
-                sigs.len()
-            ),
-        }
-    }
+    let opts = extrap_trace::ClusterOptions {
+        max_clusters,
+        tolerance,
+    };
+    print!("{}", extrap_trace::render_stats_report(&set, phases, &opts));
     Ok(())
 }
 

@@ -9,6 +9,7 @@
 
 use crate::args::ArgSpec;
 use crate::{parse_sweep_request, render_sweep_rows, scale_name};
+use extrap_core::SimStrategy;
 use extrap_proto::SweepSpec;
 use extrap_serve::client::Client;
 use extrap_serve::{ServeConfig, Server};
@@ -51,6 +52,7 @@ pub(crate) fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     if let Some(ms) = spec.parsed::<u64>("--batch-window-ms")? {
         config.batch_window = Duration::from_millis(ms);
     }
+    config.check_bounds = spec.switch("--check-bounds");
     let leftovers = spec.finish()?;
     if !leftovers.is_empty() {
         return Err("serve: takes flags only; see `extrap help`".to_string());
@@ -68,20 +70,22 @@ pub(crate) fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `extrap client <sweep|simulate|stats|shutdown>`: drive a daemon.
+/// `extrap client <sweep|simulate|analyze|stats|shutdown>`: drive a
+/// daemon.
 pub(crate) fn cmd_client(args: Vec<String>) -> Result<(), String> {
     let mut it = args.into_iter();
     let sub = it
         .next()
-        .ok_or("usage: extrap client sweep|simulate|stats|shutdown [--addr HOST:PORT]")?;
+        .ok_or("usage: extrap client sweep|simulate|analyze|stats|shutdown [--addr HOST:PORT]")?;
     let rest: Vec<String> = it.collect();
     match sub.as_str() {
         "sweep" => client_sweep(rest),
         "simulate" => client_simulate(rest),
+        "analyze" => client_analyze(rest),
         "stats" => client_stats(rest),
         "shutdown" => client_shutdown(rest),
         other => Err(format!(
-            "client: unknown subcommand {other:?} (sweep|simulate|stats|shutdown)"
+            "client: unknown subcommand {other:?} (sweep|simulate|analyze|stats|shutdown)"
         )),
     }
 }
@@ -175,12 +179,72 @@ fn client_simulate(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `extrap client analyze FILE`: upload a trace, fetch its static
+/// work/span bound report (rendered server-side through the same
+/// formatter as local `extrap analyze`), then free the server entry.
+fn client_analyze(args: Vec<String>) -> Result<(), String> {
+    let mut spec = ArgSpec::new("client analyze", args);
+    let addr = take_addr(&mut spec)?;
+    let params = crate::load_params(&mut spec)?;
+    let format = spec
+        .value("--format")?
+        .unwrap_or_else(|| "text".to_string());
+    if extrap_analyze::Format::parse(&format).is_none() {
+        return Err(format!(
+            "client analyze: unknown --format {format:?} (text|json|csv)"
+        ));
+    }
+    let [input] = spec.finish_exact(
+        "extrap client analyze FILE [--format text|json|csv] \
+         [--machine M | --params FILE] [--addr HOST:PORT]",
+    )?;
+    let payload = std::fs::read(&input).map_err(|e| format!("{input}: {e}"))?;
+
+    let mut client = connect(&addr)?;
+    let (trace, _, _) = client
+        .submit_trace(&input, payload)
+        .map_err(|e| e.to_string())?;
+    let result = client.analyze(trace, &params.to_config_text(), &format);
+    // Best-effort: free the server-side entry whatever the outcome.
+    let _ = client.evict(trace);
+    print!("{}", result.map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+/// `extrap client stats [FILE]`: without a positional, the server's
+/// counters snapshot; with one, upload the trace and fetch its
+/// phase/epoch report — byte-identical to local `extrap stats FILE`.
 fn client_stats(args: Vec<String>) -> Result<(), String> {
     let mut spec = ArgSpec::new("client stats", args);
     let addr = take_addr(&mut spec)?;
-    let leftovers = spec.finish()?;
-    if !leftovers.is_empty() {
-        return Err("client stats: takes --addr only".to_string());
+    let phases = spec.switch("--phases");
+    let max_clusters = spec
+        .positive("--max-clusters")?
+        .unwrap_or(SimStrategy::DEFAULT_MAX_CLUSTERS as usize);
+    let tolerance = spec
+        .parsed::<f64>("--tolerance")?
+        .unwrap_or(SimStrategy::DEFAULT_TOLERANCE);
+    let mut leftovers = spec.finish()?;
+    if leftovers.len() > 1 {
+        return Err(
+            "usage: extrap client stats [FILE --phases --max-clusters K --tolerance F] \
+             [--addr HOST:PORT]"
+                .to_string(),
+        );
+    }
+    if let Some(input) = leftovers.pop() {
+        let payload = std::fs::read(&input).map_err(|e| format!("{input}: {e}"))?;
+        let mut client = connect(&addr)?;
+        let (trace, _, _) = client
+            .submit_trace(&input, payload)
+            .map_err(|e| e.to_string())?;
+        let result = client.phases(trace, phases, max_clusters as u32, tolerance);
+        let _ = client.evict(trace);
+        print!("{}", result.map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    if phases {
+        return Err("client stats: --phases needs a trace FILE to report on".to_string());
     }
     let s = connect(&addr)?.stats().map_err(|e| e.to_string())?;
     println!("uptime:             {:.1} s", s.uptime_ms as f64 / 1e3);

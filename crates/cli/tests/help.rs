@@ -1,0 +1,98 @@
+//! End-to-end `--help` coverage: every flag a subcommand's usage line
+//! in `extrap help` advertises must also appear in that subcommand's
+//! generated `--help` listing.  The listing is produced from the same
+//! `ArgSpec` registrations the parser uses, so this test pins the
+//! advertised surface to the parsed one — a flag added to the usage
+//! text but never taken (or vice versa) fails here.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_extrap"))
+        .args(args)
+        .output()
+        .expect("run extrap");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Extracts `--flag` tokens (and the literal `-o`) from a usage line.
+fn flags_of(line: &str) -> Vec<String> {
+    let mut flags = Vec::new();
+    for w in line.split_whitespace() {
+        let w = w.trim_start_matches('[');
+        if let Some(rest) = w.strip_prefix("--") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || *c == '-')
+                .collect();
+            if !name.is_empty() {
+                flags.push(format!("--{name}"));
+            }
+        } else if w == "-o" {
+            flags.push("-o".to_string());
+        }
+    }
+    flags
+}
+
+/// The subcommand words a usage line invokes (one or two, e.g.
+/// `["client", "sweep"]`), stopping at the first non-command token.
+fn command_of(line: &str) -> Vec<&str> {
+    line.split_whitespace()
+        .skip(1)
+        .take(2)
+        .take_while(|w| !w.is_empty() && w.chars().all(|c| c.is_ascii_lowercase()))
+        .collect()
+}
+
+#[test]
+fn every_usage_flag_appears_in_generated_subcommand_help() {
+    let (ok, usage) = run(&["help"]);
+    assert!(ok, "extrap help must exit 0");
+
+    let mut checked = 0;
+    for line in usage.lines() {
+        let line = line.trim();
+        if !line.starts_with("extrap ") {
+            continue;
+        }
+        let cmd = command_of(line);
+        let flags = flags_of(line);
+        if cmd.is_empty() || flags.is_empty() {
+            continue; // flagless commands have nothing to cross-check
+        }
+        let mut args = cmd.clone();
+        args.push("--help");
+        let (ok, help) = run(&args);
+        assert!(ok, "extrap {} --help must exit 0", cmd.join(" "));
+        for f in &flags {
+            assert!(
+                help.contains(f.as_str()),
+                "extrap {} --help must name {f}; got:\n{help}",
+                cmd.join(" ")
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 10,
+        "expected to cross-check at least 10 usage lines, got {checked}"
+    );
+}
+
+#[test]
+fn short_and_long_help_are_equivalent_and_flagged_anywhere() {
+    let (ok, long) = run(&["analyze", "--help"]);
+    assert!(ok);
+    let (ok, short) = run(&["analyze", "-h"]);
+    assert!(ok);
+    assert_eq!(long, short, "-h and --help must render identically");
+    assert!(long.starts_with("usage: extrap analyze"), "{long}");
+    // --help wins even with positionals and other flags present.
+    let (ok, mixed) = run(&["analyze", "Grid", "--threads", "4", "--help"]);
+    assert!(ok);
+    assert_eq!(mixed, long);
+}

@@ -222,6 +222,19 @@ pub fn run_compiled_scratch(
     params: &SimParams,
     scratch: &mut SimScratch,
 ) -> Result<Prediction, ExtrapError> {
+    let prediction = dispatch_compiled_scratch(program, params, scratch)?;
+    crate::sanitizer::check(program, params, &prediction);
+    Ok(prediction)
+}
+
+/// Strategy dispatch body of [`run_compiled_scratch`], separated so the
+/// sanitizer sees the *final* result shape — the representative
+/// composition rather than its internal mini-runs.
+fn dispatch_compiled_scratch(
+    program: &CompiledProgram,
+    params: &SimParams,
+    scratch: &mut SimScratch,
+) -> Result<Prediction, ExtrapError> {
     if let SimStrategy::Representative {
         max_clusters,
         tolerance,

@@ -40,6 +40,7 @@ pub mod network;
 pub mod params;
 pub mod processor;
 pub mod repr;
+pub mod sanitizer;
 pub mod scalability;
 pub mod session;
 pub mod sweep;

@@ -181,6 +181,13 @@ impl ReprPlan {
         &self.clusters
     }
 
+    /// The warmup-barrier baseline program subtracted from every
+    /// representative run (see [`ReprPlan::run`]).  Exposed so static
+    /// bound analysis can compose a matching envelope.
+    pub fn baseline(&self) -> &CompiledProgram {
+        &self.baseline
+    }
+
     /// Epochs per simulated representative — the theoretical speedup
     /// bound of this plan.
     pub fn repetition(&self) -> f64 {

@@ -866,6 +866,95 @@ pub fn render_repr_validation(rows: &[ReprValidation]) -> String {
     out
 }
 
+/// One row of the static-bounds tightness table: a benchmark's
+/// simulated execution time against its closed-form work/span envelope
+/// from [`extrap_analyze`], at one processor count.
+#[derive(Clone, Debug)]
+pub struct BoundsTightness {
+    /// Workload name (benchmark or matmul distribution label).
+    pub bench: String,
+    /// Processor count of the comparison.
+    pub n_procs: usize,
+    /// Static lower bound (critical path / span), milliseconds.
+    pub span_ms: f64,
+    /// Simulated execution time, milliseconds.
+    pub sim_ms: f64,
+    /// Static upper bound, milliseconds.
+    pub upper_ms: f64,
+    /// `span / sim` in `(0, 1]` — 1 means the lower bound is tight.
+    pub lower_tightness: f64,
+    /// `sim / upper` in `(0, 1]` — 1 means the upper bound is tight.
+    pub upper_tightness: f64,
+}
+
+/// Static-bounds tightness across the full suite (the 7 registry
+/// benchmarks plus a matmul distribution — the paper's 8 codes) at 16
+/// processors on the distributed-memory parameters: how much of the
+/// envelope `span <= T <= upper` the simulator actually uses.  Every
+/// row is itself a soundness check — a simulated time outside its
+/// envelope fails the run.
+pub fn bounds_tightness(h: &Harness) -> Result<Vec<BoundsTightness>, ExpError> {
+    let mut params = machine::default_distributed();
+    params.record_mode = RecordMode::MetricsOnly;
+    let n = 16usize;
+    let mut keys: Vec<String> = Bench::all().iter().map(|b| b.name().to_string()).collect();
+    keys.push(matmul_label(&matmul::nine_distributions()[0]));
+    parallel_map(&keys, h.jobs, |_, key| {
+        let set = h
+            .translate_key(&(key.clone(), n))
+            .map_err(|e| ExpError::translation(key, n, e.into()))?;
+        let cached = CachedTrace::new(set).map_err(|e| ExpError::translation(key, n, e.into()))?;
+        let analysis = extrap_analyze::analyze(cached.program(), &params)
+            .map_err(|u| ExpError::new(key, n, &params, ExtrapError::Params(u.to_string())))?;
+        let sim = extrap_core::Extrapolator::new(params.clone())
+            .run(cached.program())
+            .map_err(|e| ExpError::new(key, n, &params, e))?
+            .exec_time();
+        let (span, upper) = (analysis.span, analysis.upper);
+        if sim < span || sim > upper {
+            return Err(ExpError::new(
+                key,
+                n,
+                &params,
+                ExtrapError::Params(format!(
+                    "simulated time {sim:?} escapes its static envelope [{span:?}, {upper:?}]"
+                )),
+            ));
+        }
+        Ok(BoundsTightness {
+            bench: key.clone(),
+            n_procs: n,
+            span_ms: span.as_ms(),
+            sim_ms: sim.as_ms(),
+            upper_ms: upper.as_ms(),
+            lower_tightness: span.as_ns() as f64 / sim.as_ns().max(1) as f64,
+            upper_tightness: sim.as_ns() as f64 / upper.as_ns().max(1) as f64,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Renders the [`bounds_tightness`] rows as a fixed-width table.
+pub fn render_bounds_tightness(rows: &[BoundsTightness]) -> String {
+    let mut out = String::from(
+        "workload      P    span (ms)     sim (ms)   upper (ms)   span/sim   sim/upper\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>2}  {:>11.3}  {:>11.3}  {:>11.3}  {:>9.3}  {:>10.3}\n",
+            r.bench,
+            r.n_procs,
+            r.span_ms,
+            r.sim_ms,
+            r.upper_ms,
+            r.lower_tightness,
+            r.upper_tightness,
+        ));
+    }
+    out
+}
+
 /// For Fig. 9 analysis: at each processor count, does extrapolation pick
 /// the same best distribution as the reference machine?  Returns
 /// `(procs, predicted_best, measured_best, within)` where `within` is

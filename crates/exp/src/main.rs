@@ -5,7 +5,7 @@
 //! extrap-exp [--scale tiny|small|paper] [--jobs N] [--out DIR] \
 //!            [--scheduler heap|calendar|auto] \
 //!            [--strategy exact|repr[:K[:TOL]]] \
-//!            [table1|table2|table3|fig4|...|fig9|all]
+//!            [table1|table2|table3|fig4|...|fig9|repr|bounds|all]
 //! ```
 //!
 //! `--jobs N` sets the sweep worker count (default: all available
@@ -85,7 +85,7 @@ fn main() {
                 println!(
                     "usage: extrap-exp [--scale tiny|small|paper] [--jobs N] [--out DIR] \
                      [--scheduler heap|calendar|auto] [--strategy exact|repr[:K[:TOL]]] \
-                     [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|repr|all]..."
+                     [table1|table2|table3|fig4|fig5|fig6|fig7|fig8|fig9|repr|bounds|all]..."
                 );
                 return;
             }
@@ -295,6 +295,12 @@ fn run(h: &Harness, targets: &[String], out_dir: &Option<PathBuf>) -> Result<(),
         let rows = experiments::repr_validation(h)?;
         println!("## Representative-region validation — exact vs repr over P = 1..32");
         print!("{}", experiments::render_repr_validation(&rows));
+        println!();
+    }
+    if targets.iter().any(|t| t == "bounds") {
+        let rows = experiments::bounds_tightness(h)?;
+        println!("## Static-bounds tightness — simulated time inside [span, upper] at P = 16");
+        print!("{}", experiments::render_bounds_tightness(&rows));
         println!();
     }
     if want("fig9") {

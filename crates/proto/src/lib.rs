@@ -94,6 +94,32 @@ pub enum Request {
     /// Begin graceful shutdown: in-flight jobs drain, new work is
     /// refused. Responds [`Response::Bye`].
     Shutdown,
+    /// The `extrap stats` report of a submitted trace — marker phases
+    /// plus (with `phases`) the barrier-epoch cluster table.  Answered
+    /// synchronously with [`Response::Phases`], whose text is
+    /// byte-identical to the local `extrap stats` output (both sides
+    /// call the same renderer).
+    Phases {
+        /// The trace to profile.
+        trace: TraceId,
+        /// Include the barrier-epoch cluster table (`--phases`).
+        phases: bool,
+        /// Cluster budget (`--max-clusters`).
+        max_clusters: u32,
+        /// Signature-distance tolerance (`--tolerance`).
+        tolerance: f64,
+    },
+    /// Static work/span bound analysis of a submitted trace under one
+    /// parameter set — no simulation runs.  Answered synchronously with
+    /// [`Response::Analyzed`].
+    Analyze {
+        /// The trace to analyze.
+        trace: TraceId,
+        /// Parameter set as config text (empty = defaults).
+        params: String,
+        /// Render format (`text` | `json` | `csv`).
+        format: String,
+    },
 }
 
 /// The grid one [`Request::Sweep`] asks for — the wire form of
@@ -154,6 +180,18 @@ pub enum Response {
     },
     /// Acknowledges [`Request::Shutdown`].
     Bye,
+    /// A [`Request::Phases`] report, rendered server-side by the same
+    /// code path as local `extrap stats`.
+    Phases {
+        /// The rendered report.
+        text: String,
+    },
+    /// A [`Request::Analyze`] result, rendered server-side by the same
+    /// code path as local `extrap analyze`.
+    Analyzed {
+        /// The rendered analysis in the requested format.
+        rendered: String,
+    },
 }
 
 /// Machine-readable failure classes.

@@ -25,7 +25,11 @@ use std::io::{self, Read, Write};
 /// Protocol revision; bumped on any wire-visible change.  A peer
 /// speaking a different version is rejected with
 /// [`ProtoError::Version`] at decode time.
-pub const PROTO_VERSION: u16 = 1;
+///
+/// v2 added [`Request::Phases`]/[`Response::Phases`] (remote
+/// `stats --phases` parity) and [`Request::Analyze`]/
+/// [`Response::Analyzed`] (static bound analysis as a service).
+pub const PROTO_VERSION: u16 = 2;
 
 /// Leading bytes of every frame.
 pub const FRAME_MAGIC: [u8; 4] = *b"XSRV";
@@ -273,6 +277,8 @@ const REQ_FETCH: u8 = 4;
 const REQ_EVICT: u8 = 5;
 const REQ_STATS: u8 = 6;
 const REQ_SHUTDOWN: u8 = 7;
+const REQ_PHASES: u8 = 8;
+const REQ_ANALYZE: u8 = 9;
 
 /// Encodes one request as a frame payload (pass to [`write_frame`]).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -316,6 +322,30 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => header(REQ_STATS),
         Request::Shutdown => header(REQ_SHUTDOWN),
+        Request::Phases {
+            trace,
+            phases,
+            max_clusters,
+            tolerance,
+        } => {
+            let mut buf = header(REQ_PHASES);
+            buf.put_u64_le(trace.0);
+            buf.put_u8(u8::from(*phases));
+            buf.put_u32_le(*max_clusters);
+            buf.put_u64_le(tolerance.to_bits());
+            buf
+        }
+        Request::Analyze {
+            trace,
+            params,
+            format,
+        } => {
+            let mut buf = header(REQ_ANALYZE);
+            buf.put_u64_le(trace.0);
+            put_string(&mut buf, params);
+            put_string(&mut buf, format);
+            buf
+        }
     }
 }
 
@@ -351,6 +381,27 @@ pub fn decode_request(data: &[u8]) -> Result<Request, ProtoError> {
         },
         REQ_STATS => Request::Stats,
         REQ_SHUTDOWN => Request::Shutdown,
+        REQ_PHASES => {
+            let trace = TraceId(r.u64()?);
+            let phases = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(ProtoError::Malformed(format!("bad phases flag {other}")));
+                }
+            };
+            Request::Phases {
+                trace,
+                phases,
+                max_clusters: r.u32()?,
+                tolerance: r.f64()?,
+            }
+        }
+        REQ_ANALYZE => Request::Analyze {
+            trace: TraceId(r.u64()?),
+            params: r.string()?,
+            format: r.string()?,
+        },
         other => {
             return Err(ProtoError::Malformed(format!(
                 "unknown request tag {other}"
@@ -374,6 +425,8 @@ const RSP_EVICTED: u8 = 6;
 const RSP_STATS: u8 = 7;
 const RSP_ERROR: u8 = 8;
 const RSP_BYE: u8 = 9;
+const RSP_PHASES: u8 = 10;
+const RSP_ANALYZED: u8 = 11;
 
 /// Encodes one response as a frame payload (pass to [`write_frame`]).
 pub fn encode_response(rsp: &Response) -> Vec<u8> {
@@ -460,6 +513,16 @@ pub fn encode_response(rsp: &Response) -> Vec<u8> {
             buf
         }
         Response::Bye => header(RSP_BYE),
+        Response::Phases { text } => {
+            let mut buf = header(RSP_PHASES);
+            put_string(&mut buf, text);
+            buf
+        }
+        Response::Analyzed { rendered } => {
+            let mut buf = header(RSP_ANALYZED);
+            put_string(&mut buf, rendered);
+            buf
+        }
     }
 }
 
@@ -545,6 +608,10 @@ pub fn decode_response(data: &[u8]) -> Result<Response, ProtoError> {
             }
         }
         RSP_BYE => Response::Bye,
+        RSP_PHASES => Response::Phases { text: r.string()? },
+        RSP_ANALYZED => Response::Analyzed {
+            rendered: r.string()?,
+        },
         other => {
             return Err(ProtoError::Malformed(format!(
                 "unknown response tag {other}"

@@ -33,6 +33,18 @@ impl Rng {
         f64::from_bits(self.next())
     }
 
+    /// An arbitrary non-NaN f64 — for fields in `PartialEq`-asserted
+    /// values, where NaN would break the equality check rather than the
+    /// codec (see `nan_tolerance_survives_exactly` for the NaN case).
+    fn f64_non_nan(&mut self) -> f64 {
+        loop {
+            let v = self.f64_bits();
+            if !v.is_nan() {
+                return v;
+            }
+        }
+    }
+
     /// A string over a small alphabet plus some non-ASCII, length 0..32.
     fn string(&mut self) -> String {
         const ALPHABET: &[char] = &['a', 'Z', '0', ' ', ',', '=', '\n', '"', 'é', '√', '\u{0}'];
@@ -58,7 +70,7 @@ fn random_spec(rng: &mut Rng) -> SweepSpec {
 }
 
 fn random_request(rng: &mut Rng) -> Request {
-    match rng.below(7) {
+    match rng.below(9) {
         0 => Request::SubmitTrace {
             name: rng.string(),
             payload: rng.bytes(),
@@ -76,6 +88,17 @@ fn random_request(rng: &mut Rng) -> Request {
             trace: TraceId(rng.next()),
         },
         5 => Request::Stats,
+        6 => Request::Phases {
+            trace: TraceId(rng.next()),
+            phases: rng.below(2) == 1,
+            max_clusters: rng.next() as u32,
+            tolerance: rng.f64_non_nan(),
+        },
+        7 => Request::Analyze {
+            trace: TraceId(rng.next()),
+            params: rng.string(),
+            format: rng.string(),
+        },
         _ => Request::Shutdown,
     }
 }
@@ -116,7 +139,7 @@ fn random_error_code(rng: &mut Rng) -> ErrorCode {
 }
 
 fn random_response(rng: &mut Rng) -> Response {
-    match rng.below(9) {
+    match rng.below(11) {
         0 => Response::Submitted {
             trace: TraceId(rng.next()),
             n_threads: rng.next() as u32,
@@ -160,6 +183,10 @@ fn random_response(rng: &mut Rng) -> Response {
         7 => Response::Error {
             code: random_error_code(rng),
             detail: rng.string(),
+        },
+        8 => Response::Phases { text: rng.string() },
+        9 => Response::Analyzed {
+            rendered: rng.string(),
         },
         _ => Response::Bye,
     }
@@ -210,6 +237,24 @@ fn nan_contention_sum_survives_exactly() {
         }
         other => panic!("expected Prediction, got {other:?}"),
     }
+}
+
+#[test]
+fn nan_tolerance_survives_exactly() {
+    let req = Request::Phases {
+        trace: TraceId(7),
+        phases: true,
+        max_clusters: 64,
+        tolerance: f64::from_bits(0x7ff8_dead_beef_0002),
+    };
+    let wire = encode_request(&req);
+    match decode_request(&wire).unwrap() {
+        Request::Phases { tolerance, .. } => {
+            assert_eq!(tolerance.to_bits(), 0x7ff8_dead_beef_0002)
+        }
+        other => panic!("expected Phases, got {other:?}"),
+    }
+    assert_eq!(encode_request(&decode_request(&wire).unwrap()), wire);
 }
 
 #[test]

@@ -158,6 +158,45 @@ impl Client {
         }
     }
 
+    /// Fetches the phase/epoch statistics report for a submitted trace,
+    /// rendered server-side — byte-identical to local `extrap stats`.
+    pub fn phases(
+        &mut self,
+        trace: TraceId,
+        phases: bool,
+        max_clusters: u32,
+        tolerance: f64,
+    ) -> Result<String, ClientError> {
+        match self.round(&Request::Phases {
+            trace,
+            phases,
+            max_clusters,
+            tolerance,
+        })? {
+            Response::Phases { text } => Ok(text),
+            other => Err(unexpected("Phases", other)),
+        }
+    }
+
+    /// Fetches the static work/span bound report for a submitted trace
+    /// (params = config text, empty for server defaults; format =
+    /// `text`/`json`/`csv`, empty for text), rendered server-side.
+    pub fn analyze(
+        &mut self,
+        trace: TraceId,
+        params: &str,
+        format: &str,
+    ) -> Result<String, ClientError> {
+        match self.round(&Request::Analyze {
+            trace,
+            params: params.to_string(),
+            format: format.to_string(),
+        })? {
+            Response::Analyzed { rendered } => Ok(rendered),
+            other => Err(unexpected("Analyzed", other)),
+        }
+    }
+
     /// Fetches a statistics snapshot.
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         match self.round(&Request::Stats)? {

@@ -404,12 +404,18 @@ impl Service {
 
     /// Resolves a submitted trace, refreshing its LRU stamp.
     fn touch_trace(&self, id: TraceId) -> Option<Arc<CachedTrace>> {
+        self.touch_trace_named(id).map(|(_, cached)| cached)
+    }
+
+    /// [`touch_trace`](Service::touch_trace) plus the name the client
+    /// submitted under — the label synchronous renders print.
+    fn touch_trace_named(&self, id: TraceId) -> Option<(String, Arc<CachedTrace>)> {
         let mut store = self.store.lock().expect("trace store");
         store.clock += 1;
         let stamp = store.clock;
         let e = store.entries.get_mut(&id)?;
         e.last_used = stamp;
-        Some(Arc::clone(&e.cached))
+        Some((e.name.clone(), Arc::clone(&e.cached)))
     }
 
     /// A point-in-time statistics snapshot.
@@ -472,6 +478,17 @@ impl Session {
             Request::FetchResult { job, wait_ms } => self.fetch(job, wait_ms),
             Request::Evict { trace } => self.evict(trace),
             Request::Stats => Response::Stats(self.service.stats()),
+            Request::Phases {
+                trace,
+                phases,
+                max_clusters,
+                tolerance,
+            } => self.phases(trace, phases, max_clusters, tolerance),
+            Request::Analyze {
+                trace,
+                params,
+                format,
+            } => self.analyze(trace, &params, &format),
             Request::Shutdown => {
                 self.service.begin_shutdown();
                 Response::Bye
@@ -695,6 +712,62 @@ impl Session {
                 ErrorCode::UnknownTrace,
                 format!("trace #{} is not resident", id.0),
             ),
+        }
+    }
+
+    /// `Phases`: the phase/epoch statistics report, rendered server-side
+    /// through the same formatter `extrap stats` uses locally, so the
+    /// remote text is byte-identical.  Synchronous — the report is a
+    /// cheap scan over an already-resident trace, so it skips the job
+    /// queue like `Stats` does.
+    fn phases(&self, trace: TraceId, phases: bool, max_clusters: u32, tolerance: f64) -> Response {
+        let Some(cached) = self.service.touch_trace(trace) else {
+            return err(
+                ErrorCode::UnknownTrace,
+                format!("trace #{} is not resident (submit it again)", trace.0),
+            );
+        };
+        let opts = extrap_trace::ClusterOptions {
+            max_clusters: max_clusters as usize,
+            tolerance,
+        };
+        Response::Phases {
+            text: extrap_trace::render_stats_report(cached.traces(), phases, &opts),
+        }
+    }
+
+    /// `Analyze`: the static work/span bound report for a resident
+    /// trace, rendered server-side through the `extrap analyze`
+    /// formatter.  Synchronous for the same reason as
+    /// [`phases`](Session::phases): closed-form analysis costs one pass
+    /// over the compiled program, not a simulation.
+    fn analyze(&self, trace: TraceId, params_text: &str, format_text: &str) -> Response {
+        let params = match parse_params(params_text) {
+            Ok(p) => p,
+            Err(detail) => return err(ErrorCode::BadRequest, detail),
+        };
+        let format_text = if format_text.is_empty() {
+            "text"
+        } else {
+            format_text
+        };
+        let Some(format) = extrap_analyze::Format::parse(format_text) else {
+            return err(
+                ErrorCode::BadRequest,
+                format!("unknown analyze format {format_text:?} (text|json|csv)"),
+            );
+        };
+        let Some((name, cached)) = self.service.touch_trace_named(trace) else {
+            return err(
+                ErrorCode::UnknownTrace,
+                format!("trace #{} is not resident (submit it again)", trace.0),
+            );
+        };
+        match extrap_analyze::analyze(cached.program(), &params) {
+            Ok(analysis) => Response::Analyzed {
+                rendered: extrap_analyze::render(&name, &analysis, &[], format),
+            },
+            Err(e) => err(ErrorCode::BadRequest, e.to_string()),
         }
     }
 }

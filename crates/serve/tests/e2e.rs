@@ -329,3 +329,88 @@ fn shutdown_drains_then_refuses_new_work() {
     drop(b);
     server.join();
 }
+
+#[test]
+fn served_phases_report_is_byte_identical_to_local_stats() {
+    let server = start(ServeConfig::default());
+    let mut client = connect(&server);
+    // A registry bench with real barrier repetition, so the epoch
+    // clustering section has content worth comparing.
+    let set = extrap_trace::translate(&Bench::Grid.trace(4, Scale::Tiny), Default::default())
+        .expect("translate");
+    let bytes = extrap_trace::format::encode_set(&set);
+    let (trace, _, _) = client.submit_trace("grid-tiny", bytes).unwrap();
+
+    for phases in [false, true] {
+        let opts = extrap_trace::ClusterOptions {
+            max_clusters: 64,
+            tolerance: 0.05,
+        };
+        let local = extrap_trace::render_stats_report(&set, phases, &opts);
+        let served = client.phases(trace, phases, 64, 0.05).unwrap();
+        assert_eq!(
+            served, local,
+            "phases={phases}: served text must match local"
+        );
+        assert!(!served.is_empty());
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn served_analyze_is_byte_identical_to_local_render() {
+    let server = start(ServeConfig::default());
+    let mut client = connect(&server);
+    let set = extrap_trace::translate(&Bench::Grid.trace(4, Scale::Tiny), Default::default())
+        .expect("translate");
+    let bytes = extrap_trace::format::encode_set(&set);
+    let (trace, _, _) = client.submit_trace("grid-tiny", bytes).unwrap();
+
+    let program = extrap_core::CompiledProgram::compile(&set).expect("compile");
+    let mut params = machine::default_distributed();
+    params.record_mode = RecordMode::MetricsOnly;
+    let analysis = extrap_analyze::analyze(&program, &params).expect("analyze");
+
+    for (format, name) in [
+        (extrap_analyze::Format::Text, "text"),
+        (extrap_analyze::Format::Json, "json"),
+        (extrap_analyze::Format::Csv, "csv"),
+    ] {
+        let local = extrap_analyze::render("grid-tiny", &analysis, &[], format);
+        let served = client.analyze(trace, "", name).unwrap();
+        assert_eq!(served, local, "{name}: served render must match local");
+    }
+    // Empty format defaults to text.
+    assert_eq!(
+        client.analyze(trace, "", "").unwrap(),
+        extrap_analyze::render("grid-tiny", &analysis, &[], extrap_analyze::Format::Text)
+    );
+
+    // Typed errors: bad format, then unknown trace.
+    let e = client.analyze(trace, "", "yaml").unwrap_err();
+    assert!(matches!(
+        e,
+        ClientError::Server {
+            code: ErrorCode::BadRequest,
+            ..
+        }
+    ));
+    client.evict(trace).unwrap();
+    let e = client.analyze(trace, "", "text").unwrap_err();
+    assert!(matches!(
+        e,
+        ClientError::Server {
+            code: ErrorCode::UnknownTrace,
+            ..
+        }
+    ));
+    let e = client.phases(trace, true, 64, 0.05).unwrap_err();
+    assert!(matches!(
+        e,
+        ClientError::Server {
+            code: ErrorCode::UnknownTrace,
+            ..
+        }
+    ));
+    server.shutdown_and_join();
+}

@@ -31,8 +31,9 @@ pub use error::TraceError;
 pub use event::{EventKind, TraceRecord};
 pub use event::{ProgramTrace, ThreadTrace, TraceSet};
 pub use phases::{
-    cluster_epochs, epoch_signatures, phase_profiles, render_clusters, splitmix64, ClusterOptions,
-    EpochCluster, EpochClustering, EpochSignature, EpochTerminator, PhaseProfile,
+    cluster_epochs, epoch_signatures, phase_profiles, render_clusters, render_stats_report,
+    splitmix64, ClusterOptions, EpochCluster, EpochClustering, EpochSignature, EpochTerminator,
+    PhaseProfile,
 };
 pub use stats::{ThreadStats, TraceStats};
 pub use stream::{

@@ -448,6 +448,36 @@ pub fn render_clusters(sigs: &[EpochSignature], clustering: &EpochClustering) ->
     out
 }
 
+/// Renders the full `extrap stats` report for a trace set: the
+/// marker-phase table, plus (with `phases`) the barrier-epoch cluster
+/// structure under `opts`.
+///
+/// This is the *single* renderer behind both the local `extrap stats`
+/// command and the served `client stats` path — one string builder, so
+/// remote output is byte-identical to local output by construction.
+pub fn render_stats_report(set: &TraceSet, phases: bool, opts: &ClusterOptions) -> String {
+    let mut out = String::from("-- marker phases --\n");
+    out.push_str(&render(&phase_profiles(set)));
+    if phases {
+        let sigs = epoch_signatures(set);
+        out.push_str("-- barrier epochs --\n");
+        match cluster_epochs(&sigs, opts) {
+            Some(clustering) => out.push_str(&render_clusters(&sigs, &clustering)),
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{} epochs; no repetition within {} clusters at tolerance \
+                     {} — `--strategy repr` would fall back to exact simulation",
+                    sigs.len(),
+                    opts.max_clusters,
+                    opts.tolerance
+                );
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
