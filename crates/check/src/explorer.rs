@@ -1,0 +1,167 @@
+//! Depth-first exploration over schedule prefixes with sleep-set
+//! pruning.
+//!
+//! One node per scheduling decision of the current path.  A node
+//! remembers which thread the path runs (`chosen`), which alternatives
+//! remain to be tried (`alts`), and which siblings have already been
+//! fully explored (`explored`).  Backtracking to a node replays the
+//! path's prefix up to it, forces the next alternative, and seeds the
+//! runtime's sleep set with the explored siblings — at every depth `d`
+//! of the new run, `extra_sleep[d]` tells the scheduler "these threads'
+//! continuations from here were covered by an earlier branch", so the
+//! run prunes itself the moment it would only permute independent
+//! operations of an already-explored interleaving.
+//!
+//! The search is deterministic: alternatives come from the runtime's
+//! seeded candidate ordering, and re-running the same scenario with the
+//! same seed and budget explores the identical schedule sequence.
+
+use pcpp_rt::chk::{RunOutcome, RunSpec, RunStatus};
+
+/// What one ladder rung's search learned.
+pub(crate) struct Exploration {
+    /// Schedules executed by this rung.
+    pub schedules: usize,
+    /// Whether the rung's (reduced) search space was exhausted before
+    /// the budget ran out.
+    pub exhausted: bool,
+    /// The first failing run, if any.
+    pub failure: Option<RunOutcome>,
+}
+
+/// One decision point on the current DFS path.
+struct Node {
+    /// The thread the current path schedules here.
+    chosen: u32,
+    /// Siblings whose subtrees are fully explored (they seed the sleep
+    /// set of later branches at this depth).
+    explored: Vec<u32>,
+    /// Siblings still to explore.
+    alts: Vec<u32>,
+}
+
+/// Builds fresh DFS nodes for the tail of a run, starting at choice
+/// index `from`.  An alternative is recorded only if taking it would
+/// respect the rung's preemption bound — flipping the decision costs
+/// one preemption exactly when the first run's `preempts` flag says so.
+fn nodes_from(outcome: &RunOutcome, from: usize, bound: Option<u32>) -> Vec<Node> {
+    outcome
+        .choices
+        .get(from..)
+        .unwrap_or(&[])
+        .iter()
+        .map(|c| Node {
+            chosen: c.chosen,
+            explored: Vec::new(),
+            alts: c
+                .selectable
+                .iter()
+                .filter(|cand| cand.tid != c.chosen)
+                .filter(|cand| {
+                    bound.is_none_or(|b| c.preemptions_before + u32::from(cand.preempts) <= b)
+                })
+                .map(|cand| cand.tid)
+                .collect(),
+        })
+        .collect()
+}
+
+/// Runs the DFS for one preemption-bound rung, decrementing the shared
+/// `budget` once per executed schedule.  Stops at the first failure,
+/// when the rung's search space is exhausted, or when the budget runs
+/// dry — whichever comes first.
+pub(crate) fn explore(
+    mut exec: impl FnMut(RunSpec) -> RunOutcome,
+    seed: u64,
+    bound: Option<u32>,
+    max_steps: usize,
+    budget: &mut usize,
+) -> Exploration {
+    let mut schedules = 0;
+    if *budget == 0 {
+        return Exploration {
+            schedules,
+            exhausted: false,
+            failure: None,
+        };
+    }
+
+    *budget -= 1;
+    schedules += 1;
+    let first = exec(RunSpec {
+        seed,
+        prefix: Vec::new(),
+        extra_sleep: Vec::new(),
+        bound,
+        max_steps,
+    });
+    if matches!(first.status, RunStatus::Failed(_)) {
+        return Exploration {
+            schedules,
+            exhausted: false,
+            failure: Some(first),
+        };
+    }
+    let mut stack = nodes_from(&first, 0, bound);
+
+    loop {
+        while stack.last().is_some_and(|n| n.alts.is_empty()) {
+            stack.pop();
+        }
+        if stack.is_empty() {
+            return Exploration {
+                schedules,
+                exhausted: true,
+                failure: None,
+            };
+        }
+        if *budget == 0 {
+            return Exploration {
+                schedules,
+                exhausted: false,
+                failure: None,
+            };
+        }
+
+        let depth = stack.len() - 1;
+        let alt = stack[depth].alts.pop().expect("top node has alternatives");
+        // Prefix: the current path up to `depth`, then the alternative.
+        let mut prefix: Vec<u32> = stack[..depth].iter().map(|n| n.chosen).collect();
+        prefix.push(alt);
+        // Sleep seeds: at every earlier depth the already-explored
+        // siblings; at `depth` also the branch we are leaving, whose
+        // subtree is now fully explored.
+        let mut extra_sleep: Vec<Vec<u32>> =
+            stack[..depth].iter().map(|n| n.explored.clone()).collect();
+        let mut now_explored = stack[depth].explored.clone();
+        if !now_explored.contains(&stack[depth].chosen) {
+            now_explored.push(stack[depth].chosen);
+        }
+        extra_sleep.push(now_explored.clone());
+
+        *budget -= 1;
+        schedules += 1;
+        let outcome = exec(RunSpec {
+            seed,
+            prefix,
+            extra_sleep,
+            bound,
+            max_steps,
+        });
+        if matches!(outcome.status, RunStatus::Failed(_)) {
+            return Exploration {
+                schedules,
+                exhausted: false,
+                failure: Some(outcome),
+            };
+        }
+        // The path now runs `alt` here; grow the tail from what the new
+        // run revealed.  Pruned runs contribute their (shorter) tail
+        // exactly like complete ones.
+        stack[depth].explored = now_explored;
+        stack[depth].chosen = alt;
+        stack.truncate(depth + 1);
+        let tail = nodes_from(&outcome, depth + 1, bound);
+        stack.extend(tail);
+    }
+}

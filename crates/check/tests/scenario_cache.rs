@@ -1,0 +1,19 @@
+//! Checked scenario: `SharedTraceCache` single-flight under concurrent
+//! miss / evict / `evict_to_budget`.
+
+use extrap_check::{check_scenario, scenarios, CheckConfig};
+
+#[test]
+fn cache_single_flight_holds_in_every_explored_schedule() {
+    let scenario = scenarios::find("cache-single-flight").expect("registered");
+    let report = check_scenario(
+        &scenario,
+        &CheckConfig {
+            max_schedules: 400,
+            seed: 1,
+            max_steps: 20_000,
+        },
+    );
+    assert!(report.passed(), "{}", report.render());
+    assert!(report.schedules > 1, "exploration must branch");
+}

@@ -1,0 +1,20 @@
+//! Checked scenario: `sweep_cancellable` racing `CancelToken::cancel` —
+//! in every explored schedule each job ends `Cancelled` or completed,
+//! and nothing hangs (satellite requirement of the checker issue).
+
+use extrap_check::{check_scenario, scenarios, CheckConfig};
+
+#[test]
+fn cancel_mid_sweep_always_cancels_cleanly_or_completes() {
+    let scenario = scenarios::find("cancel-mid-sweep").expect("registered");
+    let report = check_scenario(
+        &scenario,
+        &CheckConfig {
+            max_schedules: 400,
+            seed: 1,
+            max_steps: 20_000,
+        },
+    );
+    assert!(report.passed(), "{}", report.render());
+    assert!(report.schedules > 1, "exploration must branch");
+}

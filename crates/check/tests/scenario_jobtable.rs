@@ -1,0 +1,20 @@
+//! Checked scenario: the serving daemon's job table driven in process —
+//! submit → coalesce → long-poll fetch → drain across one worker and
+//! two client threads.
+
+use extrap_check::{check_scenario, scenarios, CheckConfig};
+
+#[test]
+fn job_table_completes_every_job_in_every_explored_schedule() {
+    let scenario = scenarios::find("job-table").expect("registered");
+    let report = check_scenario(
+        &scenario,
+        &CheckConfig {
+            max_schedules: 150,
+            seed: 1,
+            max_steps: 50_000,
+        },
+    );
+    assert!(report.passed(), "{}", report.render());
+    assert!(report.schedules > 1, "exploration must branch");
+}

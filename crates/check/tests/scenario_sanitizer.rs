@@ -1,0 +1,20 @@
+//! Checked scenario: sanitizer installation racing a prediction
+//! verification.  Kept in its own test binary because the sanitizer
+//! registry is process-global state.
+
+use extrap_check::{check_scenario, scenarios, CheckConfig};
+
+#[test]
+fn sanitizer_registration_race_is_torn_free() {
+    let scenario = scenarios::find("sanitizer-race").expect("registered");
+    let report = check_scenario(
+        &scenario,
+        &CheckConfig {
+            max_schedules: 400,
+            seed: 1,
+            max_steps: 20_000,
+        },
+    );
+    assert!(report.passed(), "{}", report.render());
+    assert!(report.schedules > 1, "exploration must branch");
+}

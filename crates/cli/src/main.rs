@@ -10,6 +10,8 @@
 //! extrap sweep     <bench>[,<bench>...] [--procs 1,2,...] [--jobs N] [--csv] [--check-bounds]
 //! extrap serve     [--addr HOST:PORT] [--workers N] [--mem-budget-mb N] ...
 //! extrap client    sweep|simulate|stats|shutdown [--addr HOST:PORT] ...
+//! extrap check     [traces.xtps]           # determinism report, or model-check the
+//!                  [--scenarios] [--scenario NAME] [--replay CERT]   # concurrent core
 //! extrap report    traces.xtps            # trace statistics
 //! extrap stats     traces.xtps [--phases]  # phase/epoch-cluster statistics
 //! extrap lint      FILE|DIR... [--jobs N] [--format json] [--deny-warnings] [--allow CODE]...
@@ -93,7 +95,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
                  extrap report FILE\n  \
                  extrap stats FILE [--phases] [--max-clusters K] [--tolerance F]\n  \
                  extrap timeline FILE [--width N]\n  \
-                 extrap check FILE\n  \
+                 extrap check [FILE] [--scenarios] [--scenario NAME] [--replay CERT] \
+                 [--schedules N] [--seed N] [--max-steps N]\n  \
                  extrap lint FILE|DIR... [--machine M] [--format text|json] [--jobs N] \
                  [--deny-warnings] [--allow CODE]...\n  \
                  extrap lint --fix FILE [--out FILE] [--dry-run] | extrap lint --codes\n  \
@@ -528,9 +531,95 @@ fn cmd_timeline(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `extrap check`: two related verifiers under one verb.
+///
+/// With a trace FILE, run the epoch-level determinism report (the
+/// paper's SS5 transferability assumption).  Without one, drive the
+/// `extrap-check` model checker over the built-in concurrency
+/// scenarios: `--scenarios` lists them, `--scenario NAME` checks one,
+/// the default checks all production scenarios, and `--replay CERT`
+/// re-executes a failure certificate step for step.
 fn cmd_check(args: Vec<String>) -> Result<(), String> {
-    let [input] = ArgSpec::new("check", args).finish_exact("extrap check FILE")?;
-    let set = extrap_trace::reader::read_set_file(&input).map_err(|e| e.to_string())?;
+    let mut spec = ArgSpec::new("check", args);
+    let list = spec.switch("--scenarios");
+    let scenario = spec.value("--scenario")?;
+    let replay_cert = spec.value("--replay")?;
+    let schedules = spec.positive("--schedules")?;
+    let seed = spec.parsed::<u64>("--seed")?;
+    let max_steps = spec.positive("--max-steps")?;
+    let positionals = spec.finish()?;
+
+    let checker_mode =
+        list || scenario.is_some() || replay_cert.is_some() || positionals.is_empty();
+    if !checker_mode {
+        if positionals.len() != 1 || schedules.is_some() || seed.is_some() || max_steps.is_some() {
+            return Err(
+                "usage: extrap check FILE | extrap check [--scenarios] [--scenario NAME] \
+                 [--replay CERT] [--schedules N] [--seed N] [--max-steps N]"
+                    .to_string(),
+            );
+        }
+        return check_trace_file(&positionals[0]);
+    }
+    if !positionals.is_empty() {
+        return Err("check: a trace FILE cannot be combined with checker flags".to_string());
+    }
+
+    let config = extrap_check::CheckConfig {
+        max_schedules: schedules.unwrap_or(1_000),
+        seed: seed.unwrap_or(1),
+        max_steps: max_steps.unwrap_or(50_000),
+    };
+
+    if list {
+        for s in extrap_check::scenarios::all_scenarios() {
+            println!("{:18} {}", s.name, s.about);
+        }
+        return Ok(());
+    }
+
+    if let Some(cert) = replay_cert {
+        let cert: extrap_check::Certificate = cert
+            .parse()
+            .map_err(|e| format!("check: bad certificate: {e}"))?;
+        let scenario = extrap_check::scenarios::find(&cert.scenario)
+            .ok_or_else(|| format!("check: unknown scenario {:?} in certificate", cert.scenario))?;
+        let outcome = extrap_check::replay(&scenario, &cert, config.max_steps);
+        match outcome.status {
+            extrap_check::RunStatus::Failed(f) => {
+                println!("replay of {cert} reproduces the failure:");
+                println!("  {:?}: {}", f.kind, f.message);
+                Err("failure reproduced (this is what the certificate records)".to_string())
+            }
+            _ => {
+                println!("replay of {cert} completed cleanly: no failure at this schedule");
+                Ok(())
+            }
+        }
+    } else {
+        let to_check: Vec<extrap_check::Scenario> = match scenario {
+            Some(name) => vec![extrap_check::scenarios::find(&name)
+                .ok_or_else(|| format!("check: unknown scenario {name:?}; try --scenarios"))?],
+            None => extrap_check::scenarios::scenarios(),
+        };
+        let mut failed = false;
+        for s in &to_check {
+            let report = extrap_check::check_scenario(s, &config);
+            print!("{}", report.render());
+            failed |= !report.passed();
+        }
+        if failed {
+            Err("model check failed; replay the certificate above to debug".to_string())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The original `extrap check FILE` mode: epoch-level write-conflict
+/// analysis of a translated trace set.
+fn check_trace_file(input: &str) -> Result<(), String> {
+    let set = extrap_trace::reader::read_set_file(input).map_err(|e| e.to_string())?;
     let report = extrap_trace::determinism_report(&set);
     println!("remote writes: {}", report.remote_writes);
     if report.is_deterministic() {

@@ -15,41 +15,38 @@
 //! from it would be worse than crashing.
 //!
 //! The hook is process-global (sanitizing is a run-mode, not a
-//! per-call concern) and costs one relaxed atomic load per simulation
-//! when disabled.
+//! per-call concern) and costs one atomic load per simulation when
+//! disabled.  Registration synchronizes through `pcpp_rt::sync`, so the
+//! install/enable/check races are model-checkable (the `extrap-check`
+//! `sanitizer-race` scenario drives exactly those).
 
 use crate::metrics::Prediction;
 use crate::params::SimParams;
 use crate::processor::CompiledProgram;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use pcpp_rt::sync::{AtomicFlag, Mutex};
 
 /// A bounds checker: `Ok(())` when `prediction` is consistent with the
 /// static envelope of `program` under `params` (or no envelope exists).
 pub type BoundsCheck = fn(&CompiledProgram, &SimParams, &Prediction) -> Result<(), String>;
 
 static CHECKER: Mutex<Option<BoundsCheck>> = Mutex::new(None);
-static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENABLED: AtomicFlag = AtomicFlag::new(false);
 
 /// Installs (or replaces) the process-global bounds checker.  The
 /// checker only runs once [`set_enabled`]`(true)` is also called.
 pub fn install(check: BoundsCheck) {
-    *CHECKER.lock().expect("sanitizer registry poisoned") = Some(check);
+    *CHECKER.lock() = Some(check);
 }
 
 /// Turns sanitizer checking on or off without touching the installed
 /// checker.
 pub fn set_enabled(enabled: bool) {
-    ENABLED.store(enabled, Ordering::Relaxed);
+    ENABLED.store(enabled);
 }
 
 /// Whether a checker is installed *and* checking is enabled.
 pub fn is_active() -> bool {
-    ENABLED.load(Ordering::Relaxed)
-        && CHECKER
-            .lock()
-            .expect("sanitizer registry poisoned")
-            .is_some()
+    ENABLED.load() && CHECKER.lock().is_some()
 }
 
 /// Runs the installed checker against one simulation result, panicking
@@ -61,10 +58,10 @@ pub fn is_active() -> bool {
 /// static envelope — by design: a bound violation is a simulator bug,
 /// and every downstream number would inherit it.
 pub fn check(program: &CompiledProgram, params: &SimParams, prediction: &Prediction) {
-    if !ENABLED.load(Ordering::Relaxed) {
+    if !ENABLED.load() {
         return;
     }
-    let checker = *CHECKER.lock().expect("sanitizer registry poisoned");
+    let checker = *CHECKER.lock();
     if let Some(checker) = checker {
         if let Err(violation) = checker(program, params, prediction) {
             panic!("bounds sanitizer: {violation}");

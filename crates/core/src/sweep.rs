@@ -23,10 +23,13 @@
 //!   per worker across all of its jobs.
 //!
 //! The build container has no crates.io access, so the pool is plain
-//! `std::thread::scope` + `std::sync::mpsc` and the cache uses
-//! `std::sync::RwLock`/`OnceLock` rather than the crossbeam/parking_lot
-//! equivalents; the interfaces are shaped so those could be swapped back
-//! in without touching callers.
+//! `std::thread::scope` + `std::sync::mpsc` and the cache synchronizes
+//! through `pcpp_rt::sync` (std underneath) rather than the
+//! crossbeam/parking_lot equivalents.  Going through `pcpp_rt::sync`
+//! also puts every lock, condvar, and cancellation flag under the
+//! `extrap-check` model checker's control in checked builds; the
+//! interfaces are shaped so other backends could be swapped in without
+//! touching callers.
 //!
 //! ```
 //! use extrap_core::sweep::{sweep, SharedTraceCache, SweepGrid};
@@ -55,12 +58,13 @@ use crate::params::{SimParams, SimStrategy};
 use crate::processor::CompiledProgram;
 use crate::repr::ReprPlan;
 use extrap_trace::{TraceError, TraceSet};
+use pcpp_rt::sync::{AtomicFlag, Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 // ---------------------------------------------------------------------
 // Concurrent trace cache
@@ -106,18 +110,13 @@ impl CachedTrace {
     /// clustering found no exploitable repetition — simulate exactly.
     pub fn repr_plan(&self, max_clusters: u32, tolerance: f64) -> Option<Arc<ReprPlan>> {
         let key = (max_clusters, tolerance.to_bits());
-        if let Some(plan) = self.repr_plans.read().expect("plan lock").get(&key) {
+        if let Some(plan) = self.repr_plans.read().get(&key) {
             return plan.clone();
         }
         // Racing computations produce identical plans (the clustering
         // is deterministic); first writer wins, duplicates are dropped.
         let plan = ReprPlan::from_program(&self.program, max_clusters, tolerance).map(Arc::new);
-        self.repr_plans
-            .write()
-            .expect("plan lock")
-            .entry(key)
-            .or_insert(plan)
-            .clone()
+        self.repr_plans.write().entry(key).or_insert(plan).clone()
     }
 
     /// The translated per-thread traces.
@@ -152,10 +151,93 @@ impl Deref for CachedTrace {
 /// The slot also carries the entry's last-touch stamp (a value drawn
 /// from the cache's logical clock on every hit), which is what the LRU
 /// eviction sweep orders entries by.
-#[derive(Debug, Default)]
+///
+/// Single-flight is hand-rolled over a [`Mutex`] + [`Condvar`] state
+/// machine rather than `std::sync::OnceLock` so the model checker can
+/// suspend a builder while a loser is parked: `OnceLock::get_or_init`
+/// blocks losers *inside* std, invisible to (and unschedulable by) the
+/// checked backend.
+#[derive(Debug)]
 struct CacheSlot {
-    cell: OnceLock<Result<Arc<CachedTrace>, String>>,
+    state: Mutex<SlotState>,
+    ready: Condvar,
     last_used: AtomicU64,
+}
+
+/// Lifecycle of a slot's value: the first requester flips `Empty` →
+/// `Building` and runs the translation; racers wait on the condvar
+/// until `Ready` lands.  A builder that panics marks the slot
+/// `Ready(Err(..))` on the way out so parked losers never hang.
+#[derive(Debug)]
+enum SlotState {
+    Empty,
+    Building,
+    Ready(Result<Arc<CachedTrace>, String>),
+}
+
+impl Default for CacheSlot {
+    fn default() -> CacheSlot {
+        CacheSlot {
+            state: Mutex::new(SlotState::Empty),
+            ready: Condvar::new(),
+            last_used: AtomicU64::new(0),
+        }
+    }
+}
+
+impl CacheSlot {
+    /// The completed value, or `None` while empty or still translating.
+    fn get(&self) -> Option<Result<Arc<CachedTrace>, String>> {
+        match &*self.state.lock() {
+            SlotState::Ready(v) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// Single-flight initialization: the first caller runs `build`, all
+    /// concurrent callers block until its value lands, every later
+    /// caller gets the memoized value.
+    fn get_or_init(
+        &self,
+        build: impl FnOnce() -> Result<Arc<CachedTrace>, String>,
+    ) -> Result<Arc<CachedTrace>, String> {
+        {
+            let mut st = self.state.lock();
+            loop {
+                match &*st {
+                    SlotState::Ready(v) => return v.clone(),
+                    SlotState::Building => self.ready.wait(&mut st),
+                    SlotState::Empty => {
+                        *st = SlotState::Building;
+                        break;
+                    }
+                }
+            }
+        }
+        // If `build` unwinds, poison the slot instead of leaving losers
+        // parked on a Building state nobody will ever finish.
+        struct Finish<'a> {
+            slot: &'a CacheSlot,
+            value: Option<Result<Arc<CachedTrace>, String>>,
+        }
+        impl Drop for Finish<'_> {
+            fn drop(&mut self) {
+                let value = self
+                    .value
+                    .take()
+                    .unwrap_or_else(|| Err("trace translation panicked".to_string()));
+                *self.slot.state.lock() = SlotState::Ready(value);
+                self.slot.ready.notify_all();
+            }
+        }
+        let mut finish = Finish {
+            slot: self,
+            value: None,
+        };
+        let value = build();
+        finish.value = Some(value.clone());
+        value
+    }
 }
 
 type SlotRef = Arc<CacheSlot>;
@@ -172,7 +254,7 @@ pub type TraceValidator = Arc<dyn Fn(&TraceSet) -> Result<(), String> + Send + S
 /// Workers race for the same `(workload, n)` all the time — a Fig-4 grid
 /// asks for every benchmark's trace at six processor counts under one
 /// parameter set per series.  Each distinct key is translated (and its
-/// program compiled) exactly once: the per-key [`OnceLock`] makes
+/// program compiled) exactly once: the per-key [`CacheSlot`] makes
 /// initialization single-flight (losers of the race block until the
 /// winner's value lands), and the outer [`RwLock`] is held only to look
 /// up or insert the slot, never during translation.
@@ -221,7 +303,7 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
             self.clock.fetch_add(1, Ordering::Relaxed) + 1,
             Ordering::Relaxed,
         );
-        let outcome = slot.cell.get_or_init(|| {
+        let outcome = slot.get_or_init(|| {
             self.translations.fetch_add(1, Ordering::Relaxed);
             translate()
                 .and_then(|ts| match &self.validator {
@@ -236,19 +318,17 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
                 .map_err(|e| e.to_string())
         });
         match outcome {
-            Ok(ts) => Ok(Arc::clone(ts)),
-            Err(detail) => Err(ExtrapError::Trace(TraceError::Format {
-                detail: detail.clone(),
-            })),
+            Ok(ts) => Ok(ts),
+            Err(detail) => Err(ExtrapError::Trace(TraceError::Format { detail })),
         }
     }
 
     /// Looks up or inserts the per-key slot; never blocks on translation.
     fn slot(&self, key: K) -> SlotRef {
-        if let Some(slot) = self.entries.read().expect("cache lock").get(&key) {
+        if let Some(slot) = self.entries.read().get(&key) {
             return Arc::clone(slot);
         }
-        let mut map = self.entries.write().expect("cache lock");
+        let mut map = self.entries.write();
         Arc::clone(map.entry(key).or_default())
     }
 
@@ -270,7 +350,6 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
     pub fn resident_bytes(&self) -> usize {
         self.entries
             .read()
-            .expect("cache lock")
             .values()
             .map(|slot| slot_bytes(slot))
             .sum()
@@ -283,9 +362,9 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
     /// they finish; eviction only forgets the cache's own reference, so
     /// the next request for the key re-translates.
     pub fn evict(&self, key: &K) -> Option<usize> {
-        let mut map = self.entries.write().expect("cache lock");
+        let mut map = self.entries.write();
         let slot = map.get(key)?;
-        slot.cell.get()?;
+        let _completed = slot.get()?;
         let bytes = slot_bytes(slot);
         map.remove(key);
         self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -298,13 +377,13 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
     /// cache whose live translations alone exceed the budget simply
     /// frees what it can.
     pub fn evict_to_budget(&self, budget_bytes: usize) -> (usize, usize) {
-        let mut map = self.entries.write().expect("cache lock");
+        let mut map = self.entries.write();
         let mut resident: usize = map.values().map(|s| slot_bytes(s)).sum();
         let (mut evicted, mut freed) = (0usize, 0usize);
         while resident > budget_bytes {
             let victim = map
                 .iter()
-                .filter(|(_, slot)| slot.cell.get().is_some())
+                .filter(|(_, slot)| slot.get().is_some())
                 .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone());
             let Some(key) = victim else { break };
@@ -319,7 +398,7 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
 
     /// How many distinct keys have been requested.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("cache lock").len()
+        self.entries.read().len()
     }
 
     /// Whether the cache is empty.
@@ -338,10 +417,10 @@ impl<K: Eq + Hash + Clone> Default for SharedTraceCache<K> {
 /// successes, the rendered message for memoized errors, zero while the
 /// translation is still in flight.
 fn slot_bytes(slot: &CacheSlot) -> usize {
-    match slot.cell.get() {
-        Some(Ok(ct)) => std::mem::size_of::<CacheSlot>() + ct.resident_bytes(),
-        Some(Err(msg)) => std::mem::size_of::<CacheSlot>() + msg.len(),
-        None => 0,
+    match &*slot.state.lock() {
+        SlotState::Ready(Ok(ct)) => std::mem::size_of::<CacheSlot>() + ct.resident_bytes(),
+        SlotState::Ready(Err(msg)) => std::mem::size_of::<CacheSlot>() + msg.len(),
+        _ => 0,
     }
 }
 
@@ -590,9 +669,11 @@ where
 /// Workers check it between jobs, never mid-simulation, so cancelling a
 /// sweep lets in-flight predictions finish (they stay deterministic)
 /// while every not-yet-started job comes back as
-/// [`ExtrapError::Cancelled`].  Cloning shares the flag.
+/// [`ExtrapError::Cancelled`].  Cloning shares the flag.  The flag is a
+/// checker-visible [`AtomicFlag`], so `extrap-check` explores every
+/// placement of a cancel relative to the sweep's job claims.
 #[derive(Clone, Debug, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<AtomicFlag>);
 
 impl CancelToken {
     /// A fresh, un-cancelled token.
@@ -602,12 +683,12 @@ impl CancelToken {
 
     /// Raises the flag; every clone observes it.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.0.store(true);
     }
 
     /// Whether [`cancel`](CancelToken::cancel) has been called.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.0.load()
     }
 }
 

@@ -85,7 +85,7 @@ mod tests {
     use super::*;
     use crate::clock::WorkModel;
     use crate::program::Program;
-    use std::sync::Mutex;
+    use crate::sync::Mutex;
 
     fn run_collect(
         n: usize,
@@ -97,9 +97,9 @@ mod tests {
             .with_work_model(WorkModel::unit())
             .run(|ctx| {
                 let v = f(ctx, &coll);
-                out.lock().unwrap()[ctx.id().index()] = v;
+                out.lock()[ctx.id().index()] = v;
             });
-        out.into_inner().unwrap()
+        out.into_inner()
     }
 
     #[test]

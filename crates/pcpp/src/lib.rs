@@ -44,6 +44,8 @@
 //! assert_eq!(trace.n_threads, 4);
 //! ```
 
+#[cfg(feature = "model-check")]
+pub mod chk;
 pub mod clock;
 pub mod collection;
 pub mod collective;

@@ -68,6 +68,16 @@ impl Program {
     where
         F: Fn(&mut ThreadCtx) + Sync,
     {
+        // The run-token scheduler below is measurement substrate, not a
+        // model-checking target: opt this thread out so a scenario that
+        // drives `Program::run` doesn't try to schedule it.
+        crate::sync::unchecked_scope(|| self.run_inner(body))
+    }
+
+    fn run_inner<F>(&self, body: F) -> ProgramTrace
+    where
+        F: Fn(&mut ThreadCtx) + Sync,
+    {
         let recorder = Recorder::with_source(self.event_overhead, self.time_source);
         let scheduler = Arc::new(Scheduler::new(self.n_threads));
         let body = &body;

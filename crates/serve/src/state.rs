@@ -10,10 +10,11 @@ use extrap_proto::{
     TraceId,
 };
 use extrap_workloads::{Bench, Scale};
+use pcpp_rt::sync::{AtomicFlag, Condvar, Instant, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Sweep-cache key: `(benchmark, n_procs, scale code)`.  Unlike the
 /// CLI's per-invocation cache, the server's cache persists across
@@ -185,10 +186,15 @@ struct Counters {
 
 /// The shared heart of a server: every connection thread, worker
 /// thread, and in-process [`Session`] holds the same `Arc<Service>`.
+///
+/// All blocking coordination (job table, work/done condvars, the drain
+/// flag) goes through [`pcpp_rt::sync`], so the whole submit → execute
+/// → fetch → drain protocol is visible to the `extrap-check` model
+/// checker; see its `job-table` scenario.
 pub struct Service {
     config: ServeConfig,
     started: Instant,
-    shutting_down: AtomicBool,
+    shutting_down: AtomicFlag,
     cancel: CancelToken,
     next_trace: AtomicU64,
     next_job: AtomicU64,
@@ -207,7 +213,7 @@ impl Service {
         Service {
             config,
             started: Instant::now(),
-            shutting_down: AtomicBool::new(false),
+            shutting_down: AtomicFlag::new(false),
             cancel: CancelToken::new(),
             next_trace: AtomicU64::new(0),
             next_job: AtomicU64::new(0),
@@ -218,6 +224,22 @@ impl Service {
             done_cv: Condvar::new(),
             counters: Counters::default(),
         }
+    }
+
+    /// Builds a standalone service for in-process use: scenario tests
+    /// and embedders that drive [`Session`]s and
+    /// [`run_worker`](Service::run_worker) directly, with no TCP
+    /// surface.  The `extrap-check` job-table scenario model-checks the
+    /// service through exactly this entry point.
+    pub fn new_in_process(config: ServeConfig) -> Arc<Service> {
+        Arc::new(Service::new(config))
+    }
+
+    /// Runs one worker loop on the calling thread until the service
+    /// drains — the in-process equivalent of a [`crate::Server`] worker
+    /// thread.
+    pub fn run_worker(self: &Arc<Service>) {
+        crate::worker::run(self);
     }
 
     /// Opens a session — the in-process equivalent of connecting.
@@ -244,15 +266,15 @@ impl Service {
 
     /// Flips the drain flag and wakes everyone blocked on state.
     pub fn begin_shutdown(&self) {
-        self.shutting_down.store(true, Ordering::SeqCst);
-        let _guard = self.table.lock().expect("job table");
+        self.shutting_down.store(true);
+        let _guard = self.table.lock();
         self.work_cv.notify_all();
         self.done_cv.notify_all();
     }
 
     /// Whether [`begin_shutdown`](Service::begin_shutdown) has run.
     pub fn is_shutting_down(&self) -> bool {
-        self.shutting_down.load(Ordering::SeqCst)
+        self.shutting_down.load()
     }
 
     /// Whether the drain is complete: shutting down with nothing queued
@@ -261,7 +283,7 @@ impl Service {
         if !self.is_shutting_down() {
             return false;
         }
-        let table = self.table.lock().expect("job table");
+        let table = self.table.lock();
         table.queue.is_empty() && table.running == 0
     }
 
@@ -296,7 +318,7 @@ impl Service {
     /// Blocks for the next queue item; `None` once the server is
     /// shutting down and the queue has drained.
     pub(crate) fn next_work(&self) -> Option<QueuedWork> {
-        let mut table = self.table.lock().expect("job table");
+        let mut table = self.table.lock();
         loop {
             if let Some(qw) = table.queue.pop_front() {
                 table.running += 1;
@@ -308,7 +330,7 @@ impl Service {
             if self.is_shutting_down() {
                 return None;
             }
-            table = self.work_cv.wait(table).expect("job table");
+            self.work_cv.wait(&mut table);
         }
     }
 
@@ -316,7 +338,7 @@ impl Service {
     /// out of the queue (marking them running), leaving everything else
     /// in order — the coalescing step of a batch.
     pub(crate) fn drain_compatible(&self, scale_code: u8, compat: &str) -> Vec<QueuedWork> {
-        let mut table = self.table.lock().expect("job table");
+        let mut table = self.table.lock();
         let mut kept = VecDeque::with_capacity(table.queue.len());
         let mut out = Vec::new();
         while let Some(qw) = table.queue.pop_front() {
@@ -350,7 +372,7 @@ impl Service {
             Ok(_) => self.counters.jobs_done.fetch_add(1, Ordering::Relaxed),
             Err(_) => self.counters.jobs_failed.fetch_add(1, Ordering::Relaxed),
         };
-        let mut table = self.table.lock().expect("job table");
+        let mut table = self.table.lock();
         table.inflight = table.inflight.saturating_sub(1);
         table.running = table.running.saturating_sub(1);
         if let Some(e) = table.entries.get_mut(&job) {
@@ -377,11 +399,11 @@ impl Service {
         if budget == 0 {
             return;
         }
-        let store_bytes = self.store.lock().expect("trace store").resident_bytes();
+        let store_bytes = self.store.lock().resident_bytes();
         self.sweep_cache
             .evict_to_budget(budget.saturating_sub(store_bytes));
         let cache_bytes = self.sweep_cache.resident_bytes();
-        let mut store = self.store.lock().expect("trace store");
+        let mut store = self.store.lock();
         let mut total = cache_bytes + store.resident_bytes();
         while total > budget {
             let victim = store
@@ -410,7 +432,7 @@ impl Service {
     /// [`touch_trace`](Service::touch_trace) plus the name the client
     /// submitted under — the label synchronous renders print.
     fn touch_trace_named(&self, id: TraceId) -> Option<(String, Arc<CachedTrace>)> {
-        let mut store = self.store.lock().expect("trace store");
+        let mut store = self.store.lock();
         store.clock += 1;
         let stamp = store.clock;
         let e = store.entries.get_mut(&id)?;
@@ -421,10 +443,10 @@ impl Service {
     /// A point-in-time statistics snapshot.
     pub fn stats(&self) -> ServerStats {
         let (traces_resident, store_bytes) = {
-            let store = self.store.lock().expect("trace store");
+            let store = self.store.lock();
             (store.entries.len(), store.resident_bytes())
         };
-        let inflight = self.table.lock().expect("job table").inflight;
+        let inflight = self.table.lock().inflight;
         let c = &self.counters;
         ServerStats {
             uptime_ms: self.started.elapsed().as_millis() as u64,
@@ -529,7 +551,7 @@ impl Session {
         let n_threads = cached.traces().n_threads() as u32;
         let resident_bytes = cached.resident_bytes() as u64;
         {
-            let mut store = self.service.store.lock().expect("trace store");
+            let mut store = self.service.store.lock();
             store.clock += 1;
             let stamp = store.clock;
             store.entries.insert(
@@ -633,7 +655,7 @@ impl Session {
                 "connection has too many unfetched jobs; fetch some results first",
             );
         }
-        let mut table = self.service.table.lock().expect("job table");
+        let mut table = self.service.table.lock();
         if table.inflight >= config.max_inflight_jobs {
             return err(ErrorCode::Busy, "server job queue is full; retry shortly");
         }
@@ -652,7 +674,7 @@ impl Session {
         });
         table.inflight += 1;
         self.unfetched.fetch_add(1, Ordering::Relaxed);
-        self.jobs.lock().expect("session jobs").push(job);
+        self.jobs.lock().push(job);
         drop(table);
         self.service.work_cv.notify_one();
         Response::Accepted { job }
@@ -662,7 +684,7 @@ impl Session {
         let wait =
             Duration::from_millis(u64::from(wait_ms)).min(self.service.config().request_timeout);
         let deadline = Instant::now() + wait;
-        let mut table = self.service.table.lock().expect("job table");
+        let mut table = self.service.table.lock();
         loop {
             match table.entries.get(&job) {
                 None => {
@@ -677,12 +699,9 @@ impl Session {
                     if now >= deadline {
                         return Response::Pending { job };
                     }
-                    let (t, _) = self
-                        .service
+                    self.service
                         .done_cv
-                        .wait_timeout(table, deadline - now)
-                        .expect("job table");
-                    table = t;
+                        .wait_timeout(&mut table, deadline.saturating_duration_since(now));
                 }
             }
         }
@@ -697,7 +716,7 @@ impl Session {
     }
 
     fn evict(&self, id: TraceId) -> Response {
-        let mut store = self.service.store.lock().expect("trace store");
+        let mut store = self.service.store.lock();
         match store.entries.remove(&id) {
             Some(e) => {
                 self.service
@@ -775,8 +794,8 @@ impl Session {
 impl Drop for Session {
     fn drop(&mut self) {
         self.alive.store(false, Ordering::Relaxed);
-        let ids = std::mem::take(&mut *self.jobs.lock().expect("session jobs"));
-        let mut table = self.service.table.lock().expect("job table");
+        let ids = std::mem::take(&mut *self.jobs.lock());
+        let mut table = self.service.table.lock();
         for id in ids {
             if matches!(
                 table.entries.get(&id).map(|e| &e.state),

@@ -5,8 +5,8 @@ use crate::state::{JobPayload, Service, SimWork, SweepKey, SweepWork, Work};
 use extrap_core::sweep::{sweep_cancellable, SweepJob};
 use extrap_core::{ExtrapError, Extrapolator};
 use extrap_proto::{ErrorCode, JobId, PredictionSummary, SweepRow};
+use pcpp_rt::sync::Instant;
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// One worker thread's life: execute jobs until shutdown drains the
 /// queue.

@@ -9,8 +9,8 @@
 
 use crate::util::{Rng64, VecReduction};
 use extrap_trace::ProgramTrace;
+use pcpp_rt::sync::Mutex;
 use pcpp_rt::Program;
-use std::sync::Mutex;
 
 /// Problem parameters.
 #[derive(Clone, Copy, Debug)]
@@ -88,13 +88,13 @@ pub fn run(n_threads: usize, config: &EmbarConfig) -> (ProgramTrace, EmbarResult
         if ctx.id().0 == 0 {
             let mut bins_total = [0.0f64; 10];
             bins_total.copy_from_slice(&totals[..10]);
-            *bins_out.lock().unwrap() = bins_total;
-            *sums_out.lock().unwrap() = (totals[10], totals[11], totals[12]);
+            *bins_out.lock() = bins_total;
+            *sums_out.lock() = (totals[10], totals[11], totals[12]);
         }
     });
 
-    let totals = bins_out.into_inner().unwrap();
-    let (sum_x, sum_y, accepted) = sums_out.into_inner().unwrap();
+    let totals = bins_out.into_inner();
+    let (sum_x, sum_y, accepted) = sums_out.into_inner();
     let mut bins = [0u64; 10];
     for (b, t) in bins.iter_mut().zip(totals.iter()) {
         *b = *t as u64;

@@ -24,8 +24,8 @@
 //! tests.
 
 use extrap_trace::ProgramTrace;
+use pcpp_rt::sync::Mutex;
 use pcpp_rt::{Collection, Distribution, Index2, Program};
-use std::sync::Mutex;
 
 /// Problem parameters.
 #[derive(Clone, Copy, Debug)]
@@ -120,7 +120,7 @@ pub fn run(n_threads: usize, config: &GridConfig) -> (ProgramTrace, Vec<f64>) {
                         (0..m).map(|i| v[i * m]).collect()
                     });
                 }
-                halos.lock().unwrap()[id.index()] = halo;
+                halos.lock()[id.index()] = halo;
             }
             if !fused {
                 // Two-phase Jacobi: everyone snapshots old halos first.
@@ -128,7 +128,7 @@ pub fn run(n_threads: usize, config: &GridConfig) -> (ProgramTrace, Vec<f64>) {
             }
             // Update the interior from the gathered halos.
             if let Some(pos) = my_pos {
-                let halo_guard = halos.lock().unwrap();
+                let halo_guard = halos.lock();
                 let halo = &halo_guard[id.index()];
                 let old = grid.read(ctx, pos, |v| v.clone());
                 let mut new = vec![0.0; m * m];

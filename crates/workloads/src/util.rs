@@ -161,14 +161,14 @@ mod tests {
     fn reduction_sums_across_threads() {
         let n = 4;
         let red = Reduction::new(n);
-        let result = std::sync::Mutex::new(Vec::new());
+        let result = pcpp_rt::sync::Mutex::new(Vec::new());
         Program::new(n)
             .with_work_model(WorkModel::unit())
             .run(|ctx| {
                 let total = red.sum(ctx, (ctx.id().0 + 1) as f64);
-                result.lock().unwrap().push(total);
+                result.lock().push(total);
             });
-        let results = result.into_inner().unwrap();
+        let results = result.into_inner();
         assert_eq!(results, vec![10.0; n]);
     }
 

@@ -19,10 +19,35 @@ import json
 import sys
 
 
+class BenchFileError(Exception):
+    """A bench JSON file that cannot be compared (missing/malformed/empty)."""
+
+
 def medians(path):
-    with open(path) as f:
-        doc = json.load(f)
-    return {b["name"]: float(b["median_ns"]) for b in doc["benches"]}
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise BenchFileError(f"{path}: cannot read bench JSON: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        raise BenchFileError(f"{path}: not valid JSON ({e}); was the bench run interrupted?")
+    if not isinstance(doc, dict) or "benches" not in doc:
+        raise BenchFileError(f"{path}: no top-level \"benches\" array; not bench-harness output")
+    benches = doc["benches"]
+    if not isinstance(benches, list) or not benches:
+        raise BenchFileError(
+            f"{path}: \"benches\" is empty; the run produced no results, so the "
+            "regression gate has nothing to compare (this is a failure, not a pass)"
+        )
+    out = {}
+    for i, b in enumerate(benches):
+        try:
+            out[b["name"]] = float(b["median_ns"])
+        except (TypeError, KeyError, ValueError):
+            raise BenchFileError(
+                f"{path}: benches[{i}] lacks a usable name/median_ns pair: {b!r}"
+            )
+    return out
 
 
 def main(argv):
@@ -30,10 +55,18 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     baseline_path, fresh_path = argv[1], argv[2]
-    max_ratio = float(argv[3]) if len(argv) > 3 else 2.0
+    try:
+        max_ratio = float(argv[3]) if len(argv) > 3 else 2.0
+    except ValueError:
+        print(f"MAX_RATIO must be a number, got {argv[3]!r}", file=sys.stderr)
+        return 2
 
-    baseline = medians(baseline_path)
-    fresh = medians(fresh_path)
+    try:
+        baseline = medians(baseline_path)
+        fresh = medians(fresh_path)
+    except BenchFileError as e:
+        print(f"bench regression check cannot run: {e}", file=sys.stderr)
+        return 2
 
     failed = []
     missing = []

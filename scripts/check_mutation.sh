@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Seeded-mutation gate for the extrap-check model checker.
+#
+# Removes the `work_cv.notify_one()` wakeup from JobTable::admit — a
+# classic lost-wakeup bug — rebuilds, and asserts that the job-table
+# scenario FAILS under `extrap check`.  If the checker still reports
+# "ok" against the mutant, the checker itself has regressed (its
+# schedule exploration no longer reaches the interleaving where the
+# worker parks before the submit), and this script exits 1.
+#
+# The original source is restored from a byte copy on every exit path
+# (trap), never from git, so the gate is safe to run with uncommitted
+# changes in the tree.
+#
+# Usage: scripts/check_mutation.sh [SCHEDULES] [SEED]
+
+set -u
+
+SCHEDULES="${1:-200}"
+SEED="${2:-1}"
+TARGET="crates/serve/src/state.rs"
+MUTATION_LINE='        self.service.work_cv.notify_one();'
+
+cd "$(dirname "$0")/.."
+
+if ! grep -qxF "$MUTATION_LINE" "$TARGET"; then
+  echo "check_mutation: mutation site not found in $TARGET" >&2
+  echo "  expected line: '$MUTATION_LINE'" >&2
+  echo "  (admit() changed? update this script alongside it)" >&2
+  exit 2
+fi
+
+BACKUP="$(mktemp)"
+cp "$TARGET" "$BACKUP"
+restore() {
+  cp "$BACKUP" "$TARGET"
+  rm -f "$BACKUP"
+}
+trap restore EXIT
+
+# Apply the mutation: drop the post-admit worker wakeup.
+python3 - "$TARGET" <<'EOF'
+import sys
+path = sys.argv[1]
+src = open(path).read()
+needle = "        self.service.work_cv.notify_one();\n"
+assert src.count(needle) == 1, f"expected exactly one mutation site, found {src.count(needle)}"
+open(path, "w").write(src.replace(needle, "        // MUTATION: notify_one removed\n"))
+EOF
+
+echo "== building mutant =="
+if ! cargo build -p extrap-cli --quiet; then
+  echo "check_mutation: mutant failed to BUILD (the mutation should only change behavior)" >&2
+  exit 2
+fi
+
+echo "== model-checking the mutant (job-table, $SCHEDULES schedules, seed $SEED) =="
+if ./target/debug/extrap check --scenario job-table --schedules "$SCHEDULES" --seed "$SEED"; then
+  echo "check_mutation: FAIL — the checker did not catch the removed notify_one" >&2
+  exit 1
+fi
+
+echo "== mutation caught; restoring and rebuilding pristine binary =="
+restore
+trap - EXIT
+if ! cargo build -p extrap-cli --quiet; then
+  echo "check_mutation: rebuild of pristine tree failed" >&2
+  exit 2
+fi
+if ! ./target/debug/extrap check --scenario job-table --schedules "$SCHEDULES" --seed "$SEED"; then
+  echo "check_mutation: pristine code failed the job-table check — real bug?" >&2
+  exit 1
+fi
+echo "check_mutation: ok (mutant caught, pristine passes)"

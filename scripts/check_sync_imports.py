@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Forbid raw std::sync lock primitives outside the pcpp runtime.
+
+Usage: check_sync_imports.py [ROOT]
+
+Every Mutex/Condvar/RwLock in the workspace must come from
+`pcpp_rt::sync` so the extrap-check model checker can interpose on it
+(the `model-check` feature swaps in checked implementations).  A stray
+`std::sync::Mutex` compiles fine but is invisible to the checker, so
+the schedule explorer would silently under-approximate the state space.
+This lint fails (exit 1) on any use of std::sync::{Mutex, Condvar,
+RwLock} — via `use` import, brace group, or fully-qualified path — in
+any .rs file under crates/, except the two files that implement the
+interposition layer itself (pcpp's sync.rs and chk.rs).
+
+Arc, atomics, mpsc, Once, and the rest of std::sync remain fine
+anywhere: they carry no blocking semantics the checker needs to model.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+FORBIDDEN = ("Mutex", "Condvar", "RwLock")
+
+# Files allowed to touch std::sync locks: the wrapper that routes them
+# and the checker runtime that replaces them.
+ALLOWLIST = {
+    Path("crates/pcpp/src/sync.rs"),
+    Path("crates/pcpp/src/chk.rs"),
+}
+
+# `std::sync::Mutex` / `std :: sync :: Mutex` fully-qualified, where the
+# final segment is one of the lock types (word-bounded so MutexGuard via
+# sync::MutexGuard still counts — it is part of the same lock API).
+QUALIFIED = re.compile(
+    r"\bstd\s*::\s*sync\s*::\s*(Mutex|Condvar|RwLock)\b"
+)
+
+# `use std::sync::{...}` brace groups, possibly nested or multi-line by
+# the time rustfmt is done with them; we match the whole use item.
+USE_ITEM = re.compile(r"\buse\s+std\s*::\s*sync\s*::\s*\{([^}]*)\}", re.DOTALL)
+NAME_IN_GROUP = re.compile(r"\b(Mutex|Condvar|RwLock)\b")
+
+
+def strip_comments(text):
+    """Drop // line comments and /* */ blocks so commented-out imports
+    (e.g. migration notes) don't trip the lint.  String literals are not
+    parsed; a forbidden path inside a string is vanishingly unlikely in
+    this codebase and a false positive there is cheap to fix."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def offenders_in(text):
+    hits = set()
+    for m in USE_ITEM.finditer(text):
+        hits.update(NAME_IN_GROUP.findall(m.group(1)))
+    for m in QUALIFIED.finditer(text):
+        hits.add(m.group(1))
+    return sorted(hits)
+
+
+def main(argv):
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    crates = root / "crates"
+    if not crates.is_dir():
+        print(f"check_sync_imports: no crates/ directory under {root}", file=sys.stderr)
+        return 2
+
+    bad = []
+    for path in sorted(crates.rglob("*.rs")):
+        rel = path.relative_to(root)
+        if rel in ALLOWLIST:
+            continue
+        text = strip_comments(path.read_text(encoding="utf-8"))
+        names = offenders_in(text)
+        if names:
+            bad.append((rel, names))
+
+    if bad:
+        print(
+            "std::sync lock primitives found outside pcpp_rt::sync "
+            "(route them through pcpp_rt::sync so extrap-check can "
+            "interpose):",
+            file=sys.stderr,
+        )
+        for rel, names in bad:
+            print(f"  {rel}: {', '.join(names)}", file=sys.stderr)
+        return 1
+    print("sync-imports lint: no raw std::sync lock usage outside pcpp_rt")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
