@@ -108,7 +108,7 @@ fn cache_single_flight(h: &Handle) {
                     set
                 })
                 .expect("translation of a valid trace succeeds");
-            assert_eq!(cached.traces().n_threads(), 2);
+            assert_eq!(cached.n_threads(), 2);
         });
     }
     {

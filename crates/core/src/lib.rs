@@ -43,6 +43,7 @@ pub mod repr;
 pub mod sanitizer;
 pub mod scalability;
 pub mod session;
+pub mod streaming;
 pub mod sweep;
 
 pub use cluster::{extrapolate_clustered, ClusterParams, ClusteredNetwork};
@@ -61,11 +62,13 @@ pub use params::{
     BarrierAlgorithm, BarrierParams, CommParams, ContentionParams, NetworkParams, RecordMode,
     ServicePolicy, SimParams, SimStrategy, SizeMode,
 };
-pub use processor::{CompiledProgram, CompiledThread};
+pub use processor::{CompiledProgram, CompiledThread, IncrementalCompiler};
 pub use repr::{ReprCluster, ReprPlan};
 pub use scalability::{Scalability, ScalePoint};
 pub use session::{Extrapolator, RunInput};
+pub use streaming::{compile_program_stream, compile_set_stream};
 pub use sweep::{
-    claim_chunk, parallel_map, parallel_map_with, sweep, sweep_cancellable, CachedTrace,
-    CancelToken, SharedTraceCache, SweepError, SweepGrid, SweepJob, TraceValidator,
+    claim_chunk, parallel_map, parallel_map_with, sweep, sweep_cancellable, sweep_streaming,
+    sweep_streaming_cancellable, CachedTrace, CancelToken, SharedTraceCache, SweepError, SweepGrid,
+    SweepJob, TraceValidator,
 };

@@ -62,7 +62,6 @@ use pcpp_rt::sync::{AtomicFlag, Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
-use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -70,15 +69,19 @@ use std::sync::{mpsc, Arc};
 // Concurrent trace cache
 // ---------------------------------------------------------------------
 
-/// A translated trace set together with its compiled op scripts.
+/// A compiled program, optionally together with the translated trace
+/// set it came from.
 ///
 /// Compilation is parameter-independent (see [`CompiledProgram`]), so
-/// the cache builds both halves once per key and every parameter set of
-/// the grid replays the same `Arc<CachedTrace>`.  Derefs to the
-/// [`TraceSet`] so trace-only consumers keep reading naturally.
+/// the cache builds the entry once per key and every parameter set of
+/// the grid replays the same `Arc<CachedTrace>`.  Entries built by the
+/// out-of-core pipeline ([`SharedTraceCache::compile_streaming`]) carry
+/// only the program — the [`TraceSet`] was never materialized — so
+/// [`traces`](CachedTrace::traces) is an `Option`; the simulation paths
+/// (exact and representative) read only the program.
 #[derive(Debug)]
 pub struct CachedTrace {
-    traces: TraceSet,
+    traces: Option<TraceSet>,
     program: CompiledProgram,
     /// Representative-region plans, memoized per strategy knob pair
     /// `(max_clusters, tolerance.to_bits())`.  A plan depends only on
@@ -98,11 +101,30 @@ impl CachedTrace {
     /// compiling its program.
     pub fn new(traces: TraceSet) -> Result<CachedTrace, TraceError> {
         let program = CompiledProgram::compile(&traces)?;
-        Ok(CachedTrace {
-            traces,
+        Ok(CachedTrace::from_parts(traces, program))
+    }
+
+    /// Wraps a trace set with its already-compiled program.  The caller
+    /// asserts the two halves correspond (`program` is what
+    /// [`CompiledProgram::compile`] yields for `traces`).
+    pub fn from_parts(traces: TraceSet, program: CompiledProgram) -> CachedTrace {
+        CachedTrace {
+            traces: Some(traces),
             program,
             repr_plans: RwLock::new(HashMap::new()),
-        })
+        }
+    }
+
+    /// Wraps a program compiled out-of-core: no trace set was ever
+    /// materialized, so [`traces`](CachedTrace::traces) is `None` and
+    /// trace-level consumers (per-thread stats, phase analysis) are not
+    /// served by this entry.
+    pub fn from_program(program: CompiledProgram) -> CachedTrace {
+        CachedTrace {
+            traces: None,
+            program,
+            repr_plans: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The representative-region plan for the given strategy knobs,
@@ -119,9 +141,10 @@ impl CachedTrace {
         self.repr_plans.write().entry(key).or_insert(plan).clone()
     }
 
-    /// The translated per-thread traces.
-    pub fn traces(&self) -> &TraceSet {
-        &self.traces
+    /// The translated per-thread traces, if this entry holds them
+    /// (`None` for entries compiled out-of-core).
+    pub fn traces(&self) -> Option<&TraceSet> {
+        self.traces.as_ref()
     }
 
     /// The compiled per-thread op scripts.
@@ -129,18 +152,16 @@ impl CachedTrace {
         &self.program
     }
 
-    /// Approximate heap footprint (traces + compiled scripts) in bytes —
-    /// what a cache memory budget is charged for holding this entry.
-    pub fn resident_bytes(&self) -> usize {
-        self.traces.resident_bytes() + self.program.resident_bytes()
+    /// Number of threads in the program.
+    pub fn n_threads(&self) -> usize {
+        self.program.n_threads()
     }
-}
 
-impl Deref for CachedTrace {
-    type Target = TraceSet;
-
-    fn deref(&self) -> &TraceSet {
-        &self.traces
+    /// Approximate heap footprint (traces, when held, + compiled
+    /// scripts) in bytes — what a cache memory budget is charged for
+    /// holding this entry.
+    pub fn resident_bytes(&self) -> usize {
+        self.traces.as_ref().map_or(0, |t| t.resident_bytes()) + self.program.resident_bytes()
     }
 }
 
@@ -319,6 +340,42 @@ impl<K: Eq + Hash + Clone> SharedTraceCache<K> {
         });
         match outcome {
             Ok(ts) => Ok(ts),
+            Err(detail) => Err(ExtrapError::Trace(TraceError::Format { detail })),
+        }
+    }
+
+    /// The out-of-core sibling of
+    /// [`get_or_translate`](Self::get_or_translate): the first requester
+    /// runs `build` — conventionally a streaming pipeline producing a
+    /// [`CompiledProgram`] without materializing the trace (see
+    /// `crate::streaming`) — and every later requester shares the entry.
+    ///
+    /// Keys are shared with the whole-trace path: whichever of the two
+    /// builds a key first wins, and the other path reuses its entry, so
+    /// sweep/serve/repr consumers inherit streaming ingestion with no
+    /// key-space changes.  The cache's [`TraceValidator`] hook does
+    /// **not** run here (it takes a `&TraceSet`, which this path never
+    /// holds) — streaming callers lint at ingestion with the streaming
+    /// lint machines instead.
+    pub fn compile_streaming(
+        &self,
+        key: K,
+        build: impl FnOnce() -> Result<CompiledProgram, TraceError>,
+    ) -> Result<Arc<CachedTrace>, ExtrapError> {
+        let slot = self.slot(key);
+        slot.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        let outcome = slot.get_or_init(|| {
+            self.translations.fetch_add(1, Ordering::Relaxed);
+            build()
+                .map(CachedTrace::from_program)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
+        });
+        match outcome {
+            Ok(ct) => Ok(ct),
             Err(detail) => Err(ExtrapError::Trace(TraceError::Format { detail })),
         }
     }
@@ -722,28 +779,87 @@ where
                 key: job.key.clone(),
                 error,
             })?;
-        // Strategy dispatch mirrors `run_compiled_scratch`, but through
-        // the cache's memoized plan: clustering runs once per trace and
-        // is shared by every parameter set and worker touching it.
-        let result = match job.params.strategy {
-            SimStrategy::Representative {
-                max_clusters,
-                tolerance,
-            } => match cached.repr_plan(max_clusters, tolerance) {
-                Some(plan) => job
-                    .params
-                    .validate()
-                    .map_err(ExtrapError::Params)
-                    .and_then(|()| plan.run(&job.params, scratch)),
-                // The memoized "no repetition" verdict: go straight to
-                // the exact path instead of re-running clustering.
-                None => engine::exact_compiled_scratch(cached.program(), &job.params, scratch),
-            },
-            SimStrategy::Exact => {
-                engine::run_compiled_scratch(cached.program(), &job.params, scratch)
-            }
-        };
-        result.map_err(|error| SweepError {
+        run_cached_job(&cached, job, scratch).map_err(|error| SweepError {
+            key: job.key.clone(),
+            error,
+        })
+    })
+}
+
+/// Runs one job against a cache entry.  Strategy dispatch mirrors
+/// `run_compiled_scratch`, but through the cache's memoized plan:
+/// clustering runs once per trace and is shared by every parameter set
+/// and worker touching it.
+fn run_cached_job<K>(
+    cached: &CachedTrace,
+    job: &SweepJob<K>,
+    scratch: &mut SimScratch,
+) -> Result<Prediction, ExtrapError> {
+    match job.params.strategy {
+        SimStrategy::Representative {
+            max_clusters,
+            tolerance,
+        } => match cached.repr_plan(max_clusters, tolerance) {
+            Some(plan) => job
+                .params
+                .validate()
+                .map_err(ExtrapError::Params)
+                .and_then(|()| plan.run(&job.params, scratch)),
+            // The memoized "no repetition" verdict: go straight to
+            // the exact path instead of re-running clustering.
+            None => engine::exact_compiled_scratch(cached.program(), &job.params, scratch),
+        },
+        SimStrategy::Exact => engine::run_compiled_scratch(cached.program(), &job.params, scratch),
+    }
+}
+
+/// [`sweep`] with out-of-core trace ingestion: `compile` builds each
+/// distinct key's [`CompiledProgram`] through a streaming pipeline (see
+/// `crate::streaming`) instead of materializing a [`TraceSet`], via
+/// [`SharedTraceCache::compile_streaming`].  Everything downstream —
+/// job order, strategy dispatch, memoized representative plans,
+/// determinism — is shared with the whole-trace engine, so results are
+/// identical for equivalent inputs.
+pub fn sweep_streaming<K, F>(
+    jobs: &[SweepJob<K>],
+    workers: usize,
+    cache: &SharedTraceCache<K>,
+    compile: F,
+) -> Vec<Result<Prediction, SweepError<K>>>
+where
+    K: Eq + Hash + Clone + Send + Sync,
+    F: Fn(&K) -> Result<CompiledProgram, TraceError> + Sync,
+{
+    sweep_streaming_cancellable(jobs, workers, cache, compile, &CancelToken::new())
+}
+
+/// [`sweep_streaming`] with cooperative cancellation (the streaming
+/// counterpart of [`sweep_cancellable`]).
+pub fn sweep_streaming_cancellable<K, F>(
+    jobs: &[SweepJob<K>],
+    workers: usize,
+    cache: &SharedTraceCache<K>,
+    compile: F,
+    cancel: &CancelToken,
+) -> Vec<Result<Prediction, SweepError<K>>>
+where
+    K: Eq + Hash + Clone + Send + Sync,
+    F: Fn(&K) -> Result<CompiledProgram, TraceError> + Sync,
+{
+    parallel_map_with(jobs, workers, SimScratch::default, |scratch, _, job| {
+        if cancel.is_cancelled() {
+            return Err(SweepError {
+                key: job.key.clone(),
+                error: ExtrapError::Cancelled,
+            });
+        }
+        let cached = cache
+            .compile_streaming(job.key.clone(), || compile(&job.key))
+            .map_err(|error| SweepError {
+                key: job.key.clone(),
+                error,
+            })?;
+        run_cached_job(&cached, job, scratch).map_err(|error| SweepError {
             key: job.key.clone(),
             error,
         })

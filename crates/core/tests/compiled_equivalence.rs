@@ -138,8 +138,7 @@ fn record_mode_round_trips_through_config_text() {
 fn cached_trace_pairs_traces_with_their_program() {
     let ts = ring(3);
     let cached = CachedTrace::new(ring(3)).unwrap();
-    assert_eq!(cached.traces().n_threads(), 3);
+    assert_eq!(cached.traces().expect("whole-trace entry").n_threads(), 3);
     assert_eq!(cached.program().n_threads(), 3);
-    // Deref keeps trace-only call sites working.
     assert_eq!(cached.n_threads(), ts.n_threads());
 }

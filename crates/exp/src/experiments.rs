@@ -594,7 +594,7 @@ pub fn fig9(h: &Harness) -> Result<(Vec<Series>, Vec<Series>), ExpError> {
                 .get_or_translate(job.key.clone(), || h.translate_key(&job.key))
                 .map_err(|e| ExpError::new(&job.key.0, job.key.1, &params, e))?;
             refmachine
-                .measure(&traces)
+                .measure(traces.traces().expect("whole-trace entry"))
                 .map_err(|e| ExpError::new(&job.key.0, job.key.1, &params, e))
         });
     let measured_preds: Vec<Prediction> = measured_preds.into_iter().collect::<Result<_, _>>()?;
@@ -701,7 +701,7 @@ pub fn ablation_contention(h: &Harness) -> Result<(ContentionRows, f64), ExpErro
             .map_err(|e| ExpError::new(bench.name(), 16, &params, e))?
             .exec_time();
         let detailed = reference
-            .measure(&ts)
+            .measure(ts.traces().expect("whole-trace entry"))
             .map_err(|e| ExpError::new(bench.name(), 16, &params, e))?
             .exec_time();
         let ratio = detailed.as_ns() as f64 / analytic.as_ns().max(1) as f64;
@@ -1014,8 +1014,20 @@ mod tests {
     #[test]
     fn trace_cache_reuses_traces() {
         let h = harness();
-        let a = h.cache().get(Bench::Embar, 2).unwrap().makespan();
-        let b = h.cache().get(Bench::Embar, 2).unwrap().makespan();
+        let a = h
+            .cache()
+            .get(Bench::Embar, 2)
+            .unwrap()
+            .traces()
+            .expect("whole-trace entry")
+            .makespan();
+        let b = h
+            .cache()
+            .get(Bench::Embar, 2)
+            .unwrap()
+            .traces()
+            .expect("whole-trace entry")
+            .makespan();
         assert_eq!(a, b);
         assert_eq!(h.cache().len(), 1);
         assert_eq!(h.cache().translations(), 1);
@@ -1030,7 +1042,8 @@ mod tests {
         for bench in Bench::all() {
             for n in [2, 4] {
                 let cached = h.cache().get(bench, n).unwrap();
-                let report = extrap_lint::lint_set(cached.traces());
+                let traces = cached.traces().expect("whole-trace entry");
+                let report = extrap_lint::lint_set(traces);
                 assert!(
                     report.is_clean(),
                     "{bench:?} x{n}: {}",

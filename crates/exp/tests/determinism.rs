@@ -44,7 +44,7 @@ fn figure_sweeps_match_the_classic_full_record_path() {
         // The same job, classic path: translate → validate → run, Full.
         let traces = h.cache().get(Bench::Grid, n).expect("trace");
         let classic = Extrapolator::new(params.clone())
-            .run(traces.traces())
+            .run(traces.traces().expect("whole-trace entry"))
             .expect("classic run");
         assert_eq!(classic.per_thread, via_harness.per_thread);
         assert_eq!(classic.exec_time(), via_harness.exec_time());

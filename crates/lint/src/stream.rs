@@ -767,7 +767,7 @@ pub fn lint_trace_file(
     arena: &mut StreamArena,
 ) -> Result<Option<Report>, TraceError> {
     let path = path.as_ref();
-    let kind = sniff_kind(path)?;
+    let kind = sniff_kind(path).map_err(|e| TraceError::from(e).in_file(path))?;
     let taken = std::mem::take(arena);
     match kind {
         None => {

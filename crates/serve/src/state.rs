@@ -528,16 +528,23 @@ impl Session {
             return err(ErrorCode::ShuttingDown, "server is draining");
         }
         let built = match payload.get(..4) {
-            Some(b"XTRP") => extrap_trace::format::decode_program(&payload)
-                .map_err(|e| e.to_string())
-                .and_then(|trace| {
-                    self.service
-                        .counters
-                        .submit_translations
-                        .fetch_add(1, Ordering::Relaxed);
-                    extrap_trace::translate(&trace, Default::default()).map_err(|e| e.to_string())
-                })
-                .and_then(|set| CachedTrace::new(set).map_err(|e| e.to_string())),
+            // Raw traces stream through the epoch translator instead of
+            // materializing the whole `ProgramTrace` first: admission
+            // peak memory is the payload plus the translated set, not
+            // payload + decoded records + set.  The set itself is kept —
+            // `Phases`/`Stats` requests read it.
+            Some(b"XTRP") => extrap_trace::stream::ProgramStream::new(
+                extrap_trace::stream::SliceSource(&payload),
+            )
+            .and_then(|mut stream| {
+                self.service
+                    .counters
+                    .submit_translations
+                    .fetch_add(1, Ordering::Relaxed);
+                extrap_trace::translate_stream_to_set(&mut stream, Default::default(), usize::MAX)
+            })
+            .map_err(|e| e.to_string())
+            .and_then(|(set, _stats)| CachedTrace::new(set).map_err(|e| e.to_string())),
             Some(b"XTPS") => extrap_trace::format::decode_set(&payload)
                 .and_then(CachedTrace::new)
                 .map_err(|e| e.to_string()),
@@ -548,7 +555,7 @@ impl Session {
             Err(detail) => return err(ErrorCode::BadRequest, detail),
         };
         let id = TraceId(self.service.next_trace.fetch_add(1, Ordering::Relaxed) + 1);
-        let n_threads = cached.traces().n_threads() as u32;
+        let n_threads = cached.n_threads() as u32;
         let resident_bytes = cached.resident_bytes() as u64;
         {
             let mut store = self.service.store.lock();
@@ -750,8 +757,17 @@ impl Session {
             max_clusters: max_clusters as usize,
             tolerance,
         };
+        let Some(traces) = cached.traces() else {
+            return err(
+                ErrorCode::BadRequest,
+                format!(
+                    "trace #{} was compiled out-of-core and holds no per-thread traces",
+                    trace.0
+                ),
+            );
+        };
         Response::Phases {
-            text: extrap_trace::render_stats_report(cached.traces(), phases, &opts),
+            text: extrap_trace::render_stats_report(traces, phases, &opts),
         }
     }
 

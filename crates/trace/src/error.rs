@@ -3,6 +3,7 @@
 use extrap_time::ThreadId;
 use std::fmt;
 use std::io;
+use std::path::{Path, PathBuf};
 
 /// Everything that can go wrong while building, validating, serializing,
 /// or translating traces.
@@ -64,6 +65,30 @@ pub enum TraceError {
     },
     /// Underlying I/O failure.
     Io(io::Error),
+    /// Any of the above, annotated with the file it occurred in.  Produced
+    /// by the file-backed streaming readers so a refill failure mid-file
+    /// reports the path, not just the offset.
+    InFile {
+        /// The file being read when the error occurred.
+        path: PathBuf,
+        /// The underlying error.
+        source: Box<TraceError>,
+    },
+}
+
+impl TraceError {
+    /// Annotates this error with the file it occurred in.  Idempotent: an
+    /// error already carrying a path is returned unchanged (the innermost
+    /// attribution wins).
+    pub fn in_file(self, path: impl AsRef<Path>) -> TraceError {
+        match self {
+            e @ TraceError::InFile { .. } => e,
+            e => TraceError::InFile {
+                path: path.as_ref().to_path_buf(),
+                source: Box::new(e),
+            },
+        }
+    }
 }
 
 impl fmt::Display for TraceError {
@@ -102,6 +127,9 @@ impl fmt::Display for TraceError {
                 write!(f, "trace rejected by validation: {detail}")
             }
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::InFile { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
@@ -110,6 +138,7 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::Io(e) => Some(e),
+            TraceError::InFile { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -135,6 +164,19 @@ mod tests {
             detail: "bad magic".into(),
         };
         assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn in_file_annotates_and_is_idempotent() {
+        let e = TraceError::Format {
+            detail: "bad magic".into(),
+        }
+        .in_file("a.xtrp");
+        assert_eq!(e.to_string(), "a.xtrp: malformed trace: bad magic");
+        // Re-wrapping keeps the innermost (most precise) attribution.
+        let e = e.in_file("b.xtrp");
+        assert_eq!(e.to_string(), "a.xtrp: malformed trace: bad magic");
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub use phases::{
 pub use stats::{ThreadStats, TraceStats};
 pub use stream::{
     sniff_kind, ChunkSource, FileSource, ProgramStream, ReadSource, SetChunk, SetStream,
-    SliceSource, StreamArena, TraceKind,
+    SliceSource, SpillSink, StreamArena, TraceKind,
 };
-pub use translate::{translate, TranslateOptions};
+pub use translate::{
+    translate, translate_stream, translate_stream_to_set, EpochTranslator, TranslateOptions,
+    TranslateSink, TranslateStats,
+};

@@ -28,9 +28,13 @@ pub fn read_program(r: &mut impl Read) -> Result<ProgramTrace, TraceError> {
 }
 
 /// Reads a program trace from a file.
+///
+/// All failure modes — open, decode, invariant violations — carry the
+/// file path in the error ([`TraceError::InFile`]).
 pub fn read_program_file(path: impl AsRef<Path>) -> Result<ProgramTrace, TraceError> {
+    let path = path.as_ref();
     let trace = read_program_file_raw(path)?;
-    trace.validate()?;
+    trace.validate().map_err(|e| e.in_file(path))?;
     Ok(trace)
 }
 
@@ -65,8 +69,9 @@ pub fn read_program_file_with(
     path: impl AsRef<Path>,
     check: impl FnOnce(&ProgramTrace) -> Result<(), String>,
 ) -> Result<ProgramTrace, TraceError> {
+    let path = path.as_ref();
     let trace = read_program_file(path)?;
-    check(&trace).map_err(|detail| TraceError::Validation { detail })?;
+    check(&trace).map_err(|detail| TraceError::Validation { detail }.in_file(path))?;
     Ok(trace)
 }
 
@@ -78,9 +83,12 @@ pub fn read_set(r: &mut impl Read) -> Result<TraceSet, TraceError> {
 }
 
 /// Reads a translated trace set from a file.
+///
+/// All failure modes carry the file path (see [`read_program_file`]).
 pub fn read_set_file(path: impl AsRef<Path>) -> Result<TraceSet, TraceError> {
+    let path = path.as_ref();
     let set = read_set_file_raw(path)?;
-    set.validate()?;
+    set.validate().map_err(|e| e.in_file(path))?;
     Ok(set)
 }
 
@@ -111,8 +119,9 @@ pub fn read_set_file_with(
     path: impl AsRef<Path>,
     check: impl FnOnce(&TraceSet) -> Result<(), String>,
 ) -> Result<TraceSet, TraceError> {
+    let path = path.as_ref();
     let set = read_set_file(path)?;
-    check(&set).map_err(|detail| TraceError::Validation { detail })?;
+    check(&set).map_err(|detail| TraceError::Validation { detail }.in_file(path))?;
     Ok(set)
 }
 
@@ -131,9 +140,32 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_io_error() {
+    fn missing_file_is_io_error_with_path() {
         let err = read_program_file("/nonexistent/path/trace.xtrp").unwrap_err();
-        assert!(matches!(err, TraceError::Io(_)));
+        assert!(
+            matches!(err, TraceError::InFile { ref source, .. } if matches!(**source, TraceError::Io(_)))
+        );
+        assert!(err.to_string().contains("/nonexistent/path/trace.xtrp"));
+    }
+
+    #[test]
+    fn file_validate_errors_carry_the_path() {
+        let mut pt = crate::event::ProgramTrace::new(1);
+        let rec = |t: u64, kind| TraceRecord {
+            time: TimeNs(t),
+            thread: ThreadId(0),
+            kind,
+        };
+        pt.records.push(rec(5, EventKind::ThreadBegin));
+        pt.records.push(rec(3, EventKind::ThreadEnd));
+        let dir = std::env::temp_dir().join(format!("extrap-reader-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("regress.xtrp");
+        std::fs::write(&path, format::encode_program(&pt)).unwrap();
+        let err = read_program_file(&path).unwrap_err();
+        assert!(err.to_string().contains("regress.xtrp"));
+        assert!(err.to_string().contains("timestamp regression"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

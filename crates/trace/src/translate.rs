@@ -25,7 +25,10 @@
 
 use crate::error::TraceError;
 use crate::event::{EventKind, ProgramTrace, ThreadTrace, TraceRecord, TraceSet};
+use crate::stream::{ChunkSource, ProgramStream, SpillSink};
 use extrap_time::{BarrierId, DurationNs, ThreadId, TimeNs};
+use std::collections::VecDeque;
+use std::mem::size_of;
 
 /// Intrusion-compensation knobs for translation.
 #[derive(Clone, Copy, Debug, Default)]
@@ -39,65 +42,403 @@ pub struct TranslateOptions {
     pub switch_overhead: DurationNs,
 }
 
-/// Translates a 1-processor program trace into idealized per-thread traces.
+/// Receives translated records from the [`EpochTranslator`].
 ///
-/// Every thread's first event is re-based to time zero (all threads start
-/// simultaneously on the target machine).
-///
-/// # Errors
-/// Returns an error if the trace is malformed, if threads disagree on the
-/// barrier sequence, or if barrier entry/exit events do not alternate
-/// properly.
-pub fn translate(trace: &ProgramTrace, options: TranslateOptions) -> Result<TraceSet, TraceError> {
-    trace.validate()?;
-    let per_thread = trace.split_by_thread();
+/// Records arrive in per-thread time order (each thread's records are
+/// emitted in its own stream order), but threads interleave in epoch
+/// resolution order, **not** global time order.  Sinks that need a
+/// global view must merge per thread; sinks that fold per thread (a
+/// [`TraceSet`] builder, the incremental compiler, a spill file) consume
+/// them directly.
+pub trait TranslateSink {
+    /// Accepts one translated record for `thread`.  Fallible so sinks
+    /// that spill to disk can surface I/O errors through translation.
+    fn emit(&mut self, thread: usize, rec: TraceRecord) -> Result<(), TraceError>;
+}
 
-    // Verify the data-parallel determinism assumption up front: identical
-    // barrier sequences, and exit-follows-enter per thread.
-    let barrier_seq = barrier_sequence_of(&per_thread[0]);
-    for (i, stream) in per_thread.iter().enumerate() {
-        let seq = barrier_sequence_of(stream);
-        if seq != barrier_seq {
-            return Err(TraceError::BarrierMismatch {
-                thread: ThreadId::from_index(i),
-            });
-        }
-        check_barrier_protocol(ThreadId::from_index(i), stream)?;
+impl<F: FnMut(usize, TraceRecord) -> Result<(), TraceError>> TranslateSink for F {
+    fn emit(&mut self, thread: usize, rec: TraceRecord) -> Result<(), TraceError> {
+        self(thread, rec)
     }
+}
 
-    // Per-thread translation state.
-    struct State {
-        cursor: usize,
-        orig_prev: TimeNs,
-        adj_prev: TimeNs,
-        started: bool,
-        /// True when the previous translated event was a rescheduling
-        /// point (thread begin or barrier exit).
-        after_reschedule: bool,
-        out: Vec<TraceRecord>,
-    }
-    let mut states: Vec<State> = per_thread
-        .iter()
-        .map(|_| State {
-            cursor: 0,
+/// Counters reported by a completed streaming translation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TranslateStats {
+    /// Total input records consumed.
+    pub records: u64,
+    /// High-water mark of the translator's transient state (held
+    /// records, barrier-id and release windows, per-thread cursors) —
+    /// the O(threads + live-epoch) bound, excluding whatever the sink
+    /// itself retains.
+    pub peak_resident_bytes: usize,
+}
+
+/// Per-thread translation state inside the streaming machine.
+struct ThreadXlate {
+    orig_prev: TimeNs,
+    adj_prev: TimeNs,
+    started: bool,
+    /// True when the previous translated event was a rescheduling point
+    /// (thread begin or barrier exit).
+    after_reschedule: bool,
+    /// Barriers this thread has entered so far.
+    entered: usize,
+    /// The next record is this thread's barrier exit: snap it to the
+    /// release time of epoch `entered - 1`.
+    pending_snap: bool,
+    /// Barrier entered but not yet exited (protocol tracking).
+    pending_barrier: Option<BarrierId>,
+    /// Records received while this thread is ahead of the last resolved
+    /// epoch; replayed when the epoch's release time becomes final.
+    held: VecDeque<TraceRecord>,
+}
+
+impl ThreadXlate {
+    fn new() -> ThreadXlate {
+        ThreadXlate {
             orig_prev: TimeNs::ZERO,
             adj_prev: TimeNs::ZERO,
             started: false,
             after_reschedule: false,
-            out: Vec::new(),
-        })
-        .collect();
+            entered: 0,
+            pending_snap: false,
+            pending_barrier: None,
+            held: VecDeque::new(),
+        }
+    }
+}
 
-    // Delta-adjusts one event for a thread.
-    let adjust = |st: &mut State, rec: &TraceRecord| {
+/// The streaming §3.2 translation machine: consumes the global
+/// 1-processor record stream in order and emits idealized per-thread
+/// records to a [`TranslateSink`] as soon as their timestamps are final.
+///
+/// A record's translated time is final once the release time of every
+/// barrier epoch before it is known, i.e. once every thread has entered
+/// that barrier.  Threads that run ahead of the slowest thread have
+/// their records held back (that is the only buffering); when the
+/// laggard's entry resolves an epoch, the held records drain.  Resident
+/// state is therefore O(threads + live-epoch): the per-thread cursors
+/// plus the records and barrier bookkeeping of epochs still in flight.
+///
+/// The whole-trace [`translate`] is an adapter over this machine, so the
+/// two paths are byte-identical by construction.  The machine performs
+/// the same validity checks incrementally (monotone clock, thread
+/// range, barrier protocol, barrier-sequence agreement) with identical
+/// messages; only the *attribution* of a [`TraceError::BarrierMismatch`]
+/// can differ (the streaming check compares against the first thread to
+/// reach an epoch, the whole-trace prepass against thread 0), which is
+/// why the adapter keeps the historical prepass.
+pub struct EpochTranslator {
+    options: TranslateOptions,
+    threads: Vec<ThreadXlate>,
+    /// Barrier ids per epoch, established by the first thread to enter;
+    /// pruned below the slowest thread's epoch.
+    barrier_ids: VecDeque<BarrierId>,
+    ids_base: usize,
+    /// Accumulating release times (max adjusted entry) per epoch;
+    /// pruned once snapped by every thread.
+    release: VecDeque<TimeNs>,
+    release_base: usize,
+    /// Epochs whose release time is final (every thread has entered).
+    resolved: usize,
+    /// Threads with `entered > resolved`; when all are, an epoch resolves.
+    ahead: usize,
+    /// Held records across all threads (for O(1) residency accounting).
+    held_records: usize,
+    next_record: usize,
+    last_time: TimeNs,
+    peak_resident: usize,
+}
+
+impl EpochTranslator {
+    /// A fresh machine for an `n_threads`-thread program stream.
+    pub fn new(n_threads: usize, options: TranslateOptions) -> EpochTranslator {
+        let mut m = EpochTranslator {
+            options,
+            threads: (0..n_threads).map(|_| ThreadXlate::new()).collect(),
+            barrier_ids: VecDeque::new(),
+            ids_base: 0,
+            release: VecDeque::new(),
+            release_base: 0,
+            resolved: 0,
+            ahead: 0,
+            held_records: 0,
+            next_record: 0,
+            last_time: TimeNs::ZERO,
+            peak_resident: 0,
+        };
+        m.note_peak();
+        m
+    }
+
+    /// Feeds one record of the global stream, emitting every translated
+    /// record it finalizes.
+    pub fn push(
+        &mut self,
+        rec: &TraceRecord,
+        sink: &mut dyn TranslateSink,
+    ) -> Result<(), TraceError> {
+        let record = self.next_record;
+        self.next_record += 1;
+        let t = rec.thread.index();
+        if t >= self.threads.len() {
+            return Err(TraceError::BadThread {
+                record,
+                thread: rec.thread,
+                n_threads: self.threads.len(),
+            });
+        }
+        if rec.time < self.last_time {
+            return Err(TraceError::TimeRegression { record });
+        }
+        self.last_time = rec.time;
+        if self.threads[t].entered > self.resolved {
+            // Thread is ahead of the slowest epoch: its release time is
+            // not final yet, so hold the record.
+            self.threads[t].held.push_back(*rec);
+            self.held_records += 1;
+            self.note_peak();
+            return Ok(());
+        }
+        self.step(t, *rec, sink)?;
+        self.drain(sink)?;
+        self.note_peak();
+        Ok(())
+    }
+
+    /// Flushes end-of-stream checks.  Call exactly once after the last
+    /// [`push`](EpochTranslator::push); emits nothing (all translatable
+    /// records were emitted eagerly) but rejects streams whose threads
+    /// disagree on the barrier count or leave a barrier unexited.
+    pub fn finish(&mut self) -> Result<(), TraceError> {
+        let n = self.threads.len();
+        if n == 0 {
+            return Ok(());
+        }
+        // Held records never made it through `step`; fold them into the
+        // barrier census and protocol check before judging the stream.
+        let mut total_entered = vec![0usize; n];
+        let mut protocol_err: Vec<Option<TraceError>> = (0..n).map(|_| None).collect();
+        for (t, st) in self.threads.iter().enumerate() {
+            total_entered[t] = st.entered;
+            let thread = ThreadId::from_index(t);
+            let mut pending = st.pending_barrier;
+            for rec in &st.held {
+                match rec.kind {
+                    EventKind::BarrierEnter { barrier } => {
+                        total_entered[t] += 1;
+                        if protocol_err[t].is_none() {
+                            if let Some(p) = pending {
+                                protocol_err[t] = Some(TraceError::BarrierProtocol {
+                                    thread,
+                                    detail: format!("entered {barrier} while still inside {p}"),
+                                });
+                            }
+                            pending = Some(barrier);
+                        }
+                    }
+                    EventKind::BarrierExit { barrier } if protocol_err[t].is_none() => {
+                        match pending.take() {
+                            Some(p) if p == barrier => {}
+                            Some(p) => {
+                                protocol_err[t] = Some(TraceError::BarrierProtocol {
+                                    thread,
+                                    detail: format!("exited {barrier} while inside {p}"),
+                                });
+                            }
+                            None => {
+                                protocol_err[t] = Some(TraceError::BarrierProtocol {
+                                    thread,
+                                    detail: format!("exited {barrier} without entering it"),
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if protocol_err[t].is_none() {
+                if let Some(p) = pending {
+                    protocol_err[t] = Some(TraceError::BarrierProtocol {
+                        thread,
+                        detail: format!("never exited {p}"),
+                    });
+                }
+            }
+        }
+        for (t, &count) in total_entered.iter().enumerate().skip(1) {
+            if count != total_entered[0] {
+                return Err(TraceError::BarrierMismatch {
+                    thread: ThreadId::from_index(t),
+                });
+            }
+        }
+        for err in &mut protocol_err {
+            if let Some(e) = err.take() {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Input records consumed so far.
+    pub fn records_seen(&self) -> u64 {
+        self.next_record as u64
+    }
+
+    /// Current transient state, by size-of arithmetic (no allocator
+    /// hooks; `forbid(unsafe_code)` holds).  Counts live records and
+    /// window entries, not capacities, so it is O(1) to maintain.
+    pub fn resident_bytes(&self) -> usize {
+        size_of::<Self>()
+            + self.threads.len() * size_of::<ThreadXlate>()
+            + self.held_records * size_of::<TraceRecord>()
+            + self.barrier_ids.len() * size_of::<BarrierId>()
+            + self.release.len() * size_of::<TimeNs>()
+    }
+
+    /// High-water mark of [`resident_bytes`](EpochTranslator::resident_bytes).
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident
+    }
+
+    fn note_peak(&mut self) {
+        let r = self.resident_bytes();
+        if r > self.peak_resident {
+            self.peak_resident = r;
+        }
+    }
+
+    /// Processes one record of a thread that is *not* ahead (its epoch's
+    /// release time, if needed, is final).
+    fn step(
+        &mut self,
+        t: usize,
+        rec: TraceRecord,
+        sink: &mut dyn TranslateSink,
+    ) -> Result<(), TraceError> {
+        if self.threads[t].pending_snap {
+            // This is the record after a barrier entry: the barrier
+            // exit, snapped to the release time (the last thread's
+            // adjusted entry) — mirroring whole-trace phase 2, which
+            // snaps unconditionally.
+            let epoch = self.threads[t].entered - 1;
+            let release = self.release[epoch - self.release_base];
+            self.protocol_update(t, &rec)?;
+            let st = &mut self.threads[t];
+            st.pending_snap = false;
+            st.orig_prev = rec.time;
+            st.adj_prev = release;
+            st.started = true;
+            st.after_reschedule = true;
+            return sink.emit(
+                t,
+                TraceRecord {
+                    time: release,
+                    thread: rec.thread,
+                    kind: rec.kind,
+                },
+            );
+        }
+        self.protocol_update(t, &rec)?;
+        if let EventKind::BarrierEnter { barrier } = rec.kind {
+            let epoch = self.threads[t].entered;
+            // Sequence agreement, against the id established by the
+            // first thread to reach this epoch.
+            let idx = epoch - self.ids_base;
+            match self.barrier_ids.get(idx) {
+                Some(&established) if established != barrier => {
+                    return Err(TraceError::BarrierMismatch {
+                        thread: ThreadId::from_index(t),
+                    });
+                }
+                None => {
+                    debug_assert_eq!(idx, self.barrier_ids.len());
+                    self.barrier_ids.push_back(barrier);
+                }
+                Some(_) => {}
+            }
+            self.adjust_emit(t, &rec, sink)?;
+            let entry = self.threads[t].adj_prev;
+            let ridx = epoch - self.release_base;
+            if ridx == self.release.len() {
+                self.release.push_back(entry);
+            } else {
+                let r = &mut self.release[ridx];
+                *r = (*r).max(entry);
+            }
+            let st = &mut self.threads[t];
+            st.entered += 1;
+            st.pending_snap = true;
+            if st.entered == self.resolved + 1 {
+                self.ahead += 1;
+            }
+            Ok(())
+        } else {
+            self.adjust_emit(t, &rec, sink)
+        }
+    }
+
+    /// Resolves epochs while every thread is past them, replaying held
+    /// records (which may resolve further epochs; the loop, not
+    /// recursion, handles the cascade).
+    fn drain(&mut self, sink: &mut dyn TranslateSink) -> Result<(), TraceError> {
+        while !self.threads.is_empty() && self.ahead == self.threads.len() {
+            self.resolved += 1;
+            self.ahead = self
+                .threads
+                .iter()
+                .filter(|st| st.entered > self.resolved)
+                .count();
+            for t in 0..self.threads.len() {
+                while self.threads[t].entered <= self.resolved {
+                    let Some(rec) = self.threads[t].held.pop_front() else {
+                        break;
+                    };
+                    self.held_records -= 1;
+                    self.step(t, rec, sink)?;
+                }
+            }
+            self.prune();
+        }
+        Ok(())
+    }
+
+    /// Drops barrier-id and release entries no thread can read again.
+    fn prune(&mut self) {
+        let mut ids_needed = usize::MAX;
+        let mut rel_needed = usize::MAX;
+        for st in &self.threads {
+            ids_needed = ids_needed.min(st.entered);
+            rel_needed = rel_needed.min(st.entered - usize::from(st.pending_snap));
+        }
+        while self.ids_base < ids_needed && !self.barrier_ids.is_empty() {
+            self.barrier_ids.pop_front();
+            self.ids_base += 1;
+        }
+        while self.release_base < rel_needed && !self.release.is_empty() {
+            self.release.pop_front();
+            self.release_base += 1;
+        }
+    }
+
+    /// The per-thread delta adjustment (§3.2 rule one), emitted directly.
+    fn adjust_emit(
+        &mut self,
+        t: usize,
+        rec: &TraceRecord,
+        sink: &mut dyn TranslateSink,
+    ) -> Result<(), TraceError> {
+        let st = &mut self.threads[t];
         let adj_time = if !st.started {
             st.started = true;
             TimeNs::ZERO
         } else {
             let mut delta = rec.time.since(st.orig_prev);
-            delta = delta.saturating_sub(options.event_overhead);
+            delta = delta.saturating_sub(self.options.event_overhead);
             if st.after_reschedule {
-                delta = delta.saturating_sub(options.switch_overhead);
+                delta = delta.saturating_sub(self.options.switch_overhead);
             }
             st.adj_prev + delta
         };
@@ -107,107 +448,32 @@ pub fn translate(trace: &ProgramTrace, options: TranslateOptions) -> Result<Trac
             rec.kind,
             EventKind::ThreadBegin | EventKind::BarrierExit { .. }
         );
-        st.out.push(TraceRecord {
-            time: adj_time,
-            thread: rec.thread,
-            kind: rec.kind,
-        });
-    };
-
-    // Process barrier by barrier (every thread passes the same sequence).
-    for &barrier in &barrier_seq {
-        // Phase 1: delta-adjust all events up to and including this
-        // barrier's entry, collecting the adjusted entry times.
-        let mut release = TimeNs::ZERO;
-        for st_idx in 0..states.len() {
-            let st = &mut states[st_idx];
-            let stream = &per_thread[st_idx];
-            loop {
-                let rec = &stream[st.cursor];
-                st.cursor += 1;
-                adjust(st, rec);
-                if let EventKind::BarrierEnter { barrier: b } = rec.kind {
-                    debug_assert_eq!(b, barrier);
-                    release = release.max(st.adj_prev);
-                    break;
-                }
-            }
-        }
-        // Phase 2: every thread's next event is the exit of this barrier;
-        // snap it to the release time (the last thread's entry time).
-        for st_idx in 0..states.len() {
-            let st = &mut states[st_idx];
-            let stream = &per_thread[st_idx];
-            let rec = &stream[st.cursor];
-            st.cursor += 1;
-            debug_assert!(matches!(
-                rec.kind,
-                EventKind::BarrierExit { barrier: b } if b == barrier
-            ));
-            st.orig_prev = rec.time;
-            st.adj_prev = release;
-            st.started = true;
-            st.after_reschedule = true;
-            st.out.push(TraceRecord {
-                time: release,
+        sink.emit(
+            t,
+            TraceRecord {
+                time: adj_time,
                 thread: rec.thread,
                 kind: rec.kind,
-            });
-        }
+            },
+        )
     }
 
-    // Tail: events after the last barrier (at minimum ThreadEnd).
-    for st_idx in 0..states.len() {
-        let st = &mut states[st_idx];
-        let stream = &per_thread[st_idx];
-        while st.cursor < stream.len() {
-            let rec = &stream[st.cursor];
-            st.cursor += 1;
-            adjust(st, rec);
-        }
-    }
-
-    let set = TraceSet {
-        threads: states
-            .into_iter()
-            .enumerate()
-            .map(|(i, st)| ThreadTrace {
-                thread: ThreadId::from_index(i),
-                records: st.out,
-            })
-            .collect(),
-    };
-    set.validate()?;
-    Ok(set)
-}
-
-fn barrier_sequence_of(stream: &[TraceRecord]) -> Vec<BarrierId> {
-    stream
-        .iter()
-        .filter_map(|r| match r.kind {
-            EventKind::BarrierEnter { barrier } => Some(barrier),
-            _ => None,
-        })
-        .collect()
-}
-
-/// Checks that, per thread, every `BarrierEnter(b)` is immediately followed
-/// (in that thread's stream) by `BarrierExit(b)` before any other barrier
-/// event, and exits never appear without a matching entry.
-fn check_barrier_protocol(thread: ThreadId, stream: &[TraceRecord]) -> Result<(), TraceError> {
-    let mut pending: Option<BarrierId> = None;
-    for r in stream {
-        match r.kind {
+    /// Incremental entry/exit alternation check, with the same messages
+    /// as the whole-trace prepass.
+    fn protocol_update(&mut self, t: usize, rec: &TraceRecord) -> Result<(), TraceError> {
+        let st = &mut self.threads[t];
+        let thread = ThreadId::from_index(t);
+        match rec.kind {
             EventKind::BarrierEnter { barrier } => {
-                if let Some(p) = pending {
+                if let Some(p) = st.pending_barrier {
                     return Err(TraceError::BarrierProtocol {
                         thread,
                         detail: format!("entered {barrier} while still inside {p}"),
                     });
                 }
-                pending = Some(barrier);
+                st.pending_barrier = Some(barrier);
             }
-            EventKind::BarrierExit { barrier } => match pending.take() {
+            EventKind::BarrierExit { barrier } => match st.pending_barrier.take() {
                 Some(p) if p == barrier => {}
                 Some(p) => {
                     return Err(TraceError::BarrierProtocol {
@@ -224,12 +490,165 @@ fn check_barrier_protocol(thread: ThreadId, stream: &[TraceRecord]) -> Result<()
             },
             _ => {}
         }
+        Ok(())
     }
-    if let Some(p) = pending {
-        return Err(TraceError::BarrierProtocol {
-            thread,
-            detail: format!("never exited {p}"),
-        });
+}
+
+/// Translates a 1-processor program trace into idealized per-thread traces.
+///
+/// Every thread's first event is re-based to time zero (all threads start
+/// simultaneously on the target machine).
+///
+/// A thin adapter over the streaming [`EpochTranslator`] — the whole-trace
+/// and [`translate_stream`] paths are byte-identical by construction.  The
+/// historical prepass (barrier-sequence and protocol checks against thread
+/// 0) is kept so error *attribution* on invalid traces stays exactly what
+/// it always was; on traces that pass it, the machine's own incremental
+/// checks can never fire.
+///
+/// # Errors
+/// Returns an error if the trace is malformed, if threads disagree on the
+/// barrier sequence, or if barrier entry/exit events do not alternate
+/// properly.
+pub fn translate(trace: &ProgramTrace, options: TranslateOptions) -> Result<TraceSet, TraceError> {
+    trace.validate()?;
+    precheck_barriers(trace)?;
+
+    let mut out: Vec<Vec<TraceRecord>> = (0..trace.n_threads).map(|_| Vec::new()).collect();
+    let mut machine = EpochTranslator::new(trace.n_threads, options);
+    {
+        let mut sink = |t: usize, rec: TraceRecord| {
+            out[t].push(rec);
+            Ok(())
+        };
+        for rec in &trace.records {
+            machine.push(rec, &mut sink)?;
+        }
+    }
+    machine.finish()?;
+
+    let set = TraceSet {
+        threads: out
+            .into_iter()
+            .enumerate()
+            .map(|(i, records)| ThreadTrace {
+                thread: ThreadId::from_index(i),
+                records,
+            })
+            .collect(),
+    };
+    set.validate()?;
+    Ok(set)
+}
+
+/// Streaming translation: consumes [`ProgramStream`] chunks directly,
+/// emitting translated records to `sink` as their timestamps finalize.
+/// Resident state is the machine's O(threads + live-epoch) bound plus the
+/// stream's fixed decode window; the input trace is never materialized.
+///
+/// Performs the same validity checks as [`translate`] incrementally (see
+/// [`EpochTranslator`] for the one attribution caveat on invalid input);
+/// on valid input the emitted records are byte-identical to the
+/// whole-trace path.
+pub fn translate_stream<S: ChunkSource>(
+    stream: &mut ProgramStream<S>,
+    options: TranslateOptions,
+    sink: &mut dyn TranslateSink,
+) -> Result<TranslateStats, TraceError> {
+    let mut machine = EpochTranslator::new(stream.n_threads(), options);
+    while let Some(chunk) = stream.next_chunk()? {
+        for rec in chunk {
+            machine.push(rec, sink)?;
+        }
+    }
+    machine.finish()?;
+    Ok(TranslateStats {
+        records: machine.records_seen(),
+        peak_resident_bytes: machine.peak_resident_bytes(),
+    })
+}
+
+/// Out-of-core streaming translation to a [`TraceSet`]: per-thread output
+/// runs go through a budget-capped [`SpillSink`] (in-memory until
+/// `mem_budget` bytes of translated records are resident, spilled to a
+/// tempfile-backed `SpillDir` beyond that) and are merged back
+/// thread-by-thread at the end.  The result — validated like
+/// [`translate`]'s — is byte-identical to the whole-trace path.
+pub fn translate_stream_to_set<S: ChunkSource>(
+    stream: &mut ProgramStream<S>,
+    options: TranslateOptions,
+    mem_budget: usize,
+) -> Result<(TraceSet, TranslateStats), TraceError> {
+    let mut sink = SpillSink::new(stream.n_threads(), mem_budget);
+    let stats = translate_stream(stream, options, &mut sink)?;
+    let set = sink.into_set()?;
+    set.validate()?;
+    Ok((set, stats))
+}
+
+/// One-pass prepass computing every thread's barrier sequence and first
+/// protocol violation, then judging them in the historical order (thread
+/// by thread: sequence against thread 0, then protocol) so whole-trace
+/// error attribution is unchanged from the pre-streaming implementation.
+fn precheck_barriers(trace: &ProgramTrace) -> Result<(), TraceError> {
+    let n = trace.n_threads;
+    if n == 0 {
+        return Ok(());
+    }
+    let mut seqs: Vec<Vec<BarrierId>> = vec![Vec::new(); n];
+    let mut pending: Vec<Option<BarrierId>> = vec![None; n];
+    let mut first_err: Vec<Option<TraceError>> = (0..n).map(|_| None).collect();
+    for rec in &trace.records {
+        let t = rec.thread.index();
+        let thread = ThreadId::from_index(t);
+        match rec.kind {
+            EventKind::BarrierEnter { barrier } => {
+                seqs[t].push(barrier);
+                if first_err[t].is_none() {
+                    if let Some(p) = pending[t] {
+                        first_err[t] = Some(TraceError::BarrierProtocol {
+                            thread,
+                            detail: format!("entered {barrier} while still inside {p}"),
+                        });
+                    }
+                    pending[t] = Some(barrier);
+                }
+            }
+            EventKind::BarrierExit { barrier } if first_err[t].is_none() => {
+                match pending[t].take() {
+                    Some(p) if p == barrier => {}
+                    Some(p) => {
+                        first_err[t] = Some(TraceError::BarrierProtocol {
+                            thread,
+                            detail: format!("exited {barrier} while inside {p}"),
+                        });
+                    }
+                    None => {
+                        first_err[t] = Some(TraceError::BarrierProtocol {
+                            thread,
+                            detail: format!("exited {barrier} without entering it"),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for t in 0..n {
+        if seqs[t] != seqs[0] {
+            return Err(TraceError::BarrierMismatch {
+                thread: ThreadId::from_index(t),
+            });
+        }
+        if let Some(e) = first_err[t].take() {
+            return Err(e);
+        }
+        if let Some(p) = pending[t] {
+            return Err(TraceError::BarrierProtocol {
+                thread: ThreadId::from_index(t),
+                detail: format!("never exited {p}"),
+            });
+        }
     }
     Ok(())
 }
@@ -435,5 +854,126 @@ mod tests {
         let ts = translate(&pt, TranslateOptions::default()).unwrap();
         assert_eq!(ts.n_threads(), 3);
         assert_eq!(ts.makespan(), TimeNs::ZERO);
+    }
+
+    fn sample_remote_program() -> ProgramTrace {
+        use crate::builder::PhaseAccess;
+        use extrap_time::ElementId;
+        let access = |after: u64, owner: usize, element: u32, write: bool| PhaseAccess {
+            after: DurationNs(after),
+            owner: ThreadId::from_index(owner),
+            element: ElementId(element),
+            declared_bytes: 64,
+            actual_bytes: 16,
+            write,
+        };
+        let mut p = PhaseProgram::new(4);
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs(120),
+                accesses: vec![access(30, 2, 7, false), access(60, 3, 3, true)],
+            },
+            PhaseWork {
+                compute: DurationNs(340),
+                accesses: vec![],
+            },
+            PhaseWork {
+                compute: DurationNs(90),
+                accesses: vec![access(45, 0, 11, true)],
+            },
+            PhaseWork {
+                compute: DurationNs(200),
+                accesses: vec![],
+            },
+        ]);
+        p.push_uniform_phase(DurationNs(75));
+        p.push_phase(vec![
+            PhaseWork {
+                compute: DurationNs(10),
+                accesses: vec![],
+            },
+            PhaseWork {
+                compute: DurationNs(500),
+                accesses: vec![access(100, 0, 1, false)],
+            },
+            PhaseWork {
+                compute: DurationNs(40),
+                accesses: vec![],
+            },
+            PhaseWork {
+                compute: DurationNs(40),
+                accesses: vec![],
+            },
+        ]);
+        p.record()
+    }
+
+    #[test]
+    fn streaming_translate_matches_whole_trace() {
+        use crate::stream::{ProgramStream, SliceSource};
+        let pt = sample_remote_program();
+        let opts = TranslateOptions {
+            event_overhead: DurationNs(3),
+            switch_overhead: DurationNs(5),
+        };
+        let expected = translate(&pt, opts).unwrap();
+        let bytes = crate::format::encode_program(&pt);
+        for budget in [0usize, 64, usize::MAX] {
+            let mut stream = ProgramStream::new(SliceSource(&bytes)).unwrap();
+            let (set, stats) = translate_stream_to_set(&mut stream, opts, budget).unwrap();
+            assert_eq!(set, expected, "budget {budget}");
+            assert_eq!(stats.records, pt.records.len() as u64);
+            assert!(stats.peak_resident_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn streaming_write_set_file_is_byte_identical() {
+        use crate::stream::{ProgramStream, SliceSource, SpillSink};
+        let pt = sample_remote_program();
+        let opts = TranslateOptions::default();
+        let expected = crate::format::encode_set(&translate(&pt, opts).unwrap());
+        let bytes = crate::format::encode_program(&pt);
+        let dir = std::env::temp_dir().join(format!("extrap-xlate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.xtps");
+        // Budget 0 forces every batch through the spill files.
+        let mut stream = ProgramStream::new(SliceSource(&bytes)).unwrap();
+        let mut sink = SpillSink::new(stream.n_threads(), 0);
+        translate_stream(&mut stream, opts, &mut sink).unwrap();
+        assert!(sink.spill_count() > 0);
+        sink.write_set_file(&path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_translate_rejects_what_whole_trace_rejects() {
+        use crate::builder::ProgramTraceBuilder;
+        use crate::stream::{ProgramStream, SliceSource};
+        let mut b = ProgramTraceBuilder::new(2);
+        b.emit(ThreadId(0), EventKind::ThreadBegin);
+        b.emit(ThreadId(1), EventKind::ThreadBegin);
+        b.advance(DurationNs(10));
+        b.emit(
+            ThreadId(0),
+            EventKind::BarrierEnter {
+                barrier: BarrierId(0),
+            },
+        );
+        b.advance(DurationNs(20));
+        b.emit(
+            ThreadId(1),
+            EventKind::BarrierEnter {
+                barrier: BarrierId(9),
+            },
+        );
+        let pt = b.finish();
+        let bytes = crate::format::encode_program(&pt);
+        let mut stream = ProgramStream::new(SliceSource(&bytes)).unwrap();
+        let err = translate_stream_to_set(&mut stream, TranslateOptions::default(), usize::MAX)
+            .unwrap_err();
+        assert!(matches!(err, TraceError::BarrierMismatch { .. }));
+        assert!(translate(&pt, TranslateOptions::default()).is_err());
     }
 }
